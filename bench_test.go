@@ -1,0 +1,329 @@
+// Benchmark harness: one benchmark (family) per table and figure of the
+// paper's evaluation, plus the ablations called out in DESIGN.md. The
+// full sweeps with printed rows live in cmd/experiments; these benches
+// measure the same operations under `go test -bench`.
+package glare_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"glare/internal/activity"
+	"glare/internal/agwl"
+	"glare/internal/atr"
+	"glare/internal/enactor"
+	"glare/internal/experiments"
+	"glare/internal/mds"
+	"glare/internal/rdm"
+	"glare/internal/simclock"
+	"glare/internal/vo"
+	"glare/internal/workload"
+	"glare/internal/wsrf"
+	"glare/internal/xmlutil"
+	"glare/internal/xpath"
+)
+
+// --------------------------------------------------------------- Table 1
+
+// BenchmarkTable1 regenerates the deployment-cost table (virtual clock, so
+// an iteration costs milliseconds of real time). The virtual totals are
+// reported as custom metrics.
+func BenchmarkTable1(b *testing.B) {
+	for _, method := range []rdm.Method{rdm.MethodExpect, rdm.MethodCoG} {
+		for _, ty := range workload.EvaluationTypes() {
+			b.Run(fmt.Sprintf("%s/%s", method, ty.Name), func(b *testing.B) {
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					v, err := vo.Build(vo.Options{Sites: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := v.RegisterImagingStack(0); err != nil {
+						b.Fatal(err)
+					}
+					for _, tool := range []string{"Java", "Ant"} {
+						tt, _ := v.Nodes[0].RDM.LookupType(tool)
+						if _, err := v.Nodes[0].RDM.DeployLocal(tt, rdm.MethodExpect); err != nil {
+							b.Fatal(err)
+						}
+					}
+					rep, err := v.Nodes[0].RDM.DeployLocal(ty, method)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += rep.Timings.Total()
+					v.Close()
+				}
+				b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "virtual-ms/deploy")
+			})
+		}
+	}
+}
+
+// --------------------------------------------------------------- Fig. 10
+
+// fig10Bench measures one named-resource query against either service over
+// real loopback HTTP, the operation whose rate Fig. 10 plots.
+func fig10Bench(b *testing.B, service string, secure bool, resources int) {
+	b.Helper()
+	tb, err := experiments.NewBenchTestbed(resources, secure)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := tb.QueryOnce(service, i); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkFig10_ATR_HTTP(b *testing.B)    { fig10Bench(b, "ATR", false, 100) }
+func BenchmarkFig10_Index_HTTP(b *testing.B)  { fig10Bench(b, "Index", false, 100) }
+func BenchmarkFig10_ATR_HTTPS(b *testing.B)   { fig10Bench(b, "ATR", true, 100) }
+func BenchmarkFig10_Index_HTTPS(b *testing.B) { fig10Bench(b, "Index", true, 100) }
+
+// --------------------------------------------------------------- Fig. 11
+
+// Fig. 11 varies the number of registered resources: the registry's named
+// lookup stays flat while the index's XPath scan degrades.
+func BenchmarkFig11_ResourceSweep(b *testing.B) {
+	for _, resources := range []int{10, 100, 300} {
+		for _, service := range []string{"ATR", "Index"} {
+			b.Run(fmt.Sprintf("%s/%dresources", service, resources), func(b *testing.B) {
+				fig10Bench(b, service, false, resources)
+			})
+		}
+	}
+}
+
+// --------------------------------------------------------------- Fig. 12
+
+// fig12Bench measures one deployment-list request from a client site, with
+// entries spread over `sites` holder sites.
+func fig12Bench(b *testing.B, sites int, cacheOn bool) {
+	b.Helper()
+	const entries = 240
+	v, err := vo.Build(vo.Options{
+		Sites:             sites + 1,
+		GroupSize:         sites + 1,
+		Clock:             simclock.Real,
+		CacheDisabled:     !cacheOn,
+		CacheTTL:          time.Hour,
+		ScanDelayPerEntry: 50 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer v.Close()
+	if err := v.ElectSuperPeers(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		holder := v.Nodes[1+i%sites]
+		d := &activity.Deployment{
+			Name: fmt.Sprintf("dep-%04d", i), Type: "Fig12App",
+			Kind: activity.KindExecutable, Site: holder.Info.Name,
+			Path: fmt.Sprintf("/opt/fig12/bin/dep-%04d", i),
+		}
+		if _, err := holder.RDM.RegisterDeployment(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	client := v.Nodes[0].RDM
+	if _, err := client.GetDeployments("Fig12App", rdm.MethodExpect, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.GetDeployments("Fig12App", rdm.MethodExpect, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12_Cache1Site(b *testing.B)   { fig12Bench(b, 1, true) }
+func BenchmarkFig12_NoCache1Site(b *testing.B) { fig12Bench(b, 1, false) }
+func BenchmarkFig12_NoCache3Sites(b *testing.B) {
+	if testing.Short() {
+		b.Skip("multi-site")
+	}
+	fig12Bench(b, 3, false)
+}
+func BenchmarkFig12_NoCache7Sites(b *testing.B) {
+	if testing.Short() {
+		b.Skip("multi-site")
+	}
+	fig12Bench(b, 7, false)
+}
+
+// --------------------------------------------------------------- Fig. 13
+
+// BenchmarkFig13_NotificationFanout measures one notification published to
+// N subscribed sinks — the per-tick work whose queueing Fig. 13's load
+// average tracks.
+func BenchmarkFig13_NotificationFanout(b *testing.B) {
+	for _, sinks := range []int{10, 90, 210} {
+		b.Run(fmt.Sprintf("%dsinks", sinks), func(b *testing.B) {
+			broker := wsrf.NewBroker(nil)
+			delivered := 0
+			for i := 0; i < sinks; i++ {
+				broker.Subscribe(wsrf.TopicDeployment, wsrf.SinkFunc(func(wsrf.Notification) {
+					delivered++
+				}))
+			}
+			msg := xmlutil.NewNode("Deployed")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n := broker.Publish(wsrf.TopicDeployment, "bench", msg); n != sinks {
+					b.Fatalf("published to %d sinks", n)
+				}
+			}
+		})
+	}
+}
+
+// -------------------------------------------------------------- Ablations
+
+// BenchmarkAblation_NamedLookup compares the two query paths inside the
+// same registry: the hash table (GLARE's named lookup) versus an XPath
+// scan over the aggregation (the Index Service's only mechanism). This is
+// the design choice the paper credits for Figs. 10/11.
+func BenchmarkAblation_NamedLookup(b *testing.B) {
+	for _, resources := range []int{100, 300} {
+		reg := atr.New("", nil, nil)
+		for _, ty := range workload.SyntheticTypes(resources) {
+			if _, err := reg.Register(ty); err != nil {
+				b.Fatal(err)
+			}
+		}
+		idx := mds.New("bench", mds.DefaultIndex, nil)
+		for _, ty := range reg.Types() {
+			idx.Register(reg.EPR(ty.Name), ty.ToXML())
+		}
+		target := fmt.Sprintf("Synthetic%04d", resources/2)
+		b.Run(fmt.Sprintf("hash/%dresources", resources), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := reg.Lookup(target); !ok {
+					b.Fatal("lookup failed")
+				}
+			}
+		})
+		expr := xpath.MustCompile(fmt.Sprintf(`//ActivityTypeEntry[@name='%s']`, target))
+		b.Run(fmt.Sprintf("xpath/%dresources", resources), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := idx.Query(expr)
+				if err != nil || len(res.Nodes) != 1 {
+					b.Fatalf("query failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Cache compares repeat lookups with the two-level cache
+// on and off (Fig. 12's cached series as an isolated design choice).
+func BenchmarkAblation_Cache(b *testing.B) {
+	for _, cacheOn := range []bool{true, false} {
+		name := "off"
+		if cacheOn {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) { fig12Bench(b, 1, cacheOn) })
+	}
+}
+
+// BenchmarkDeploy compares the two deployment methods end to end under the
+// virtual clock (Table 1's two halves as an ablation of the deployment
+// handler design).
+func BenchmarkDeploy(b *testing.B) {
+	for _, method := range []rdm.Method{rdm.MethodExpect, rdm.MethodCoG} {
+		b.Run(string(method), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				v, err := vo.Build(vo.Options{Sites: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ty := workload.EvaluationTypes()[0] // Wien2k
+				rep, err := v.Nodes[0].RDM.DeployLocal(ty, method)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rep.Timings.Total()
+				v.Close()
+			}
+			b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "virtual-ms/deploy")
+		})
+	}
+}
+
+// BenchmarkAblation_LookAhead compares workflow makespan with and without
+// the look-ahead scheduler (the paper's proposed optimization: hide
+// on-demand deployment of later stages behind the execution of earlier
+// ones). Runs on a scaled-real clock so concurrency genuinely overlaps.
+func BenchmarkAblation_LookAhead(b *testing.B) {
+	for _, lookAhead := range []bool{true, false} {
+		name := "without"
+		if lookAhead {
+			name = "with"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				clock := simclock.NewScaled(1000)
+				v, err := vo.Build(vo.Options{Sites: 1, Clock: clock})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := v.RegisterImagingStack(0); err != nil {
+					b.Fatal(err)
+				}
+				if err := v.RegisterEvaluationApps(0); err != nil {
+					b.Fatal(err)
+				}
+				eng := &enactor.Engine{
+					Home:      v.Nodes[0].RDM,
+					Sites:     map[string]*rdm.Service{v.Nodes[0].Info.Name: v.Nodes[0].RDM},
+					FTP:       v.Nodes[0].RDM.FTP,
+					Clock:     clock,
+					LookAhead: lookAhead,
+				}
+				w, err := agwl.ParseString(`
+<Workflow name="two-stage">
+  <Activity name="one" type="JPOVray"><Output name="o"/></Activity>
+  <Activity name="two" type="Wien2k"><Input name="i" source="one:o"/></Activity>
+</Workflow>`)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := eng.Run(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rep.Makespan
+				v.Close()
+			}
+			b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "scaled-ms/makespan")
+		})
+	}
+}
+
+// BenchmarkElection measures super-peer election time over a real VO.
+func BenchmarkElection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.RunElection(7, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.SuperPeers != 3 {
+			b.Fatalf("super-peers = %d", st.SuperPeers)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command experiments regenerates the paper's evaluation: Table 1 and
+// Figures 10-13, plus the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -exp all            # everything, full scale
+//	experiments -exp table1
+//	experiments -exp fig10 -scale quick
+//	experiments -exp fig11,fig12
+//	experiments -exp ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"glare/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiments to run: all, table1, fig10, fig11, fig12, fig13, ablation (comma-separated)")
+	scaleFlag := flag.String("scale", "full", "sweep scale: quick or full")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *scaleFlag == "quick" {
+		scale = experiments.Quick
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if all || want["table1"] {
+		ran++
+		fmt.Println("== Table 1: time spent in deployment operations (virtual ms) ==")
+		rows, err := experiments.RunTable1()
+		if err != nil {
+			fail("table1", err)
+		}
+		experiments.PrintTable1(os.Stdout, rows)
+	}
+	if all || want["fig10"] {
+		ran++
+		fmt.Println("\n== Fig. 10: registry vs index throughput under concurrent clients ==")
+		pts, err := experiments.RunFig10(experiments.DefaultFig10(scale))
+		if err != nil {
+			fail("fig10", err)
+		}
+		experiments.PrintFig10(os.Stdout, pts)
+	}
+	if all || want["fig11"] {
+		ran++
+		fmt.Println("\n== Fig. 11: throughput vs number of registered activity types ==")
+		pts, err := experiments.RunFig11(experiments.DefaultFig11(scale))
+		if err != nil {
+			fail("fig11", err)
+		}
+		experiments.PrintFig11(os.Stdout, pts)
+	}
+	if all || want["fig12"] {
+		ran++
+		fmt.Println("\n== Fig. 12: deployment-request response time vs sites and cache ==")
+		pts, err := experiments.RunFig12(experiments.DefaultFig12(scale))
+		if err != nil {
+			fail("fig12", err)
+		}
+		experiments.PrintFig12(os.Stdout, pts)
+	}
+	if all || want["fig13"] {
+		ran++
+		fmt.Println("\n== Fig. 13: 1-minute load average vs requesters and sinks ==")
+		cfg := experiments.DefaultFig13(scale)
+		reqs, err := experiments.RunFig13Requesters(cfg)
+		if err != nil {
+			fail("fig13", err)
+		}
+		sinks, err := experiments.RunFig13Sinks(cfg)
+		if err != nil {
+			fail("fig13", err)
+		}
+		experiments.PrintFig13(os.Stdout, append(reqs, sinks...))
+	}
+	if all || want["ablation"] {
+		ran++
+		fmt.Println("\n== Ablations ==")
+		var pts []experiments.AblationPoint
+		cachePts, err := experiments.RunAblationCache(200, 10)
+		if err != nil {
+			fail("ablation-cache", err)
+		}
+		pts = append(pts, cachePts...)
+		overlayPts, err := experiments.RunAblationOverlay(7, 210, 10)
+		if err != nil {
+			fail("ablation-overlay", err)
+		}
+		pts = append(pts, overlayPts...)
+		experiments.PrintAblation(os.Stdout, pts)
+		st, err := experiments.RunElection(10, 3)
+		if err != nil {
+			fail("ablation-election", err)
+		}
+		fmt.Printf("\nSuper-peer election: %d sites, group size %d -> %d super-peers in %v\n",
+			st.Sites, st.GroupSize, st.SuperPeers, st.Elapsed)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment selection %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,258 @@
+// Command glarectl is the command-line client of a GLARE site: it speaks
+// the envelope protocol to the RDM service at -url and performs the
+// operations a scheduler or activity provider would.
+//
+// Usage:
+//
+//	glarectl -url http://127.0.0.1:PORT discover ImageConversion
+//	glarectl -url ... types
+//	glarectl -url ... deployments JPOVray
+//	glarectl -url ... deploy Wien2k [expect|cog]
+//	glarectl -url ... register-type type.xml
+//	glarectl -url ... undeploy jpovray
+//	glarectl -url ... lease jpovray client1 exclusive 3600
+//	glarectl -url ... release 3
+//	glarectl -url ... instantiate jpovray client1 3 "scene.pov"
+//
+// -url may be the site base (http://host:port) or the full RDM service URL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"glare/internal/atr"
+	"glare/internal/rdm"
+	"glare/internal/transport"
+	"glare/internal/xmlutil"
+)
+
+func main() {
+	url := flag.String("url", "", "site base URL or RDM service URL (required)")
+	flag.Parse()
+	if *url == "" || flag.NArg() == 0 {
+		usage()
+	}
+	base := strings.TrimSuffix(*url, "/")
+	rdmURL := base
+	if !strings.Contains(base, transport.ServicePrefix) {
+		rdmURL = base + transport.ServicePrefix + rdm.ServiceName
+	}
+	siteBase := rdmURL[:strings.Index(rdmURL, transport.ServicePrefix)]
+	cli := transport.NewClient(nil)
+
+	args := flag.Args()
+	var err error
+	switch args[0] {
+	case "discover":
+		err = discover(cli, rdmURL, arg(args, 1), "auto")
+	case "resolve":
+		err = discover(cli, rdmURL, arg(args, 1), "never")
+	case "types":
+		err = listTypes(cli, siteBase)
+	case "deployments":
+		err = deployments(cli, rdmURL, arg(args, 1))
+	case "deploy":
+		method := "expect"
+		if len(args) > 2 {
+			method = args[2]
+		}
+		err = deploy(cli, rdmURL, arg(args, 1), method)
+	case "register-type":
+		err = registerType(cli, rdmURL, arg(args, 1))
+	case "undeploy":
+		_, err = cli.Call(rdmURL, "Undeploy", xmlutil.NewNode("Name", arg(args, 1)))
+		if err == nil {
+			fmt.Println("undeployed", args[1])
+		}
+	case "lease":
+		err = leaseCmd(cli, rdmURL, args)
+	case "release":
+		_, err = cli.Call(rdmURL, "ReleaseLease", xmlutil.NewNode("ID", arg(args, 1)))
+		if err == nil {
+			fmt.Println("released")
+		}
+	case "instantiate":
+		err = instantiate(cli, rdmURL, args)
+	case "search":
+		err = search(cli, rdmURL, args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glarectl:", err)
+		os.Exit(1)
+	}
+}
+
+func arg(args []string, i int) string {
+	if i >= len(args) {
+		usage()
+	}
+	return args[i]
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: glarectl -url <site> <command> [args]
+commands:
+  discover <type>                    resolve deployments, installing on demand
+  resolve <type>                     resolve deployments, never installing
+  types                              list activity types on the site
+  deployments <type>                 list the site's local deployments of a type
+  deploy <type> [expect|cog]         force an on-demand deployment
+  register-type <file.xml>           register an ActivityTypeEntry document
+  undeploy <deployment>              remove a deployment
+  lease <dep> <client> <kind> <sec>  acquire a lease (kind: exclusive|shared)
+  release <ticket-id>                release a lease
+  instantiate <dep> <client> <ticket|0> [args]
+  search <function> [input...]       semantic type search by capability`)
+	os.Exit(2)
+}
+
+func discover(cli *transport.Client, url, typeName, deployMode string) error {
+	req := xmlutil.NewNode("Request")
+	req.SetAttr("type", typeName)
+	req.SetAttr("deploy", deployMode)
+	resp, err := cli.Call(url, "GetDeployments", req)
+	if err != nil {
+		return err
+	}
+	printDeployments(resp)
+	return nil
+}
+
+func deployments(cli *transport.Client, url, typeName string) error {
+	resp, err := cli.Call(url, "LocalDeployments", xmlutil.NewNode("Type", typeName))
+	if err != nil {
+		return err
+	}
+	printDeployments(resp)
+	return nil
+}
+
+func printDeployments(resp *xmlutil.Node) {
+	list := resp.All("ActivityDeployment")
+	if len(list) == 0 {
+		fmt.Println("no deployments")
+		return
+	}
+	for _, d := range list {
+		loc := d.ChildText("Path")
+		if loc == "" {
+			loc = d.ChildText("Address")
+		}
+		fmt.Printf("%-16s %-12s %-10s site=%s %s\n",
+			d.AttrOr("name", "?"), d.AttrOr("type", "?"),
+			d.AttrOr("category", "?"), d.ChildText("Site"), loc)
+	}
+}
+
+func listTypes(cli *transport.Client, siteBase string) error {
+	resp, err := cli.Call(siteBase+transport.ServicePrefix+atr.ServiceName, "ListTypes", nil)
+	if err != nil {
+		return err
+	}
+	for _, t := range resp.All("Type") {
+		fmt.Println(t.Text)
+	}
+	return nil
+}
+
+func deploy(cli *transport.Client, url, typeName, method string) error {
+	req := xmlutil.NewNode("Deploy")
+	req.SetAttr("type", typeName)
+	req.SetAttr("method", method)
+	resp, err := cli.Call(url, "DeployLocal", req)
+	if err != nil {
+		return err
+	}
+	printDeployments(resp)
+	if tm := resp.First("Timings"); tm != nil {
+		fmt.Printf("timings (ms): type-addition=%s communication=%s installation=%s registration=%s notification=%s method-overhead=%s\n",
+			tm.ChildText("TypeAddition"), tm.ChildText("Communication"),
+			tm.ChildText("Installation"), tm.ChildText("Registration"),
+			tm.ChildText("Notification"), tm.ChildText("MethodOverhead"))
+	}
+	return nil
+}
+
+func registerType(cli *transport.Client, url, file string) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	doc, err := xmlutil.ParseString(string(data))
+	if err != nil {
+		return err
+	}
+	resp, err := cli.Call(url, "RegisterType", doc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("registered:", resp.ChildText("Address"))
+	return nil
+}
+
+func leaseCmd(cli *transport.Client, url string, args []string) error {
+	if len(args) < 5 {
+		usage()
+	}
+	req := xmlutil.NewNode("Lease")
+	req.SetAttr("deployment", args[1])
+	req.SetAttr("client", args[2])
+	req.SetAttr("kind", args[3])
+	req.SetAttr("seconds", args[4])
+	resp, err := cli.Call(url, "AcquireLease", req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ticket %s (%s on %s)\n",
+		resp.AttrOr("id", "?"), resp.AttrOr("kind", "?"), resp.AttrOr("deployment", "?"))
+	return nil
+}
+
+func search(cli *transport.Client, url string, args []string) error {
+	if len(args) == 0 {
+		usage()
+	}
+	q := xmlutil.NewNode("Query")
+	q.SetAttr("function", args[0])
+	for _, in := range args[1:] {
+		q.Elem("Input", in)
+	}
+	resp, err := cli.Call(url, "SearchTypes", q)
+	if err != nil {
+		return err
+	}
+	matches := resp.All("Match")
+	if len(matches) == 0 {
+		fmt.Println("no matching activity types")
+		return nil
+	}
+	for _, m := range matches {
+		ty := m.First("ActivityTypeEntry")
+		fmt.Printf("%-16s score=%s via=%s\n",
+			ty.AttrOr("name", "?"), m.AttrOr("score", "?"), m.AttrOr("via", "-"))
+	}
+	return nil
+}
+
+func instantiate(cli *transport.Client, url string, args []string) error {
+	if len(args) < 4 {
+		usage()
+	}
+	req := xmlutil.NewNode("Run")
+	req.SetAttr("name", args[1])
+	req.SetAttr("client", args[2])
+	req.SetAttr("ticket", args[3])
+	if len(args) > 4 {
+		req.SetAttr("args", strings.Join(args[4:], " "))
+	}
+	if _, err := cli.Call(url, "Instantiate", req); err != nil {
+		return err
+	}
+	fmt.Println("started")
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command glared runs a single standalone GLARE site daemon: the full
+// per-site stack (transport container, Default Index, ATR, ADR,
+// PeerService, RDM frontend and monitors) on one address.
+//
+// A daemon can run alone, or join an existing community by registering
+// itself in a remote community index:
+//
+//	glared -addr 127.0.0.1:9001 -name agrid-a            # community holder
+//	glared -addr 127.0.0.1:9002 -name agrid-b -join http://127.0.0.1:9001
+//
+// The joining site appears in the holder's community index; the holder's
+// Index Monitor then re-runs the super-peer election to fold it in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"glare/internal/epr"
+	"glare/internal/mds"
+	"glare/internal/rdm"
+	"glare/internal/simclock"
+	"glare/internal/site"
+	"glare/internal/superpeer"
+	"glare/internal/transport"
+	"glare/internal/workload"
+	"glare/internal/xmlutil"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	name := flag.String("name", "", "site name (default derived from address)")
+	join := flag.String("join", "", "base URL of the community-index holder to join")
+	community := flag.Bool("community", false, "host the community index (election coordinator)")
+	mhz := flag.Int("mhz", 1500, "site processor speed attribute")
+	memory := flag.Int("memory", 2048, "site memory attribute (MB)")
+	flag.Parse()
+
+	attrs := site.Attributes{
+		Name:         *name,
+		ProcessorMHz: *mhz,
+		MemoryMB:     *memory,
+		UptimeHours:  100,
+		Processors:   4,
+		Platform:     "Intel",
+		OS:           "Linux",
+		Arch:         "32bit",
+	}
+	srv := transport.NewServer()
+	if err := srv.Start(*addr, nil); err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	if attrs.Name == "" {
+		attrs.Name = strings.TrimPrefix(srv.BaseURL(), "http://")
+	}
+
+	clock := simclock.Real
+	st := site.New(attrs, clock, site.StandardUniverse())
+	info := superpeer.SiteInfo{Name: attrs.Name, Rank: attrs.Rank(), BaseURL: srv.BaseURL()}
+	client := transport.NewClient(nil)
+	agent := superpeer.NewAgent(info, client, nil)
+
+	kind := mds.DefaultIndex
+	if *community || *join == "" {
+		kind = mds.CommunityIndex
+	}
+	index := mds.New("index-"+attrs.Name, kind, clock)
+	resolver := workload.NewResolver(st.Repo)
+	svc, err := rdm.New(rdm.Config{
+		Site:        st,
+		Clock:       clock,
+		Client:      client,
+		Agent:       agent,
+		LocalIndex:  index,
+		DeployFiles: resolver.Fetch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	svc.Mount(srv)
+	svc.MountExtensions(srv)
+
+	// Register this site in the community index — ours, or the remote
+	// holder's when joining.
+	siteEPR := epr.New(info.ServiceURL(rdm.ServiceName), "SiteKey", info.Name)
+	if *join != "" {
+		entry := xmlutil.NewNode("Entry")
+		entry.Add(siteEPR.ToXML("MemberEPR"))
+		entry.Add(info.ToXML())
+		joinURL := strings.TrimSuffix(*join, "/") + transport.ServicePrefix + mds.ServiceName
+		if _, err := client.Call(joinURL, "Register", entry); err != nil {
+			fatal(fmt.Errorf("joining %s: %w", *join, err))
+		}
+		fmt.Printf("joined community at %s\n", *join)
+	} else {
+		index.Register(siteEPR, info.ToXML())
+	}
+
+	svc.StartMonitors(rdm.DefaultIntervals())
+	fmt.Printf("glared: site %s up at %s (index: %s)\n", attrs.Name, srv.BaseURL(), kind)
+	fmt.Printf("RDM service: %s\n", srv.ServiceURL(rdm.ServiceName))
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	svc.Stop()
+	fmt.Println("glared: shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "glared:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package glare
+
+import (
+	"glare/internal/agwl"
+	"glare/internal/enactor"
+	"glare/internal/rdm"
+)
+
+// WorkflowSpec is an AGWL workflow: activities referencing activity types,
+// wired by data-flow edges. Parse one from XML with ParseWorkflow or build
+// it directly.
+type WorkflowSpec = agwl.Workflow
+
+// WorkflowActivity is one workflow node.
+type WorkflowActivity = agwl.Activity
+
+// WorkflowPort is a named input or output of a workflow activity.
+type WorkflowPort = agwl.Port
+
+// EnactReport summarizes a workflow run: where every activity was placed,
+// how long the whole run took, and how much data moved between sites.
+type EnactReport = enactor.Report
+
+// Placement records where one workflow activity ran.
+type Placement = enactor.Placement
+
+// ParseWorkflow parses an AGWL workflow document:
+//
+//	<Workflow name="povray">
+//	  <Activity name="render" type="ImageConversion">
+//	    <Input name="scene" source="user:scene.pov"/>
+//	    <Output name="image"/>
+//	  </Activity>
+//	  <Activity name="view" type="Visualization">
+//	    <Input name="image" source="render:image"/>
+//	  </Activity>
+//	</Workflow>
+func ParseWorkflow(xml string) (*WorkflowSpec, error) {
+	return agwl.ParseString(xml)
+}
+
+// EnactOptions tunes a workflow run.
+type EnactOptions struct {
+	// Home is the index of the site whose local GLARE service the
+	// enactment engine talks to (the submitting user's site).
+	Home int
+	// LookAhead pre-resolves (and on-demand-installs) every activity type
+	// the workflow needs, concurrently with the early stages — the
+	// "intelligent look-ahead scheduling" the paper proposes to hide
+	// deployment overhead.
+	LookAhead bool
+	// Client labels the run for leasing/metrics purposes.
+	Client string
+}
+
+// Enact runs a workflow against the grid: each activity is resolved to a
+// concrete deployment through GLARE (installing on demand), inputs are
+// staged between sites, executables run as GRAM jobs, and failures retry
+// on an alternative deployment.
+func (g *Grid) Enact(w *WorkflowSpec, opts EnactOptions) (*EnactReport, error) {
+	home := g.vo.Nodes[opts.Home].RDM
+	sites := map[string]*rdm.Service{}
+	for _, n := range g.vo.Nodes {
+		sites[n.Info.Name] = n.RDM
+	}
+	eng := &enactor.Engine{
+		Home:      home,
+		Sites:     sites,
+		FTP:       home.FTP,
+		Clock:     g.vo.Clock,
+		LookAhead: opts.LookAhead,
+		Client:    opts.Client,
+	}
+	return eng.Run(w)
+}

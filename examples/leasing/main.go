@@ -1,0 +1,77 @@
+// Deployment leasing (paper §3.2): a scheduler leases an activity
+// deployment exclusively for a timeframe; only the ticket holder may
+// instantiate it. Shared leases admit several clients up to a
+// concurrency limit.
+//
+// Run with: go run ./examples/leasing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"glare"
+)
+
+func main() {
+	grid, err := glare.NewGrid(glare.GridOptions{Sites: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+	c := grid.Client(0)
+	if err := c.RegisterTypes(glare.ImagingTypes()...); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Discover("JPOVray"); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- exclusive lease -------------------------------------------------
+	ticket, err := c.Lease("jpovray", "scheduler-A", glare.LeaseExclusive, time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduler-A holds exclusive lease #%d on jpovray\n", ticket.ID)
+
+	// No one else can lease or use it during the timeframe.
+	if _, err := c.Lease("jpovray", "scheduler-B", glare.LeaseShared, time.Hour); err != nil {
+		fmt.Println("scheduler-B lease refused: ", err)
+	}
+	if err := c.Instantiate("jpovray", "scheduler-B", 0, ""); err != nil {
+		fmt.Println("scheduler-B unleased use refused:", err)
+	}
+	// The holder runs it with the ticket.
+	if err := c.Instantiate("jpovray", "scheduler-A", ticket.ID, "scene.pov"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scheduler-A instantiated the leased activity")
+	if err := c.Release(ticket.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lease released")
+
+	// --- shared lease with a concurrency limit ---------------------------
+	c.SetSharedLimit("jpovray", 2)
+	t1, err := c.Lease("jpovray", "client-1", glare.LeaseShared, time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := c.Lease("jpovray", "client-2", glare.LeaseShared, time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared lessees: client-1 (#%d), client-2 (#%d)\n", t1.ID, t2.ID)
+	_, err = c.Lease("jpovray", "client-3", glare.LeaseShared, time.Hour)
+	if err == nil {
+		log.Fatal("third shared lease should have been refused")
+	}
+	fmt.Println("client-3 refused: concurrent client limit (2) reached")
+	for _, t := range []glare.Ticket{t1, t2} {
+		if err := c.Instantiate("jpovray", t.Client, t.ID, ""); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("both shared lessees instantiated the activity — QoS held")
+}

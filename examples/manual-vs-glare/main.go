@@ -1,0 +1,158 @@
+// The paper's motivation (Section 2) side by side: deploying and running
+// JPOVray with BASIC Grid services (Example 1 — the developer drives MDS,
+// GridFTP and GRAM by hand, step by step) versus with GLARE (Example 3 —
+// one request against the local service).
+//
+// Both paths run against the same simulated site substrate, so the manual
+// path really performs every transfer, build and registry update the paper
+// lists — and the step counts speak for themselves.
+//
+// Run with: go run ./examples/manual-vs-glare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"glare"
+	"glare/internal/epr"
+	"glare/internal/gram"
+	"glare/internal/gridftp"
+	"glare/internal/mds"
+	"glare/internal/simclock"
+	"glare/internal/site"
+	"glare/internal/workload"
+	"glare/internal/xmlutil"
+)
+
+func main() {
+	manualSteps, manualTime := manualPath()
+	glareSteps, glareTime := glarePath()
+
+	fmt.Println("\n================== comparison ==================")
+	fmt.Printf("basic Grid services (Example 1): %2d developer steps, %8v virtual\n",
+		manualSteps, manualTime)
+	fmt.Printf("GLARE              (Example 3): %2d developer steps, %8v virtual\n",
+		glareSteps, glareTime)
+	fmt.Println("GLARE spends slightly more machine time (type registration,")
+	fmt.Println("deployment registration, notification — Table 1's meta-scheduler")
+	fmt.Println("overhead) to reduce nineteen hand-written steps to two, and the")
+	fmt.Println("workflow never mentions a path, host, or installer.")
+}
+
+// manualPath replays Example 1: the developer queries MDS, transfers
+// installers with GridFTP, writes deployment scripts and submits them as
+// GRAM jobs — for Java, Ant, and finally JPOVray.
+func manualPath() (steps int, elapsed time.Duration) {
+	clock := simclock.NewVirtual(time.Time{})
+	repo := site.StandardUniverse()
+	target := site.New(site.Attributes{
+		Name: "manual.site", Platform: "Intel", OS: "Linux", Arch: "32bit",
+		ProcessorMHz: 1500, MemoryMB: 2048, Processors: 4,
+	}, clock, repo)
+	ftp := gridftp.NewClient(clock, repo, gridftp.DefaultCost)
+	jobs := gram.NewManager(target, clock)
+	index := mds.New("mds", mds.DefaultIndex, clock)
+	start := clock.Now()
+
+	step := func(what string) {
+		steps++
+		fmt.Printf("  [manual %2d] %s\n", steps, what)
+	}
+	mustJob := func(cmd, dir string, env map[string]string) {
+		if _, code, err := jobs.SubmitWait(cmd, dir, env); code != 0 {
+			log.Fatalf("manual path: %s: %v", cmd, err)
+		}
+	}
+	queryMDS := func(q string) bool {
+		res, err := index.QueryString(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return !res.Empty()
+	}
+	registerMDS := func(name, home string) {
+		doc := xmlutil.NewNode("Deployment")
+		doc.SetAttr("name", name)
+		doc.Elem("Home", home)
+		index.Register(epr.New("http://manual.site/wsrf/services/MDS", "Key", name), doc)
+	}
+
+	fmt.Println("deploying JPOVray with basic Grid services (Example 1):")
+	for _, tool := range []struct{ name, archive, srcDir, install string }{
+		{"Java", "jdk.tgz", "jdk-1.4.2", "sh /tmp/manual/jdk-1.4.2/install.sh /opt/manual/java"},
+		{"Ant", "ant.tgz", "apache-ant-1.6.5", "make install"},
+	} {
+		step("query MDS for location of " + tool.name)
+		if queryMDS(fmt.Sprintf(`//Deployment[@name='%s']`, tool.name)) {
+			continue
+		}
+		a, _ := repo.ByName(tool.name)
+		step("query MDS for the location of the " + tool.name + " installation file")
+		step("transfer installation file to target site (GridFTP)")
+		if err := ftp.Fetch(a.URL, target, "/tmp/manual/"+tool.archive); err != nil {
+			log.Fatal(err)
+		}
+		step("create user-defined deployment script")
+		step("submit installation script using GRAM")
+		mustJob("tar xvfz /tmp/manual/"+tool.archive, "/tmp/manual", nil)
+		if tool.name == "Ant" {
+			mustJob(tool.install, "/tmp/manual/"+tool.srcDir,
+				map[string]string{"DEPLOYMENT_DIR": "/opt/manual"})
+		} else {
+			mustJob(tool.install, "/tmp/manual", nil)
+		}
+		step("update MDS with the information about the deployed " + tool.name)
+		registerMDS(tool.name, "/opt/manual/"+tool.name)
+	}
+
+	jp, _ := repo.ByName("JPOVray")
+	step("query MDS for libraries")
+	step("transfer JPOVray source code (GridFTP)")
+	if err := ftp.Fetch(jp.URL, target, "/tmp/manual/jpovray.tgz"); err != nil {
+		log.Fatal(err)
+	}
+	step("create script to remotely build and deploy JPOVray")
+	step("submit deployment script through GRAM")
+	mustJob("tar xvfz /tmp/manual/jpovray.tgz", "/tmp/manual", nil)
+	mustJob("ant Deploy", "/tmp/manual/jpovray-1.0",
+		map[string]string{"DEPLOYMENT_DIR": "/opt/manual"})
+	step("update MDS with information about newly deployed JPOVray")
+	registerMDS("jpovray", "/opt/manual/jpovray")
+	step("query MDS to find JPOVray service location")
+	if !queryMDS(`//Deployment[@name='jpovray']`) {
+		log.Fatal("manual path: deployment lost")
+	}
+	step("create script to run jpovray; submit through GRAM")
+	mustJob("jpovray scene.pov", "/opt/manual/jpovray", nil)
+	return steps, clock.Now().Sub(start)
+}
+
+// glarePath replays Example 3: one local GLARE service call.
+func glarePath() (steps int, elapsed time.Duration) {
+	grid, err := glare.NewGrid(glare.GridOptions{Sites: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+	c := grid.Client(0)
+	if err := c.RegisterTypes(workload.ImagingTypes()...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndeploying JPOVray with GLARE (Example 3):")
+	start := grid.Now()
+
+	steps++
+	fmt.Printf("  [glare %d] Result = Get ImageConversion deployments using local GLARE\n", steps)
+	deps, err := c.Discover("ImageConversion")
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps++
+	fmt.Printf("  [glare %d] select a deployment and instantiate it\n", steps)
+	if err := c.Instantiate(deps[0].Name, "user", 0, "scene.pov"); err != nil {
+		log.Fatal(err)
+	}
+	return steps, grid.Now().Sub(start)
+}

@@ -1,0 +1,82 @@
+// Full workflow enactment through GLARE: a four-activity diamond workflow
+// composed purely against activity types is parsed from AGWL XML, every
+// activity is resolved to a deployment (installing software on demand),
+// data is staged between activities, and the look-ahead scheduler hides
+// the deployment overhead of later stages behind the execution of earlier
+// ones — the paper's proposed "intelligent look-ahead scheduling".
+//
+// Run with: go run ./examples/workflow-enactment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"glare"
+)
+
+const workflowXML = `
+<Workflow name="imaging-pipeline">
+  <Activity name="render" type="ImageConversion">
+    <Input name="scene" source="user:scene.pov"/>
+    <Output name="raw"/>
+    <Arg>quality=high</Arg>
+  </Activity>
+  <Activity name="filter-a" type="JPOVray">
+    <Input name="in" source="render:raw"/>
+    <Output name="out"/>
+  </Activity>
+  <Activity name="filter-b" type="JPOVray">
+    <Input name="in" source="render:raw"/>
+    <Output name="out"/>
+  </Activity>
+  <Activity name="analyze" type="Wien2k">
+    <Input name="x" source="filter-a:out"/>
+    <Input name="y" source="filter-b:out"/>
+  </Activity>
+</Workflow>`
+
+func main() {
+	grid, err := glare.NewGrid(glare.GridOptions{Sites: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+	if err := grid.Elect(); err != nil {
+		log.Fatal(err)
+	}
+	provider := grid.Client(0)
+	if err := provider.RegisterTypes(glare.ImagingTypes()...); err != nil {
+		log.Fatal(err)
+	}
+	if err := provider.RegisterTypes(glare.EvaluationTypes()...); err != nil {
+		log.Fatal(err)
+	}
+
+	w, err := glare.ParseWorkflow(workflowXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow %q: %d activities over types %v\n",
+		w.Name, len(w.Activities), w.Types())
+
+	rep, err := grid.Enact(w, glare.EnactOptions{
+		Home:      1,
+		LookAhead: true,
+		Client:    "pipeline-user",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nenactment complete (makespan %v virtual, %d inter-site data moves)\n",
+		rep.Makespan, rep.DataMoves)
+	for _, p := range rep.Placements {
+		note := ""
+		if p.Retried {
+			note = " (after retry)"
+		}
+		fmt.Printf("  %-10s -> %-12s (%s) on %s%s\n",
+			p.Activity, p.Deployment, p.Kind, p.Site, note)
+	}
+	fmt.Println("\nno executable, path, or site ever appeared in the workflow document")
+}

@@ -1,0 +1,48 @@
+package glare_test
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example main to completion; examples are
+// living documentation and must keep working.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	examples := []string{
+		"quickstart",
+		"povray-workflow",
+		"ondemand-deploy",
+		"leasing",
+		"workflow-enactment",
+		"manual-vs-glare",
+		"superpeer-failover",
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+ex)
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var err error
+				out, err = cmd.CombinedOutput()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example failed: %v\n%s", err, out)
+				}
+			case <-time.After(120 * time.Second):
+				if cmd.Process != nil {
+					cmd.Process.Kill()
+				}
+				t.Fatal("example timed out")
+			}
+		})
+	}
+}

@@ -1,0 +1,321 @@
+// Package glare is a Go implementation of GLARE — the Grid Activity
+// Registration, Deployment and Provisioning framework of Siddiqui,
+// Villazón, Hofer and Fahringer (SC 2005).
+//
+// GLARE separates what an application component does (its activity type)
+// from where and how it is installed (its activity deployments). A Grid
+// workflow is composed against activity types only; GLARE resolves them to
+// concrete deployments across a Virtual Organization of Grid sites,
+// installing software on demand when no deployment exists, and leasing
+// deployments to schedulers that need exclusive or bounded-shared access.
+//
+// The package exposes two layers:
+//
+//   - Grid: a whole simulated Virtual Organization — N Grid sites on the
+//     loopback interface, each running the full per-site GLARE stack
+//     (registries, RDM frontend, super-peer overlay agent, index service)
+//     over real HTTP or HTTPS.
+//   - Client: a handle onto one site's local GLARE service, which is the
+//     only thing a user ever talks to ("clients ... interact only with
+//     their local sites").
+//
+// Quickstart:
+//
+//	g, _ := glare.NewGrid(glare.GridOptions{Sites: 3})
+//	defer g.Close()
+//	g.Elect()
+//	provider := g.Client(0)
+//	provider.RegisterTypes(glare.ImagingTypes()...)
+//	scheduler := g.Client(1)
+//	deps, _ := scheduler.Discover("ImageConversion") // deploys on demand
+package glare
+
+import (
+	"fmt"
+	"time"
+
+	"glare/internal/activity"
+	"glare/internal/lease"
+	"glare/internal/rdm"
+	"glare/internal/semantic"
+	"glare/internal/simclock"
+	"glare/internal/site"
+	"glare/internal/vo"
+	"glare/internal/workload"
+	"glare/internal/wsrf"
+)
+
+// Re-exported model types. The aliases make the full data model usable
+// through the public package.
+type (
+	// Type is an activity type: the functional description of a component.
+	Type = activity.Type
+	// Deployment is an installed incarnation of a concrete activity type.
+	Deployment = activity.Deployment
+	// Installation describes how a type is installed on demand.
+	Installation = activity.Installation
+	// Constraints restrict the sites a type may be installed on.
+	Constraints = activity.Constraints
+	// Function describes one behaviour of a type.
+	Function = activity.Function
+	// Ticket authorizes use of a leased deployment.
+	Ticket = lease.Ticket
+	// Method selects the deployment mechanics (expect or CoG).
+	Method = rdm.Method
+	// DeployReport summarizes an on-demand deployment with per-phase
+	// timings (the rows of the paper's Table 1).
+	DeployReport = rdm.DeployReport
+	// Notification is an event delivered to subscribed sinks.
+	Notification = wsrf.Notification
+	// SemanticQuery describes a wanted capability (function, ports,
+	// domain) for type search.
+	SemanticQuery = semantic.Query
+	// SemanticMatch is one scored semantic search result.
+	SemanticMatch = semantic.Match
+)
+
+// Deployment method and mode constants.
+const (
+	MethodExpect = rdm.MethodExpect
+	MethodCoG    = rdm.MethodCoG
+
+	ModeOnDemand = activity.ModeOnDemand
+	ModeManual   = activity.ModeManual
+
+	KindExecutable = activity.KindExecutable
+	KindService    = activity.KindService
+
+	LeaseExclusive = lease.Exclusive
+	LeaseShared    = lease.Shared
+)
+
+// ImagingTypes returns the paper's Section-2 example hierarchy (Imaging →
+// ImageConversion → POVray → JPOVray, plus the Java and Ant toolchain).
+func ImagingTypes() []*Type { return workload.ImagingTypes() }
+
+// EvaluationTypes returns the Table 1 applications (Wien2k, Invmod,
+// Counter) as registrable activity types.
+func EvaluationTypes() []*Type { return workload.EvaluationTypes() }
+
+// GridOptions configures a simulated Virtual Organization.
+type GridOptions struct {
+	// Sites is the number of Grid sites (default 3).
+	Sites int
+	// Secure runs every container over HTTPS with a VO-internal CA.
+	Secure bool
+	// GroupSize is the super-peer group size (default 4).
+	GroupSize int
+	// DisableCache turns off the two-level resource cache.
+	DisableCache bool
+	// RealTime uses the wall clock instead of the default virtual clock
+	// (deployment cost models then sleep for real).
+	RealTime bool
+}
+
+// Grid is a running Virtual Organization.
+type Grid struct {
+	vo *vo.VO
+}
+
+// NewGrid builds and starts a VO.
+func NewGrid(opts GridOptions) (*Grid, error) {
+	var clock simclock.Clock
+	if opts.RealTime {
+		clock = simclock.Real
+	}
+	v, err := vo.Build(vo.Options{
+		Sites:         opts.Sites,
+		Secure:        opts.Secure,
+		GroupSize:     opts.GroupSize,
+		CacheDisabled: opts.DisableCache,
+		Clock:         clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Grid{vo: v}, nil
+}
+
+// Sites returns the number of Grid sites.
+func (g *Grid) Sites() int { return len(g.vo.Nodes) }
+
+// SiteName returns the i-th site's name.
+func (g *Grid) SiteName(i int) string { return g.vo.Nodes[i].Info.Name }
+
+// SiteURL returns the i-th site's container base URL.
+func (g *Grid) SiteURL(i int) string { return g.vo.Nodes[i].Info.BaseURL }
+
+// Elect runs the initial super-peer election from the community-index
+// holder. Safe to call more than once.
+func (g *Grid) Elect() error { return g.vo.ElectSuperPeers() }
+
+// Now returns the grid clock's current instant (virtual by default), so
+// callers can measure how much simulated time an operation consumed.
+func (g *Grid) Now() time.Time { return g.vo.Clock.Now() }
+
+// Client returns a handle on the i-th site's local GLARE service.
+func (g *Grid) Client(i int) *Client {
+	if i < 0 || i >= len(g.vo.Nodes) {
+		return nil
+	}
+	return &Client{svc: g.vo.Nodes[i].RDM}
+}
+
+// StopSite simulates a site failure (its container stops answering).
+// Super-peer failures trigger re-election among the survivors.
+func (g *Grid) StopSite(i int) { g.vo.StopSite(i) }
+
+// SuperPeerOf returns the current super-peer site name seen by site i.
+func (g *Grid) SuperPeerOf(i int) string {
+	return g.vo.Nodes[i].Agent.View().SuperPeer.Name
+}
+
+// IsSuperPeer reports whether site i currently acts as a super-peer.
+func (g *Grid) IsSuperPeer(i int) bool {
+	return g.vo.Nodes[i].Agent.Role().String() == "SuperPeer"
+}
+
+// StartMonitors launches every site's background monitors (cache
+// refresher, index monitor, status monitor, peer liveness).
+func (g *Grid) StartMonitors() {
+	for i, n := range g.vo.Nodes {
+		if !g.vo.Stopped(i) {
+			n.RDM.StartMonitors(rdm.DefaultIntervals())
+		}
+	}
+}
+
+// Close stops the whole VO.
+func (g *Grid) Close() { g.vo.Close() }
+
+// Client is a handle on one site's local GLARE service — the only
+// interface a scheduler, enactment engine, or activity provider uses.
+type Client struct {
+	svc *rdm.Service
+}
+
+// SiteName returns the name of the Grid site this client talks to.
+func (c *Client) SiteName() string { return c.svc.Site().Attrs.Name }
+
+// RegisterType registers an activity type with the local GLARE service.
+// Registration on a single site is enough: the distributed framework makes
+// it discoverable VO-wide.
+func (c *Client) RegisterType(t *Type) error {
+	_, err := c.svc.RegisterType(t)
+	return err
+}
+
+// RegisterTypes registers several types, stopping at the first error.
+func (c *Client) RegisterTypes(types ...*Type) error {
+	for _, t := range types {
+		if err := c.RegisterType(t); err != nil {
+			return fmt.Errorf("glare: registering %q: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// RegisterDeployment exposes pre-installed software as a deployment.
+func (c *Client) RegisterDeployment(d *Deployment) error {
+	_, err := c.svc.RegisterDeployment(d)
+	return err
+}
+
+// ProvisionExecutable materializes a pre-installed executable on the
+// site's (simulated) filesystem, so deployments registered for software
+// that was "already there" can actually be instantiated. On a real Grid
+// site the file would simply exist.
+func (c *Client) ProvisionExecutable(path string) {
+	c.svc.Site().FS.Write(path, site.KindExecutable, 1<<20, "", "")
+}
+
+// Discover resolves an activity type (abstract or concrete) to its
+// deployments across the VO, installing on demand when none exist.
+func (c *Client) Discover(typeName string) ([]*Deployment, error) {
+	return c.svc.GetDeployments(typeName, rdm.MethodExpect, true)
+}
+
+// DiscoverNoDeploy resolves deployments but never installs.
+func (c *Client) DiscoverNoDeploy(typeName string) ([]*Deployment, error) {
+	return c.svc.GetDeployments(typeName, rdm.MethodExpect, false)
+}
+
+// Deploy forces an on-demand deployment of a concrete type with the given
+// method and returns the per-phase timing report.
+func (c *Client) Deploy(typeName string, method Method) (*DeployReport, error) {
+	return c.svc.DeployOnDemand(typeName, method)
+}
+
+// Undeploy removes a deployment from this site (registry entry, installed
+// files, hosted service).
+func (c *Client) Undeploy(deployment string) error { return c.svc.Undeploy(deployment) }
+
+// Migrate moves a deployment from this site to another eligible one.
+func (c *Client) Migrate(deployment string, method Method) (*DeployReport, error) {
+	return c.svc.Migrate(deployment, method)
+}
+
+// Lease reserves a deployment for a client over the duration. Kind is
+// LeaseExclusive or LeaseShared.
+func (c *Client) Lease(deployment, client string, kind lease.Kind, d time.Duration) (Ticket, error) {
+	return c.svc.Leases.Acquire(deployment, client, kind, d)
+}
+
+// SetSharedLimit bounds concurrent shared lessees of a deployment.
+func (c *Client) SetSharedLimit(deployment string, max int) {
+	c.svc.Leases.SetSharedLimit(deployment, max)
+}
+
+// Release ends a lease early.
+func (c *Client) Release(ticketID uint64) error { return c.svc.Leases.Release(ticketID) }
+
+// Instantiate runs a deployment (as a GRAM job for executables), enforcing
+// leases; ticketID 0 means unleased use.
+func (c *Client) Instantiate(deployment, client string, ticketID uint64, args string) error {
+	return c.svc.Instantiate(deployment, client, ticketID, args)
+}
+
+// Subscribe registers a callback for local GLARE events on a topic
+// (TopicDeployment, TopicResourceCreated, ...).
+func (c *Client) Subscribe(topic string, fn func(Notification)) error {
+	_, err := c.svc.Broker().Subscribe(topic, wsrf.SinkFunc(fn))
+	return err
+}
+
+// Notification topics.
+const (
+	TopicDeployment        = wsrf.TopicDeployment
+	TopicResourceCreated   = wsrf.TopicResourceCreated
+	TopicResourceUpdated   = wsrf.TopicResourceUpdated
+	TopicResourceDestroyed = wsrf.TopicResourceDestroyed
+	TopicElection          = wsrf.TopicElection
+)
+
+// Search ranks the site's registered activity types against a semantic
+// capability description (paper §6 future work: ontological type search).
+func (c *Client) Search(q SemanticQuery) ([]SemanticMatch, error) {
+	return c.svc.SearchTypes(q)
+}
+
+// WrapService generates and registers a web-service wrapper around an
+// executable deployment (the paper's planned Otho-toolkit integration for
+// legacy code).
+func (c *Client) WrapService(executableDeployment string) (*Deployment, error) {
+	return c.svc.WrapService(executableDeployment)
+}
+
+// Types lists the activity types registered on this site.
+func (c *Client) Types() []string { return c.svc.ATR.Names() }
+
+// Deployments lists the deployments registered on this site.
+func (c *Client) Deployments() []*Deployment { return c.svc.ADR.All() }
+
+// AdminNotices returns the site administrator's mailbox (manual-install
+// requests, failure notifications).
+func (c *Client) AdminNotices() []string {
+	var out []string
+	for _, n := range c.svc.Site().Notices() {
+		out = append(out, n.Subject+": "+n.Body)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module glare
+
+go 1.22

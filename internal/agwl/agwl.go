@@ -1,0 +1,307 @@
+// Package agwl implements a compact Abstract Grid Workflow Language: the
+// workflow representation the paper's motivation revolves around.
+//
+// "Grid workflow applications require the composition of a set of
+// application (software) components ... which execute on the Grid in a
+// well-defined order to accomplish a specific goal." (paper §1) The
+// language referenced there is AGWL [19]; this package provides the subset
+// GLARE interacts with: activities identified by ACTIVITY TYPE (never by
+// executable or site), data ports, and data-flow edges. The enactment
+// engine (package enactor) maps each activity to a concrete deployment at
+// run time through GLARE.
+//
+// XML form:
+//
+//	<Workflow name="povray">
+//	  <Activity name="render" type="ImageConversion">
+//	    <Input name="scene" source="user:scene.pov"/>
+//	    <Output name="image"/>
+//	    <Arg>quality=high</Arg>
+//	  </Activity>
+//	  <Activity name="view" type="Visualization">
+//	    <Input name="image" source="render:image"/>
+//	  </Activity>
+//	</Workflow>
+//
+// An input's source is either "user:<file>" (staged in by the submitter)
+// or "<activity>:<output>" (a data-flow edge).
+package agwl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"glare/internal/xmlutil"
+)
+
+// Port is one named input or output of an activity.
+type Port struct {
+	// Name identifies the port within its activity.
+	Name string
+	// Source is set on inputs: "user:<path>" or "<activity>:<output>".
+	Source string
+}
+
+// SourceActivity splits a data-flow source; ok is false for user inputs.
+func (p Port) SourceActivity() (activity, output string, ok bool) {
+	i := strings.IndexByte(p.Source, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	if p.Source[:i] == "user" {
+		return "", "", false
+	}
+	return p.Source[:i], p.Source[i+1:], true
+}
+
+// Activity is one workflow node, referencing an activity TYPE only.
+type Activity struct {
+	// Name is unique within the workflow.
+	Name string
+	// Type is the GLARE activity type (abstract or concrete).
+	Type string
+	// Inputs and Outputs are the data ports.
+	Inputs  []Port
+	Outputs []Port
+	// Args is the command line handed to the instantiated deployment.
+	Args string
+}
+
+// Workflow is a DAG of activities connected by data-flow edges.
+type Workflow struct {
+	Name       string
+	Activities []Activity
+}
+
+// Validate checks the structural invariants: unique names, known sources,
+// acyclicity.
+func (w *Workflow) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("agwl: workflow without name")
+	}
+	if len(w.Activities) == 0 {
+		return fmt.Errorf("agwl: workflow %q has no activities", w.Name)
+	}
+	byName := map[string]*Activity{}
+	for i := range w.Activities {
+		a := &w.Activities[i]
+		if a.Name == "" {
+			return fmt.Errorf("agwl: activity without name")
+		}
+		if a.Type == "" {
+			return fmt.Errorf("agwl: activity %q has no type", a.Name)
+		}
+		if _, dup := byName[a.Name]; dup {
+			return fmt.Errorf("agwl: duplicate activity %q", a.Name)
+		}
+		byName[a.Name] = a
+	}
+	for _, a := range w.Activities {
+		seen := map[string]bool{}
+		for _, in := range a.Inputs {
+			if in.Name == "" {
+				return fmt.Errorf("agwl: %s: input without name", a.Name)
+			}
+			if seen[in.Name] {
+				return fmt.Errorf("agwl: %s: duplicate input %q", a.Name, in.Name)
+			}
+			seen[in.Name] = true
+			src, out, ok := in.SourceActivity()
+			if !ok {
+				if !strings.HasPrefix(in.Source, "user:") {
+					return fmt.Errorf("agwl: %s.%s: source %q is neither user: nor activity:output",
+						a.Name, in.Name, in.Source)
+				}
+				continue
+			}
+			producer, known := byName[src]
+			if !known {
+				return fmt.Errorf("agwl: %s.%s: unknown source activity %q", a.Name, in.Name, src)
+			}
+			found := false
+			for _, o := range producer.Outputs {
+				if o.Name == out {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("agwl: %s.%s: activity %q has no output %q",
+					a.Name, in.Name, src, out)
+			}
+		}
+	}
+	if _, err := w.Order(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Dependencies returns the names of activities a depends on (via inputs).
+func (a *Activity) Dependencies() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, in := range a.Inputs {
+		if src, _, ok := in.SourceActivity(); ok && !seen[src] {
+			seen[src] = true
+			out = append(out, src)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Order returns the activities in a deterministic topological order.
+func (w *Workflow) Order() ([]*Activity, error) {
+	index := map[string]int{}
+	for i := range w.Activities {
+		index[w.Activities[i].Name] = i
+	}
+	indeg := make([]int, len(w.Activities))
+	succ := make([][]int, len(w.Activities))
+	for i := range w.Activities {
+		for _, dep := range w.Activities[i].Dependencies() {
+			j, ok := index[dep]
+			if !ok {
+				return nil, fmt.Errorf("agwl: %s depends on unknown %q", w.Activities[i].Name, dep)
+			}
+			succ[j] = append(succ[j], i)
+			indeg[i]++
+		}
+	}
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	var out []*Activity
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		i := ready[0]
+		ready = ready[1:]
+		out = append(out, &w.Activities[i])
+		for _, j := range succ[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+	if len(out) != len(w.Activities) {
+		var stuck []string
+		for i, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, w.Activities[i].Name)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("agwl: cycle among activities %v", stuck)
+	}
+	return out, nil
+}
+
+// Stages groups the topological order into parallel stages: every
+// activity in stage k depends only on activities in stages < k. The
+// enactment engine runs a stage's activities concurrently.
+func (w *Workflow) Stages() ([][]*Activity, error) {
+	if _, err := w.Order(); err != nil {
+		return nil, err
+	}
+	level := map[string]int{}
+	ordered, _ := w.Order()
+	maxLevel := 0
+	for _, a := range ordered {
+		l := 0
+		for _, dep := range a.Dependencies() {
+			if level[dep]+1 > l {
+				l = level[dep] + 1
+			}
+		}
+		level[a.Name] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	stages := make([][]*Activity, maxLevel+1)
+	for _, a := range ordered {
+		l := level[a.Name]
+		stages[l] = append(stages[l], a)
+	}
+	return stages, nil
+}
+
+// Types returns the distinct activity types the workflow uses, in first-
+// use order (the look-ahead scheduler pre-resolves these).
+func (w *Workflow) Types() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range w.Activities {
+		if !seen[a.Type] {
+			seen[a.Type] = true
+			out = append(out, a.Type)
+		}
+	}
+	return out
+}
+
+// ToXML renders the workflow document.
+func (w *Workflow) ToXML() *xmlutil.Node {
+	n := xmlutil.NewNode("Workflow")
+	n.SetAttr("name", w.Name)
+	for _, a := range w.Activities {
+		an := n.Elem("Activity")
+		an.SetAttr("name", a.Name)
+		an.SetAttr("type", a.Type)
+		for _, in := range a.Inputs {
+			pn := an.Elem("Input")
+			pn.SetAttr("name", in.Name)
+			pn.SetAttr("source", in.Source)
+		}
+		for _, out := range a.Outputs {
+			pn := an.Elem("Output")
+			pn.SetAttr("name", out.Name)
+		}
+		if a.Args != "" {
+			an.Elem("Arg", a.Args)
+		}
+	}
+	return n
+}
+
+// FromXML parses a workflow document.
+func FromXML(n *xmlutil.Node) (*Workflow, error) {
+	if n == nil || n.Name != "Workflow" {
+		return nil, fmt.Errorf("agwl: expected <Workflow>")
+	}
+	w := &Workflow{Name: n.AttrOr("name", "")}
+	for _, an := range n.All("Activity") {
+		a := Activity{
+			Name: an.AttrOr("name", ""),
+			Type: an.AttrOr("type", ""),
+			Args: an.ChildText("Arg"),
+		}
+		for _, pn := range an.All("Input") {
+			a.Inputs = append(a.Inputs, Port{
+				Name: pn.AttrOr("name", ""), Source: pn.AttrOr("source", ""),
+			})
+		}
+		for _, pn := range an.All("Output") {
+			a.Outputs = append(a.Outputs, Port{Name: pn.AttrOr("name", "")})
+		}
+		w.Activities = append(w.Activities, a)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ParseString parses a workflow from XML text.
+func ParseString(s string) (*Workflow, error) {
+	n, err := xmlutil.ParseString(s)
+	if err != nil {
+		return nil, fmt.Errorf("agwl: %w", err)
+	}
+	return FromXML(n)
+}

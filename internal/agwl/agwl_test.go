@@ -1,0 +1,233 @@
+package agwl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const povrayWF = `
+<Workflow name="povray">
+  <Activity name="render" type="ImageConversion">
+    <Input name="scene" source="user:scene.pov"/>
+    <Output name="image"/>
+    <Arg>quality=high</Arg>
+  </Activity>
+  <Activity name="view" type="Visualization">
+    <Input name="image" source="render:image"/>
+  </Activity>
+</Workflow>`
+
+func TestParseAndRoundTrip(t *testing.T) {
+	w, err := ParseString(povrayWF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "povray" || len(w.Activities) != 2 {
+		t.Fatalf("parsed %+v", w)
+	}
+	if w.Activities[0].Args != "quality=high" {
+		t.Fatalf("args = %q", w.Activities[0].Args)
+	}
+	again, err := FromXML(w.ToXML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Name != w.Name || len(again.Activities) != len(w.Activities) {
+		t.Fatal("round trip lost structure")
+	}
+	if again.Activities[1].Inputs[0].Source != "render:image" {
+		t.Fatal("edge lost")
+	}
+}
+
+func TestSourceActivity(t *testing.T) {
+	cases := []struct {
+		src      string
+		act, out string
+		ok       bool
+	}{
+		{"render:image", "render", "image", true},
+		{"user:scene.pov", "", "", false},
+		{"noedge", "", "", false},
+		{":broken", "", "", false},
+	}
+	for _, c := range cases {
+		act, out, ok := Port{Source: c.src}.SourceActivity()
+		if act != c.act || out != c.out || ok != c.ok {
+			t.Errorf("SourceActivity(%q) = %q,%q,%v", c.src, act, out, ok)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]string{
+		"no name":         `<Workflow><Activity name="a" type="T"/></Workflow>`,
+		"no activities":   `<Workflow name="w"/>`,
+		"activity noname": `<Workflow name="w"><Activity type="T"/></Workflow>`,
+		"activity notype": `<Workflow name="w"><Activity name="a"/></Workflow>`,
+		"duplicate":       `<Workflow name="w"><Activity name="a" type="T"/><Activity name="a" type="T"/></Workflow>`,
+		"bad source": `<Workflow name="w"><Activity name="a" type="T">
+		  <Input name="x" source="nowhere"/></Activity></Workflow>`,
+		"unknown producer": `<Workflow name="w"><Activity name="a" type="T">
+		  <Input name="x" source="ghost:out"/></Activity></Workflow>`,
+		"missing output": `<Workflow name="w">
+		  <Activity name="p" type="T"><Output name="real"/></Activity>
+		  <Activity name="a" type="T"><Input name="x" source="p:fake"/></Activity></Workflow>`,
+		"duplicate input": `<Workflow name="w"><Activity name="a" type="T">
+		  <Input name="x" source="user:f"/><Input name="x" source="user:g"/></Activity></Workflow>`,
+	}
+	for label, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	src := `<Workflow name="w">
+	  <Activity name="a" type="T"><Input name="x" source="b:out"/><Output name="out"/></Activity>
+	  <Activity name="b" type="T"><Input name="x" source="a:out"/><Output name="out"/></Activity>
+	</Workflow>`
+	if _, err := ParseString(src); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestOrderAndStages(t *testing.T) {
+	// Diamond: a -> (b, c) -> d.
+	src := `<Workflow name="diamond">
+	  <Activity name="a" type="T"><Output name="o"/></Activity>
+	  <Activity name="b" type="T"><Input name="i" source="a:o"/><Output name="o"/></Activity>
+	  <Activity name="c" type="T"><Input name="i" source="a:o"/><Output name="o"/></Activity>
+	  <Activity name="d" type="T"><Input name="x" source="b:o"/><Input name="y" source="c:o"/></Activity>
+	</Workflow>`
+	w, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := w.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, a := range order {
+		pos[a.Name] = i
+	}
+	if pos["a"] != 0 || pos["d"] != 3 {
+		t.Fatalf("order = %v", pos)
+	}
+	stages, err := w.Stages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	if len(stages[1]) != 2 { // b and c run in parallel
+		t.Fatalf("middle stage = %d activities", len(stages[1]))
+	}
+}
+
+func TestTypes(t *testing.T) {
+	w, _ := ParseString(povrayWF)
+	types := w.Types()
+	if len(types) != 2 || types[0] != "ImageConversion" || types[1] != "Visualization" {
+		t.Fatalf("types = %v", types)
+	}
+}
+
+// Property: for any linear chain of activities, every stage has exactly
+// one member and the order equals the chain order.
+func TestQuickLinearChains(t *testing.T) {
+	f := func(n uint8) bool {
+		k := int(n%20) + 1
+		w := &Workflow{Name: "chain"}
+		for i := 0; i < k; i++ {
+			a := Activity{Name: actName(i), Type: "T", Outputs: []Port{{Name: "o"}}}
+			if i > 0 {
+				a.Inputs = []Port{{Name: "i", Source: actName(i-1) + ":o"}}
+			}
+			w.Activities = append(w.Activities, a)
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		stages, err := w.Stages()
+		if err != nil || len(stages) != k {
+			return false
+		}
+		for i, st := range stages {
+			if len(st) != 1 || st[0].Name != actName(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func actName(i int) string {
+	return "act" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+// Property: Stages is consistent with Dependencies — every dependency of
+// a stage-k activity appears in an earlier stage.
+func TestQuickStageConsistency(t *testing.T) {
+	// Random DAG: activity i may depend on a subset of earlier activities.
+	f := func(edges []uint16) bool {
+		const n = 8
+		w := &Workflow{Name: "dag"}
+		for i := 0; i < n; i++ {
+			w.Activities = append(w.Activities, Activity{
+				Name: actName(i), Type: "T", Outputs: []Port{{Name: "o"}},
+			})
+		}
+		for _, e := range edges {
+			from := int(e>>8) % n
+			to := int(e&0xff) % n
+			if from >= to {
+				continue // keep it a DAG
+			}
+			a := &w.Activities[to]
+			src := actName(from) + ":o"
+			dup := false
+			for _, in := range a.Inputs {
+				if in.Source == src {
+					dup = true
+				}
+			}
+			if !dup {
+				a.Inputs = append(a.Inputs, Port{
+					Name: "i" + actName(from), Source: src,
+				})
+			}
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		stages, err := w.Stages()
+		if err != nil {
+			return false
+		}
+		level := map[string]int{}
+		for l, st := range stages {
+			for _, a := range st {
+				level[a.Name] = l
+			}
+		}
+		for _, a := range w.Activities {
+			for _, dep := range a.Dependencies() {
+				if level[dep] >= level[a.Name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package atr implements the Activity Type Registry: the GLARE component
+// that "maintains a set of named activity types in the form of
+// WS-Resources organized in a hierarchy" (paper §3.1).
+//
+// Two query paths exist, and their difference is the paper's headline
+// performance result (Figs. 10 and 11):
+//
+//   - Named lookups go through a hash table ("In order to answer queries
+//     for named resources faster, the registry services use hash tables to
+//     access named resources. This eliminates XPath-based search
+//     requirements ... and significantly improves the performance.")
+//   - Non-named discovery uses the same XPath mechanism as the Index
+//     Service, over the WSRF service-group aggregation.
+package atr
+
+import (
+	"fmt"
+	"time"
+
+	"glare/internal/activity"
+	"glare/internal/epr"
+	"glare/internal/simclock"
+	"glare/internal/transport"
+	"glare/internal/wsrf"
+	"glare/internal/xmlutil"
+	"glare/internal/xpath"
+)
+
+// KeyName is the EPR reference-property for type resources.
+const KeyName = "ActivityTypeKey"
+
+// ServiceName is the transport mount point.
+const ServiceName = "ActivityTypeRegistry"
+
+// Registry is one site's Activity Type Registry.
+type Registry struct {
+	home   *wsrf.Home
+	group  *wsrf.ServiceGroup
+	broker *wsrf.Broker
+	clock  simclock.Clock
+}
+
+// New creates an empty registry. serviceURL is the address other sites use
+// to reach it (may be set later via SetServiceURL when the server starts).
+func New(serviceURL string, clock simclock.Clock, broker *wsrf.Broker) *Registry {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	if broker == nil {
+		broker = wsrf.NewBroker(clock)
+	}
+	return &Registry{
+		home:   wsrf.NewHome(serviceURL, KeyName, clock),
+		group:  wsrf.NewServiceGroup("activity-types", clock),
+		broker: broker,
+		clock:  clock,
+	}
+}
+
+// Home exposes the resource home (for aggregation into indices).
+func (r *Registry) Home() *wsrf.Home { return r.home }
+
+// Broker exposes the notification broker.
+func (r *Registry) Broker() *wsrf.Broker { return r.broker }
+
+// Register adds an activity type; duplicate names are rejected.
+func (r *Registry) Register(t *activity.Type) (epr.EPR, error) {
+	if err := t.Validate(); err != nil {
+		return epr.EPR{}, err
+	}
+	if _, err := r.home.Create(t.Name, t.ToXML()); err != nil {
+		return epr.EPR{}, err
+	}
+	r.group.AddEntry(r.home.EPR(t.Name), r.home.Find(t.Name).Document())
+	r.broker.Publish(wsrf.TopicResourceCreated, t.Name, t.ToXML())
+	return r.home.EPR(t.Name), nil
+}
+
+// Lookup resolves a named type through the hash table — the O(1) path.
+func (r *Registry) Lookup(name string) (*activity.Type, bool) {
+	res := r.home.Find(name)
+	if res == nil {
+		return nil, false
+	}
+	var t *activity.Type
+	var err error
+	res.Read(func(doc *xmlutil.Node) { t, err = activity.TypeFromXML(doc) })
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// LookupDocument returns the raw property document of a named type.
+func (r *Registry) LookupDocument(name string) (*xmlutil.Node, bool) {
+	res := r.home.Find(name)
+	if res == nil {
+		return nil, false
+	}
+	return res.Document(), true
+}
+
+// LUT returns the LastUpdateTime of a named type resource.
+func (r *Registry) LUT(name string) (time.Time, bool) {
+	res := r.home.Find(name)
+	if res == nil {
+		return time.Time{}, false
+	}
+	return res.LastUpdate(), true
+}
+
+// Remove destroys a type resource; its deployments are expired by the RDM
+// service through the destroy listener.
+func (r *Registry) Remove(name string) bool {
+	if !r.home.Destroy(name) {
+		return false
+	}
+	r.group.RemoveEntry(name)
+	r.broker.Publish(wsrf.TopicResourceDestroyed, name, nil)
+	return true
+}
+
+// OnRemove registers a listener fired when a type resource is destroyed.
+func (r *Registry) OnRemove(fn func(typeName string)) {
+	r.home.OnDestroy(func(res *wsrf.Resource) { fn(res.Key()) })
+}
+
+// Names lists registered type names in sorted order.
+func (r *Registry) Names() []string { return r.home.Keys() }
+
+// Len reports the number of registered types.
+func (r *Registry) Len() int { return r.home.Len() }
+
+// Types returns all registered types.
+func (r *Registry) Types() []*activity.Type {
+	var out []*activity.Type
+	for _, res := range r.home.All() {
+		var t *activity.Type
+		var err error
+		res.Read(func(doc *xmlutil.Node) { t, err = activity.TypeFromXML(doc) })
+		if err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Hierarchy builds a hierarchy view over the registered types.
+func (r *Registry) Hierarchy() (*activity.Hierarchy, error) {
+	return activity.NewHierarchy(r.Types())
+}
+
+// ConcreteOf resolves an abstract or concrete name to the concrete types
+// satisfying it, using the local hierarchy.
+func (r *Registry) ConcreteOf(name string) ([]*activity.Type, error) {
+	h, err := r.Hierarchy()
+	if err != nil {
+		return nil, err
+	}
+	return h.ConcreteOf(name), nil
+}
+
+// Query evaluates an XPath expression over the aggregated document; the
+// group is refreshed first so results reflect current state.
+func (r *Registry) Query(expr *xpath.Expr) xpath.Result {
+	r.group.Refresh(r.home)
+	return r.group.Query(expr)
+}
+
+// QueryString compiles and evaluates an XPath source string.
+func (r *Registry) QueryString(src string) (xpath.Result, error) {
+	expr, err := xpath.Compile(src)
+	if err != nil {
+		return xpath.Result{}, err
+	}
+	return r.Query(expr), nil
+}
+
+// AddDeploymentRef records a deployment EPR inside its type resource:
+// "The Endpoint Reference (EPR) of each activity deployment resource is
+// registered in its type resource presented in the type registry."
+func (r *Registry) AddDeploymentRef(typeName string, dep epr.EPR) error {
+	res := r.home.Find(typeName)
+	if res == nil {
+		return fmt.Errorf("atr: no such type %q", typeName)
+	}
+	res.Update(r.clock.Now(), func(doc *xmlutil.Node) {
+		refs := doc.First("DeploymentRefs")
+		if refs == nil {
+			refs = doc.Elem("DeploymentRefs")
+		}
+		// Replace any previous EPR for the same deployment key.
+		for _, old := range refs.All("DeploymentEPR") {
+			if rp := old.First("ReferenceProperties"); rp != nil &&
+				rp.ChildText("ActivityDeploymentKey") == dep.Key {
+				refs.Remove(old)
+			}
+		}
+		refs.Add(dep.ToXML("DeploymentEPR"))
+	})
+	r.group.AddEntry(r.home.EPR(typeName), res.Document())
+	r.broker.Publish(wsrf.TopicResourceUpdated, typeName, nil)
+	return nil
+}
+
+// RemoveDeploymentRef drops a deployment EPR from its type resource.
+func (r *Registry) RemoveDeploymentRef(typeName, deploymentKey string) {
+	res := r.home.Find(typeName)
+	if res == nil {
+		return
+	}
+	res.Update(r.clock.Now(), func(doc *xmlutil.Node) {
+		refs := doc.First("DeploymentRefs")
+		if refs == nil {
+			return
+		}
+		for _, old := range refs.All("DeploymentEPR") {
+			if rp := old.First("ReferenceProperties"); rp != nil &&
+				rp.ChildText("ActivityDeploymentKey") == deploymentKey {
+				refs.Remove(old)
+			}
+		}
+	})
+	r.group.AddEntry(r.home.EPR(typeName), res.Document())
+}
+
+// DeploymentRefs lists the deployment EPRs recorded in a type resource.
+func (r *Registry) DeploymentRefs(typeName string) []epr.EPR {
+	res := r.home.Find(typeName)
+	if res == nil {
+		return nil
+	}
+	var out []epr.EPR
+	res.Read(func(doc *xmlutil.Node) {
+		if refs := doc.First("DeploymentRefs"); refs != nil {
+			for _, n := range refs.All("DeploymentEPR") {
+				if e, err := epr.FromXML(n, "ActivityDeploymentKey"); err == nil {
+					out = append(out, e)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MarkDeployed flags the type as deployed on a site ("After successful
+// installation, the activity type is marked as deployed").
+func (r *Registry) MarkDeployed(typeName, siteName string) error {
+	res := r.home.Find(typeName)
+	if res == nil {
+		return fmt.Errorf("atr: no such type %q", typeName)
+	}
+	res.Update(r.clock.Now(), func(doc *xmlutil.Node) {
+		for _, d := range doc.All("DeployedOn") {
+			if d.Text == siteName {
+				return
+			}
+		}
+		doc.Elem("DeployedOn", siteName)
+	})
+	r.group.AddEntry(r.home.EPR(typeName), res.Document())
+	return nil
+}
+
+// DeployedOn lists the sites a type is marked deployed on.
+func (r *Registry) DeployedOn(typeName string) []string {
+	res := r.home.Find(typeName)
+	if res == nil {
+		return nil
+	}
+	var out []string
+	res.Read(func(doc *xmlutil.Node) {
+		for _, d := range doc.All("DeployedOn") {
+			out = append(out, d.Text)
+		}
+	})
+	return out
+}
+
+// SetTermination schedules expiry of a type resource (lifecycle control by
+// the activity provider, paper §3.3).
+func (r *Registry) SetTermination(typeName string, at time.Time) error {
+	res := r.home.Find(typeName)
+	if res == nil {
+		return fmt.Errorf("atr: no such type %q", typeName)
+	}
+	res.SetTerminationTime(at)
+	return nil
+}
+
+// SweepExpired destroys expired type resources and returns their names.
+func (r *Registry) SweepExpired() []string {
+	gone := r.home.SweepExpired()
+	for _, name := range gone {
+		r.group.RemoveEntry(name)
+		r.broker.Publish(wsrf.TopicResourceDestroyed, name, nil)
+	}
+	return gone
+}
+
+// EPR mints the endpoint reference of a type resource.
+func (r *Registry) EPR(name string) epr.EPR { return r.home.EPR(name) }
+
+// Mount exposes the registry over a transport server.
+func (r *Registry) Mount(srv *transport.Server) {
+	srv.RegisterService(ServiceName, map[string]transport.Handler{
+		"RegisterType": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			t, err := activity.TypeFromXML(body)
+			if err != nil {
+				return nil, err
+			}
+			e, err := r.Register(t)
+			if err != nil {
+				return nil, err
+			}
+			return e.ToXML("TypeEPR"), nil
+		},
+		"GetType": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			name := textArg(body)
+			if name == "" {
+				return nil, fmt.Errorf("GetType: missing name")
+			}
+			doc, ok := r.LookupDocument(name)
+			if !ok {
+				return nil, fmt.Errorf("GetType: no such type %q", name)
+			}
+			return doc, nil
+		},
+		"GetLUT": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			name := textArg(body)
+			lut, ok := r.LUT(name)
+			if !ok {
+				return nil, fmt.Errorf("GetLUT: no such type %q", name)
+			}
+			return xmlutil.NewNode("LUT", lut.Format(epr.TimeLayout)), nil
+		},
+		"Query": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			res, err := r.QueryString(textArg(body))
+			if err != nil {
+				return nil, err
+			}
+			out := xmlutil.NewNode("Results")
+			for _, n := range res.Nodes {
+				out.Add(n.Clone())
+			}
+			for _, s := range res.Strings {
+				out.Elem("Value", s)
+			}
+			return out, nil
+		},
+		"ListTypes": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			out := xmlutil.NewNode("Types")
+			for _, n := range r.Names() {
+				out.Elem("Type", n)
+			}
+			return out, nil
+		},
+		"RemoveType": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			if !r.Remove(textArg(body)) {
+				return nil, fmt.Errorf("RemoveType: no such type")
+			}
+			return xmlutil.NewNode("Removed"), nil
+		},
+	})
+}
+
+func textArg(body *xmlutil.Node) string {
+	if body == nil {
+		return ""
+	}
+	return body.Text
+}

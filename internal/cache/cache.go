@@ -1,0 +1,184 @@
+// Package cache implements GLARE's resource cache: discovered remote
+// activity types and deployments are "optionally cached locally", and the
+// RDM Cache Refresher "updates cached resources if and when they change on
+// the source Grid site. Outdated resources are discarded automatically."
+//
+// Change detection uses the LastUpdateTime (LUT) reference property of the
+// source EPR (paper Fig. 6): "each time it changes, cached activity
+// deployment resources are revived."
+//
+// GLARE uses a two-level cache: one instance on every normal Grid site and
+// one on each super-peer; both are this type.
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"glare/internal/epr"
+	"glare/internal/simclock"
+	"glare/internal/xmlutil"
+)
+
+// Entry is one cached remote resource.
+type Entry struct {
+	Key     string
+	Source  epr.EPR // where the resource lives; carries LastUpdateTime
+	Doc     *xmlutil.Node
+	Fetched time.Time
+}
+
+// Stats counts cache effectiveness for the experiments.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Revived   uint64
+	Discarded uint64
+}
+
+// Cache is a keyed resource cache with TTL and LUT-based revival.
+type Cache struct {
+	mu      sync.Mutex
+	clock   simclock.Clock
+	ttl     time.Duration
+	entries map[string]*Entry
+	stats   Stats
+}
+
+// DefaultTTL bounds how long an entry may serve without refresh.
+const DefaultTTL = 5 * time.Minute
+
+// New creates a cache; ttl <= 0 uses DefaultTTL.
+func New(clock simclock.Clock, ttl time.Duration) *Cache {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Cache{clock: clock, ttl: ttl, entries: make(map[string]*Entry)}
+}
+
+// Put stores (or replaces) a cached resource.
+func (c *Cache) Put(key string, source epr.EPR, doc *xmlutil.Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = &Entry{Key: key, Source: source, Doc: doc, Fetched: c.clock.Now()}
+}
+
+// Get returns the cached document for key if present and fresh.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	if c.clock.Now().Sub(e.Fetched) > c.ttl {
+		delete(c.entries, key)
+		c.stats.Misses++
+		c.stats.Discarded++
+		return nil, false
+	}
+	c.stats.Hits++
+	return e, true
+}
+
+// Peek is Get without statistics or TTL eviction; used by the refresher.
+func (c *Cache) Peek(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// Invalidate removes one entry.
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		delete(c.entries, key)
+		c.stats.Discarded++
+	}
+}
+
+// Keys returns the currently cached keys (unsorted).
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Resolver re-fetches a resource from its source. It returns the fresh EPR
+// (with current LastUpdateTime) and document, or an error when the source
+// is gone.
+type Resolver func(key string, source epr.EPR) (epr.EPR, *xmlutil.Node, error)
+
+// Refresh implements the Cache Refresher pass: for every cached entry whose
+// source LastUpdateTime is newer than the cached one, re-fetch ("revive")
+// the document; entries whose source has disappeared are discarded. probe
+// fetches the source's current LUT cheaply.
+func (c *Cache) Refresh(probe func(key string, source epr.EPR) (time.Time, error), resolve Resolver) (revived, discarded int) {
+	c.mu.Lock()
+	keys := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		keys = append(keys, e)
+	}
+	c.mu.Unlock()
+
+	for _, e := range keys {
+		lut, err := probe(e.Key, e.Source)
+		if err != nil {
+			c.mu.Lock()
+			delete(c.entries, e.Key)
+			c.stats.Discarded++
+			c.mu.Unlock()
+			discarded++
+			continue
+		}
+		if !lut.After(e.Source.LastUpdateTime) {
+			continue // unchanged
+		}
+		freshEPR, doc, err := resolve(e.Key, e.Source)
+		if err != nil {
+			c.mu.Lock()
+			delete(c.entries, e.Key)
+			c.stats.Discarded++
+			c.mu.Unlock()
+			discarded++
+			continue
+		}
+		c.mu.Lock()
+		c.entries[e.Key] = &Entry{Key: e.Key, Source: freshEPR, Doc: doc, Fetched: c.clock.Now()}
+		c.stats.Revived++
+		c.mu.Unlock()
+		revived++
+	}
+	return revived, discarded
+}
+
+// Clear empties the cache.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*Entry)
+}

@@ -1,0 +1,134 @@
+package cog
+
+import (
+	"testing"
+	"time"
+
+	"glare/internal/deployfile"
+	"glare/internal/simclock"
+	"glare/internal/site"
+)
+
+func fixture() (*Runner, *site.Site, *simclock.Virtual) {
+	v := simclock.NewVirtual(time.Time{})
+	repo := site.StandardUniverse()
+	st := site.New(site.Attributes{Name: "target", Platform: "Intel", OS: "Linux", Arch: "32bit"}, v, repo)
+	return NewRunner(DefaultConfig(), v, repo), st, v
+}
+
+func povrayCommands(t *testing.T, st *site.Site) []deployfile.Command {
+	t.Helper()
+	a, _ := st.Repo.ByName("POVray")
+	b := &deployfile.Build{Name: "POVray", BaseDir: "/tmp/pov"}
+	b.Steps = []deployfile.Step{
+		{Name: "Init", Task: "mkdir-p", Props: []deployfile.KV{{Name: "argument", Value: "/tmp/pov"}}},
+		{Name: "Download", Depends: []string{"Init"}, Task: "globus-url-copy",
+			Props: []deployfile.KV{
+				{Name: "source", Value: a.URL},
+				{Name: "destination", Value: "file:///tmp/pov/p.tgz"},
+				{Name: "md5sum", Value: a.MD5()},
+			}},
+		{Name: "Expand", Depends: []string{"Download"}, Task: "tar xvfz", BaseDir: "/tmp/pov",
+			Props: []deployfile.KV{{Name: "argument", Value: "/tmp/pov/p.tgz"}}},
+		{Name: "Configure", Depends: []string{"Expand"}, Task: "./configure",
+			BaseDir: "/tmp/pov/povray-3.6.1",
+			Props:   []deployfile.KV{{Name: "argument", Value: "--prefix=/opt/pov"}}},
+		{Name: "Build", Depends: []string{"Configure"}, Task: "make", BaseDir: "/tmp/pov/povray-3.6.1"},
+		{Name: "Deploy", Depends: []string{"Build"}, Task: "make", BaseDir: "/tmp/pov/povray-3.6.1",
+			Props: []deployfile.KV{{Name: "argument", Value: "install"}}},
+	}
+	cmds, err := b.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmds
+}
+
+func TestRunInstallsViaGRAMJobs(t *testing.T) {
+	r, st, v := fixture()
+	t0 := v.Now()
+	res, err := r.Run(st, povrayCommands(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FS.Exists("/opt/pov/bin/povray") {
+		t.Fatal("binary not installed")
+	}
+	if res.Overhead != 9800*time.Millisecond {
+		t.Fatalf("overhead = %v", res.Overhead)
+	}
+	if res.Communication <= 0 || res.Installation <= 0 {
+		t.Fatalf("phases = %+v", res)
+	}
+	total := v.Now().Sub(t0)
+	if total < res.Overhead+res.Communication+res.Installation {
+		t.Fatalf("total %v < sum of phases", total)
+	}
+}
+
+func TestRunFailsOnBadTransfer(t *testing.T) {
+	r, st, _ := fixture()
+	cmds := []deployfile.Command{{
+		Step:    &deployfile.Step{Name: "Download"},
+		Cmdline: "globus-url-copy http://nowhere/x.tgz file:///tmp/x.tgz",
+	}}
+	if _, err := r.Run(st, cmds); err == nil {
+		t.Fatal("bad transfer must fail")
+	}
+	// Missing destination is also an error.
+	cmds[0].Cmdline = "globus-url-copy http://nowhere/x.tgz"
+	if _, err := r.Run(st, cmds); err == nil {
+		t.Fatal("missing destination must fail")
+	}
+}
+
+func TestRunFailsOnBadStep(t *testing.T) {
+	r, st, _ := fixture()
+	cmds := []deployfile.Command{{
+		Step:    &deployfile.Step{Name: "Broken"},
+		Cmdline: "definitely-not-a-command",
+	}}
+	if _, err := r.Run(st, cmds); err == nil {
+		t.Fatal("failing step must fail the run")
+	}
+}
+
+func TestCoGSlowerThanDirectTransfers(t *testing.T) {
+	// The CoG transfer cost model must be slower than the default direct
+	// GridFTP model, producing Table 1's communication-overhead gap.
+	cfg := DefaultConfig()
+	size := int64(42 << 20)
+	if cfg.TransferCost.Duration(size) <= defaultDirectDuration(size) {
+		t.Fatal("CoG transfers must cost more than direct transfers")
+	}
+}
+
+func defaultDirectDuration(size int64) time.Duration {
+	return (defaultDirect{}).Duration(size)
+}
+
+type defaultDirect struct{}
+
+func (defaultDirect) Duration(size int64) time.Duration {
+	// Mirror gridftp.DefaultCost without importing it circularly.
+	return 80*time.Millisecond + time.Duration(size/(10<<10))*time.Millisecond
+}
+
+func TestNameAndConfigDefaults(t *testing.T) {
+	r := NewRunner(Config{}, nil, site.NewRepo())
+	if r.Name() != "JavaCoG" {
+		t.Fatalf("name = %q", r.Name())
+	}
+	if r.cfg.StartupOverhead == 0 {
+		t.Fatal("zero config must default")
+	}
+}
+
+func TestIsTransfer(t *testing.T) {
+	if !isTransfer("globus-url-copy a b") || !isTransfer("/opt/globus/bin/globus-url-copy a b") {
+		t.Fatal("transfer detection failed")
+	}
+	if isTransfer("make install") || isTransfer("") {
+		t.Fatal("false positive")
+	}
+}

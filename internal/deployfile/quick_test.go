@@ -1,0 +1,121 @@
+package deployfile
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAGBuild constructs a build whose step i may depend on any subset
+// of steps j < i, encoded by the bitmask slice.
+func randomDAGBuild(masks []uint8) *Build {
+	n := len(masks)
+	if n == 0 {
+		n = 1
+		masks = []uint8{0}
+	}
+	if n > 8 {
+		n = 8
+		masks = masks[:8]
+	}
+	b := &Build{Name: "quick"}
+	for i := 0; i < n; i++ {
+		st := Step{Name: fmt.Sprintf("s%d", i), Task: "echo"}
+		for j := 0; j < i; j++ {
+			if masks[i]&(1<<j) != 0 {
+				st.Depends = append(st.Depends, fmt.Sprintf("s%d", j))
+			}
+		}
+		b.Steps = append(b.Steps, st)
+	}
+	return b
+}
+
+// Property: Order is a permutation of the steps in which every dependency
+// precedes its dependent.
+func TestQuickOrderIsValidTopologicalSort(t *testing.T) {
+	f := func(masks []uint8) bool {
+		b := randomDAGBuild(masks)
+		order, err := b.Order()
+		if err != nil {
+			return false // construction guarantees acyclicity
+		}
+		if len(order) != len(b.Steps) {
+			return false
+		}
+		pos := map[string]int{}
+		for i, st := range order {
+			if _, dup := pos[st.Name]; dup {
+				return false
+			}
+			pos[st.Name] = i
+		}
+		for _, st := range b.Steps {
+			for _, dep := range st.Depends {
+				if pos[dep] >= pos[st.Name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Order is deterministic — repeated calls agree.
+func TestQuickOrderDeterministic(t *testing.T) {
+	f := func(masks []uint8) bool {
+		b := randomDAGBuild(masks)
+		o1, err1 := b.Order()
+		o2, err2 := b.Order()
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		for i := range o1 {
+			if o1[i].Name != o2[i].Name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Resolve substitutes every $VAR it knows and leaves the
+// command line free of known variable references.
+func TestQuickResolveEliminatesKnownVars(t *testing.T) {
+	f := func(val string) bool {
+		if len(val) > 64 {
+			val = val[:64]
+		}
+		// Values containing '$' would themselves look like references.
+		clean := make([]rune, 0, len(val))
+		for _, r := range val {
+			if r != '$' && r != ' ' && r != '\t' && r != '\n' {
+				clean = append(clean, r)
+			}
+		}
+		v := string(clean)
+		b := &Build{Name: "q", Steps: []Step{{
+			Name: "a", Task: "echo",
+			Envs:  []KV{{Name: "X", Value: v}},
+			Props: []KV{{Name: "argument", Value: "$X/end"}},
+		}}}
+		cmds, err := b.Resolve(nil)
+		if err != nil || len(cmds) != 1 {
+			return false
+		}
+		want := "echo " + v + "/end"
+		return cmds[0].Cmdline == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

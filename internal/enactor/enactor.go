@@ -1,0 +1,297 @@
+// Package enactor implements a workflow enactment engine on top of GLARE:
+// the component the paper calls "the scheduler [or] enactment engine"
+// (referencing DEE [13]). It takes an AGWL workflow composed purely of
+// activity types, resolves every activity to a concrete deployment
+// through the local GLARE service, stages data between sites with
+// GridFTP, runs activities as GRAM jobs (or service invocations), and
+// retries on an alternative deployment when one fails.
+//
+// It also implements the look-ahead optimization the paper proposes: "A
+// smart scheduler can reduce overhead of on-demand deployment by
+// providing intelligent look-ahead scheduling" — before execution starts,
+// the engine resolves (and thereby on-demand-installs) every activity
+// type the workflow will need, concurrently with the first stages.
+package enactor
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"glare/internal/activity"
+	"glare/internal/agwl"
+	"glare/internal/gridftp"
+	"glare/internal/rdm"
+	"glare/internal/simclock"
+	"glare/internal/site"
+)
+
+// Selector picks one deployment from the candidates GLARE returned. The
+// default prefers executables and, among those, the deployment with the
+// best (lowest) last execution time.
+type Selector func(cands []*activity.Deployment) *activity.Deployment
+
+// DefaultSelector implements the policy above.
+func DefaultSelector(cands []*activity.Deployment) *activity.Deployment {
+	if len(cands) == 0 {
+		return nil
+	}
+	best := cands[0]
+	score := func(d *activity.Deployment) (int, time.Duration) {
+		kindRank := 0
+		if d.Kind == activity.KindService {
+			kindRank = 1
+		}
+		t := d.Metrics.LastExecutionTime
+		if t == 0 {
+			t = time.Hour // unknown: worst
+		}
+		return kindRank, t
+	}
+	for _, c := range cands[1:] {
+		ck, ct := score(c)
+		bk, bt := score(best)
+		if ck < bk || (ck == bk && ct < bt) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Engine runs workflows against a set of GLARE sites.
+type Engine struct {
+	// Home is the submitting user's local GLARE service — the only
+	// service the engine asks for resolution.
+	Home *rdm.Service
+	// Sites maps site names to their GLARE services, used to instantiate
+	// deployments on their home sites and to stage data.
+	Sites map[string]*rdm.Service
+	// FTP moves data between sites.
+	FTP *gridftp.Client
+	// Clock times the run (use simclock.NewScaled in experiments so that
+	// concurrent work overlaps).
+	Clock simclock.Clock
+	// LookAhead pre-resolves (and installs) every workflow activity type
+	// before and during execution.
+	LookAhead bool
+	// Select picks among candidate deployments (DefaultSelector if nil).
+	Select Selector
+	// Client labels the engine's lease/instantiation identity.
+	Client string
+}
+
+// Placement records where one activity ran.
+type Placement struct {
+	Activity   string
+	Deployment string
+	Site       string
+	Kind       activity.DeploymentKind
+	Elapsed    time.Duration
+	Retried    bool
+}
+
+// Report summarizes one workflow run.
+type Report struct {
+	Workflow   string
+	Placements []Placement
+	Makespan   time.Duration
+	// DataMoves counts inter-site stagings performed.
+	DataMoves int
+}
+
+// dataLoc records where an activity's output lives.
+type dataLoc struct {
+	site string
+	path string
+}
+
+// Run enacts the workflow to completion or first unrecoverable failure.
+func (e *Engine) Run(w *agwl.Workflow) (*Report, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Home == nil || e.Clock == nil {
+		return nil, fmt.Errorf("enactor: engine needs Home and Clock")
+	}
+	sel := e.Select
+	if sel == nil {
+		sel = DefaultSelector
+	}
+	client := e.Client
+	if client == "" {
+		client = "enactor"
+	}
+	stages, err := w.Stages()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Workflow: w.Name}
+	start := e.Clock.Now()
+
+	// Look-ahead: resolve every type concurrently, triggering on-demand
+	// installation of everything the workflow needs while early stages
+	// already execute.
+	var lookahead sync.WaitGroup
+	if e.LookAhead {
+		for _, tn := range w.Types() {
+			lookahead.Add(1)
+			go func(tn string) {
+				defer lookahead.Done()
+				_, _ = e.Home.GetDeployments(tn, rdm.MethodExpect, true)
+			}(tn)
+		}
+	}
+
+	var mu sync.Mutex
+	data := map[string]dataLoc{} // "activity:output" -> location
+	for _, stage := range stages {
+		// Activities in one stage only consume data from earlier stages,
+		// so they read a frozen snapshot while their own outputs merge
+		// into the live map afterwards.
+		snapshot := make(map[string]dataLoc, len(data))
+		for k, v := range data {
+			snapshot[k] = v
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, len(stage))
+		for _, a := range stage {
+			wg.Add(1)
+			go func(a *agwl.Activity) {
+				defer wg.Done()
+				pl, moves, out, err := e.runActivity(w, a, snapshot, sel, client)
+				if err != nil {
+					errs <- fmt.Errorf("enactor: %s: %w", a.Name, err)
+					return
+				}
+				mu.Lock()
+				rep.Placements = append(rep.Placements, pl)
+				rep.DataMoves += moves
+				for k, v := range out {
+					data[k] = v
+				}
+				mu.Unlock()
+			}(a)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			lookahead.Wait()
+			return rep, err
+		}
+	}
+	lookahead.Wait()
+	rep.Makespan = e.Clock.Now().Sub(start)
+	sort.Slice(rep.Placements, func(i, j int) bool {
+		return rep.Placements[i].Activity < rep.Placements[j].Activity
+	})
+	return rep, nil
+}
+
+// runActivity resolves, stages, and executes one activity, retrying once
+// on an alternative deployment ("if a deployment fails on one site, it
+// can be moved to another site").
+func (e *Engine) runActivity(w *agwl.Workflow, a *agwl.Activity,
+	data map[string]dataLoc, sel Selector, client string,
+) (Placement, int, map[string]dataLoc, error) {
+	cands, err := e.Home.GetDeployments(a.Type, rdm.MethodExpect, true)
+	if err != nil {
+		return Placement{}, 0, nil, err
+	}
+	tried := map[string]bool{}
+	var lastErr error
+	retried := false
+	for attempt := 0; attempt < 2 && len(cands) > 0; attempt++ {
+		remaining := cands[:0:0]
+		for _, c := range cands {
+			if !tried[c.Name] {
+				remaining = append(remaining, c)
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+		d := sel(remaining)
+		tried[d.Name] = true
+		pl, moves, out, err := e.execute(w, a, d, data, client)
+		if err == nil {
+			pl.Retried = retried
+			return pl, moves, out, nil
+		}
+		lastErr = err
+		retried = true
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no deployment of type %q", a.Type)
+	}
+	return Placement{}, 0, nil, lastErr
+}
+
+func (e *Engine) execute(w *agwl.Workflow, a *agwl.Activity,
+	d *activity.Deployment, data map[string]dataLoc, client string,
+) (Placement, int, map[string]dataLoc, error) {
+	owner := e.Sites[d.Site]
+	if owner == nil {
+		return Placement{}, 0, nil, fmt.Errorf("deployment %q on unknown site %q", d.Name, d.Site)
+	}
+	target := owner.Site()
+	workDir := path.Join("/scratch", w.Name, a.Name)
+	target.FS.Mkdir(workDir)
+
+	// Stage inputs.
+	moves := 0
+	for _, in := range a.Inputs {
+		dst := path.Join(workDir, in.Name)
+		if src, out, ok := in.SourceActivity(); ok {
+			loc, found := data[src+":"+out]
+			if !found {
+				return Placement{}, 0, nil, fmt.Errorf("input %s: data %s:%s not produced yet", in.Name, src, out)
+			}
+			if loc.site == d.Site {
+				// Already local: cheap rename/copy.
+				if f := target.FS.Stat(loc.path); f != nil {
+					target.FS.Write(dst, f.Kind, f.Size, f.MD5, f.Artifact)
+				}
+				continue
+			}
+			srcSvc := e.Sites[loc.site]
+			if srcSvc == nil {
+				return Placement{}, 0, nil, fmt.Errorf("input %s: unknown source site %q", in.Name, loc.site)
+			}
+			if e.FTP == nil {
+				return Placement{}, 0, nil, fmt.Errorf("input %s: no transfer client", in.Name)
+			}
+			if err := e.FTP.ThirdParty(srcSvc.Site(), loc.path, target, dst); err != nil {
+				return Placement{}, 0, nil, fmt.Errorf("staging %s: %w", in.Name, err)
+			}
+			moves++
+			continue
+		}
+		// User input: materialize on the target site.
+		userFile := strings.TrimPrefix(in.Source, "user:")
+		target.FS.Write(dst, site.KindFile, 64<<10, "", "")
+		_ = userFile
+	}
+
+	// Instantiate on the deployment's own site.
+	started := e.Clock.Now()
+	if err := owner.Instantiate(d.Name, client, 0, a.Args); err != nil {
+		return Placement{}, 0, nil, err
+	}
+	elapsed := e.Clock.Now().Sub(started)
+
+	// Record outputs.
+	out := map[string]dataLoc{}
+	for _, o := range a.Outputs {
+		p := path.Join(workDir, o.Name)
+		target.FS.Write(p, site.KindFile, 256<<10, "", "")
+		out[a.Name+":"+o.Name] = dataLoc{site: d.Site, path: p}
+	}
+	return Placement{
+		Activity: a.Name, Deployment: d.Name, Site: d.Site,
+		Kind: d.Kind, Elapsed: elapsed,
+	}, moves, out, nil
+}

@@ -1,0 +1,101 @@
+package epr
+
+import (
+	"testing"
+	"time"
+
+	"glare/internal/xmlutil"
+)
+
+func TestRoundTrip(t *testing.T) {
+	lut := time.Date(2005, 11, 12, 10, 30, 0, 0, time.UTC)
+	e := New("https://138.232.1.2:8084/wsrf/services/ActivityDeploymentRegistry",
+		"ActivityDeploymentKey", "jpovray")
+	e.LastUpdateTime = lut
+	e.Extra = map[string]string{"Site": "altix1.uibk"}
+
+	n := e.ToXML("DeploymentEPR")
+	if n.Name != "DeploymentEPR" {
+		t.Fatalf("element = %q", n.Name)
+	}
+	got, err := FromXML(n, "ActivityDeploymentKey")
+	if err != nil {
+		t.Fatalf("FromXML: %v", err)
+	}
+	if got.Address != e.Address || got.Key != "jpovray" || !got.LastUpdateTime.Equal(lut) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Extra["Site"] != "altix1.uibk" {
+		t.Fatalf("extra lost: %v", got.Extra)
+	}
+}
+
+func TestRoundTripThroughSerializedXML(t *testing.T) {
+	e := New("http://h:1/wsrf/services/S", "K", "v1")
+	n, err := xmlutil.ParseString(e.ToXML("EPR").String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromXML(n, "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != "v1" {
+		t.Fatalf("key = %q", got.Key)
+	}
+}
+
+func TestFromXMLInfersKeyName(t *testing.T) {
+	e := New("http://x/wsrf/services/Y", "SomeKey", "abc")
+	got, err := FromXML(e.ToXML("EPR"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.KeyName != "SomeKey" || got.Key != "abc" {
+		t.Fatalf("inferred = %q/%q", got.KeyName, got.Key)
+	}
+}
+
+func TestFromXMLErrors(t *testing.T) {
+	if _, err := FromXML(nil, "K"); err == nil {
+		t.Fatal("nil node must error")
+	}
+	n := xmlutil.MustParse(`<EPR><ReferenceProperties><K>v</K></ReferenceProperties></EPR>`)
+	if _, err := FromXML(n, "K"); err == nil {
+		t.Fatal("missing Address must error")
+	}
+	n2 := xmlutil.MustParse(`<EPR><Address>http://x</Address><ReferenceProperties/></EPR>`)
+	if _, err := FromXML(n2, "K"); err == nil {
+		t.Fatal("missing key must error")
+	}
+	n3 := xmlutil.MustParse(`<EPR><Address>http://x</Address>
+	  <ReferenceProperties><K>v</K><LastUpdateTime>garbage</LastUpdateTime></ReferenceProperties></EPR>`)
+	if _, err := FromXML(n3, "K"); err == nil {
+		t.Fatal("bad LastUpdateTime must error")
+	}
+}
+
+func TestTouchAndZero(t *testing.T) {
+	var e EPR
+	if !e.IsZero() {
+		t.Fatal("zero EPR must report IsZero")
+	}
+	e = New("http://x/wsrf/services/Y", "K", "k")
+	if e.IsZero() {
+		t.Fatal("non-zero EPR reported zero")
+	}
+	now := time.Now()
+	if got := e.Touch(now); !got.LastUpdateTime.Equal(now) {
+		t.Fatal("Touch did not set LUT")
+	}
+	if !e.LastUpdateTime.IsZero() {
+		t.Fatal("Touch must not mutate receiver")
+	}
+}
+
+func TestString(t *testing.T) {
+	e := New("http://x/wsrf/services/Y", "K", "k")
+	if e.String() != "http://x/wsrf/services/Y#K=k" {
+		t.Fatalf("String = %q", e.String())
+	}
+}

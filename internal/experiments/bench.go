@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"glare/internal/atr"
+	"glare/internal/mds"
+	"glare/internal/xmlutil"
+)
+
+// BenchTestbed exposes the Fig. 10/11 testbed to the benchmark harness:
+// an ATR and an Index Service with identical registered resources on one
+// container, queried over real loopback HTTP(S).
+type BenchTestbed struct {
+	tb *testbed
+}
+
+// NewBenchTestbed builds a testbed with the given resource count. No
+// modeled container delay is applied: benchmarks measure the raw
+// hash-vs-scan cost.
+func NewBenchTestbed(resources int, secure bool) (*BenchTestbed, error) {
+	tb, err := newTestbedDelay(resources, secure, mds.CollapseConfig{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &BenchTestbed{tb: tb}, nil
+}
+
+// QueryOnce performs one named-resource query against the chosen service
+// ("ATR" or "Index"); i selects the resource round-robin.
+func (b *BenchTestbed) QueryOnce(service string, i int) error {
+	name := b.tb.names[i%len(b.tb.names)]
+	switch service {
+	case "ATR":
+		_, err := b.tb.client.Call(b.tb.server.ServiceURL(atr.ServiceName),
+			"GetType", xmlutil.NewNode("Name", name))
+		return err
+	case "Index":
+		q := fmt.Sprintf(`//ActivityTypeEntry[@name='%s']`, name)
+		_, err := b.tb.client.Call(b.tb.server.ServiceURL(mds.ServiceName),
+			"Query", xmlutil.NewNode("XPath", q))
+		return err
+	}
+	return fmt.Errorf("unknown service %q", service)
+}
+
+// Close releases the testbed.
+func (b *BenchTestbed) Close() { b.tb.close() }

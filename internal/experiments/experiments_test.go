@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Table 1's qualitative shape: CoG totals exceed Expect totals for every
+// application; overheads match the calibration; installation dominates.
+func TestTable1Shape(t *testing.T) {
+	rows, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]Table1Row{}
+	for _, r := range rows {
+		byKey[r.Method+"/"+r.App] = r
+	}
+	for _, app := range []string{"Wien2k", "Invmod", "Counter"} {
+		exp := byKey["Expect/"+app]
+		cog := byKey["Java CoG/"+app]
+		if exp.Total == 0 || cog.Total == 0 {
+			t.Fatalf("%s: missing rows", app)
+		}
+		if cog.Total <= exp.Total {
+			t.Errorf("%s: CoG total %v must exceed Expect total %v", app, cog.Total, exp.Total)
+		}
+		if cog.MethodOvhd <= exp.MethodOvhd {
+			t.Errorf("%s: CoG overhead %v vs Expect %v", app, cog.MethodOvhd, exp.MethodOvhd)
+		}
+		if cog.Communication <= exp.Communication {
+			t.Errorf("%s: CoG communication %v vs Expect %v", app, cog.Communication, exp.Communication)
+		}
+		if cog.Installation <= exp.Installation {
+			t.Errorf("%s: CoG installation %v vs Expect %v", app, cog.Installation, exp.Installation)
+		}
+		// Expect overhead is the calibrated 2,100 ms.
+		if exp.MethodOvhd != 2100*time.Millisecond {
+			t.Errorf("%s: expect overhead %v", app, exp.MethodOvhd)
+		}
+		// Installation dominates both methods, as in the paper.
+		if exp.Installation < exp.Registration || cog.Installation < cog.Registration {
+			t.Errorf("%s: installation should dominate registration", app)
+		}
+	}
+	// Print path smoke test.
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Total overhead for meta-scheduler") {
+		t.Fatal("print output incomplete")
+	}
+}
+
+// Fig. 10's qualitative shape: the ATR outperforms the Index at equal
+// client counts (hash lookup vs XPath scan).
+func TestFig10Shape(t *testing.T) {
+	cfg := DefaultFig10(Quick)
+	pts, err := RunFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atrRate := map[int]float64{}
+	idxRate := map[int]float64{}
+	for _, p := range pts {
+		if p.Service == "ATR" {
+			atrRate[p.Clients] = p.OpsPerSec
+		} else {
+			idxRate[p.Clients] = p.OpsPerSec
+		}
+	}
+	// At the highest client count the registry must beat the index.
+	maxClients := cfg.Clients[len(cfg.Clients)-1]
+	if atrRate[maxClients] <= idxRate[maxClients] {
+		t.Errorf("ATR (%f) must outperform Index (%f) at %d clients",
+			atrRate[maxClients], idxRate[maxClients], maxClients)
+	}
+	var buf bytes.Buffer
+	PrintFig10(&buf, pts)
+	if !strings.Contains(buf.String(), "Req/s") {
+		t.Fatal("print output incomplete")
+	}
+}
+
+// Fig. 10's security effect: HTTPS throughput is lower than HTTP for the
+// same service and client count.
+func TestFig10SecurityPenalty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TLS sweep")
+	}
+	// CPU-bound configuration (no modeled container delay): the TLS cost
+	// is CPU, so it must show up as a throughput drop here.
+	cfg := Fig10Config{
+		Clients:   []int{16},
+		Resources: 40,
+		Duration:  250 * time.Millisecond,
+		Secure:    []bool{false, true},
+	}
+	pts, err := RunFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := map[string]float64{}
+	for _, p := range pts {
+		key := p.Service
+		if p.Secure {
+			key += "+tls"
+		}
+		rate[key] = p.OpsPerSec
+	}
+	if rate["ATR+tls"] >= rate["ATR"] {
+		t.Errorf("TLS must cost throughput: %f vs %f", rate["ATR+tls"], rate["ATR"])
+	}
+}
+
+// Fig. 11's qualitative shape: the index degrades with resource count and
+// collapses past the observed thresholds; the ATR stays responsive.
+func TestFig11Shape(t *testing.T) {
+	cfg := DefaultFig11(Quick)
+	pts, err := RunFig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atrBig, idxSmall, idxBig *ThroughputPoint
+	for i := range pts {
+		p := &pts[i]
+		switch {
+		case p.Service == "ATR" && p.Resources == 140:
+			atrBig = p
+		case p.Service == "Index" && p.Resources == 20:
+			idxSmall = p
+		case p.Service == "Index" && p.Resources == 140:
+			idxBig = p
+		}
+	}
+	if atrBig == nil || idxSmall == nil || idxBig == nil {
+		t.Fatal("points missing")
+	}
+	if atrBig.Collapsed || atrBig.OpsPerSec == 0 {
+		t.Error("ATR must keep answering at scale")
+	}
+	if !idxBig.Collapsed {
+		t.Error("index must stop responding past 130 resources with 12 clients")
+	}
+	if idxSmall.Collapsed {
+		t.Error("index must work below the thresholds")
+	}
+	var buf bytes.Buffer
+	PrintFig11(&buf, pts)
+	if !strings.Contains(buf.String(), "STOPPED RESPONDING") {
+		t.Fatal("collapse not reported")
+	}
+}
+
+// Fig. 12's qualitative shape: enabling the cache beats every uncached
+// configuration, and spreading entries over more sites improves the
+// uncached response time.
+func TestFig12Shape(t *testing.T) {
+	cfg := Fig12Config{SiteCounts: []int{1, 3}, Entries: 240, Requests: 6}
+	pts, err := RunFig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached, solo, spread *Fig12Point
+	for i := range pts {
+		p := &pts[i]
+		switch {
+		case p.Cache:
+			cached = p
+		case p.Sites == 1:
+			solo = p
+		case p.Sites == 3:
+			spread = p
+		}
+	}
+	if cached == nil || solo == nil || spread == nil {
+		t.Fatalf("points missing: %+v", pts)
+	}
+	if cached.MeanResponse >= solo.MeanResponse {
+		t.Errorf("cache (%v) must beat uncached single site (%v)",
+			cached.MeanResponse, solo.MeanResponse)
+	}
+	if spread.MeanResponse >= solo.MeanResponse {
+		t.Errorf("3 sites (%v) must beat 1 site (%v)",
+			spread.MeanResponse, solo.MeanResponse)
+	}
+	var buf bytes.Buffer
+	PrintFig12(&buf, pts)
+	if !strings.Contains(buf.String(), "Mean ms/request") {
+		t.Fatal("print output incomplete")
+	}
+}
+
+// Fig. 13's qualitative shapes: sink load grows with the number of sinks
+// and the requester series stays moderate.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive load experiment")
+	}
+	cfg := DefaultFig13(Quick)
+	sinks, err := RunFig13Sinks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCount := map[int]float64{}
+	for _, p := range sinks {
+		byCount[p.Count] = p.Load
+	}
+	if byCount[210] <= byCount[30] {
+		t.Errorf("load must grow with sinks: 30→%.2f, 210→%.2f", byCount[30], byCount[210])
+	}
+	reqs, err := RunFig13Requesters(Fig13Config{
+		Counts: []int{30}, TimeScale: cfg.TimeScale,
+		Window: cfg.Window, RunFor: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs[0].Load < 0 {
+		t.Fatal("negative load")
+	}
+	var buf bytes.Buffer
+	PrintFig13(&buf, append(sinks, reqs...))
+	if !strings.Contains(buf.String(), "Load avg") {
+		t.Fatal("print output incomplete")
+	}
+}
+
+func TestAblationCacheShape(t *testing.T) {
+	pts, err := RunAblationCache(150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, p := range pts {
+		vals[p.Variant] = p.Value
+	}
+	if vals["cache on"] >= vals["cache off"] {
+		t.Errorf("cache on (%.2f ms) must beat cache off (%.2f ms)",
+			vals["cache on"], vals["cache off"])
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, pts)
+	if !strings.Contains(buf.String(), "two-level-cache") {
+		t.Fatal("print output incomplete")
+	}
+}
+
+func TestAblationOverlayRuns(t *testing.T) {
+	pts, err := RunAblationOverlay(5, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Value <= 0 {
+			t.Fatalf("%s: non-positive latency", p.Variant)
+		}
+	}
+}
+
+func TestElectionStats(t *testing.T) {
+	st, err := RunElection(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SuperPeers != 3 { // ceil(7/3)
+		t.Fatalf("super-peers = %d", st.SuperPeers)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("no election time measured")
+	}
+}

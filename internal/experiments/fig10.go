@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"glare/internal/atr"
+	"glare/internal/gsi"
+	"glare/internal/mds"
+	"glare/internal/transport"
+	"glare/internal/workload"
+	"glare/internal/xmlutil"
+)
+
+// ThroughputPoint is one measurement of Figs. 10/11.
+type ThroughputPoint struct {
+	Service   string // "ATR" or "Index"
+	Secure    bool
+	Clients   int
+	Resources int
+	OpsPerSec float64
+	Collapsed bool // Fig. 11: index stopped responding
+}
+
+// Fig10Config parameterizes the concurrent-client throughput comparison.
+type Fig10Config struct {
+	// Clients is the sweep of concurrent client counts.
+	Clients []int
+	// Resources is the number of activity types registered in both
+	// services.
+	Resources int
+	// Duration is the measurement window per point (real time).
+	Duration time.Duration
+	// Secure variants to run.
+	Secure []bool
+	// ContainerDelay is the modeled per-request container processing time
+	// applied to both services (see the containerDelay discussion below).
+	// The throughput sweeps default to 1 ms; security-penalty comparisons
+	// use 0 so that the TLS cost — a CPU cost — is what saturates.
+	ContainerDelay time.Duration
+}
+
+// DefaultFig10 mirrors the paper's sweep shape; Quick shrinks it.
+func DefaultFig10(scale Scale) Fig10Config {
+	if scale == Quick {
+		return Fig10Config{
+			Clients:        []int{1, 4, 16},
+			Resources:      60,
+			Duration:       150 * time.Millisecond,
+			Secure:         []bool{false},
+			ContainerDelay: containerDelay,
+		}
+	}
+	return Fig10Config{
+		Clients:        []int{1, 2, 5, 10, 20, 50, 100, 150, 210},
+		Resources:      100,
+		Duration:       400 * time.Millisecond,
+		Secure:         []bool{false, true},
+		ContainerDelay: containerDelay,
+	}
+}
+
+// testbed hosts an ATR and an Index Service with the same registered
+// resources on one container, matching the paper's setup ("both WS-MDS
+// Index and activity type registry services running on the same Grid site
+// with same number of registered activity types").
+type testbed struct {
+	server *transport.Server
+	client *transport.Client
+	reg    *atr.Registry
+	index  *mds.Index
+	names  []string
+}
+
+// containerDelay models the per-request processing time of the WSRF
+// container both services run in (the real GT4 stack spent milliseconds of
+// SOAP/DOM work per call). It is a blocking delay, so concurrent requests
+// overlap in service — a thread-per-request container — independent of the
+// simulator host's core count. Both services pay it equally; the measured
+// difference between them remains the hash-lookup-vs-XPath-scan cost.
+const containerDelay = time.Millisecond
+
+func newTestbed(resources int, secure bool, collapse mds.CollapseConfig) (*testbed, error) {
+	return newTestbedDelay(resources, secure, collapse, containerDelay)
+}
+
+func newTestbedDelay(resources int, secure bool, collapse mds.CollapseConfig, delay time.Duration) (*testbed, error) {
+	tb := &testbed{server: transport.NewServer()}
+	tb.reg = atr.New("", nil, nil)
+	tb.index = mds.New("bench-index", mds.DefaultIndex, nil)
+	if collapse != (mds.CollapseConfig{}) {
+		tb.index.SetCollapse(collapse)
+	}
+	tb.index.SetServiceDelay(delay)
+	tb.reg.Mount(tb.server)
+	tb.index.Mount(tb.server)
+	// Wrap the registry's named lookup with the same container cost.
+	tb.server.Register(atr.ServiceName, "GetType", func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if body == nil {
+			return nil, fmt.Errorf("GetType: missing name")
+		}
+		doc, ok := tb.reg.LookupDocument(body.Text)
+		if !ok {
+			return nil, fmt.Errorf("GetType: no such type %q", body.Text)
+		}
+		return doc, nil
+	})
+	if secure {
+		ca, err := gsi.NewAuthority("bench-ca")
+		if err != nil {
+			return nil, err
+		}
+		conf, err := ca.ServerConfig("127.0.0.1")
+		if err != nil {
+			return nil, err
+		}
+		if err := tb.server.Start("127.0.0.1:0", conf); err != nil {
+			return nil, err
+		}
+		tb.client = transport.NewClient(ca.ClientConfig())
+	} else {
+		if err := tb.server.Start("127.0.0.1:0", nil); err != nil {
+			return nil, err
+		}
+		tb.client = transport.NewClient(nil)
+	}
+	for _, ty := range workload.SyntheticTypes(resources) {
+		if _, err := tb.reg.Register(ty); err != nil {
+			return nil, err
+		}
+		tb.index.Register(tb.reg.EPR(ty.Name), ty.ToXML())
+		tb.names = append(tb.names, ty.Name)
+	}
+	return tb, nil
+}
+
+func (tb *testbed) close() {
+	tb.server.Close()
+	tb.client.CloseIdle()
+}
+
+// measure runs `clients` concurrent closed-loop callers for the duration
+// and returns completed ops/sec plus whether any caller saw the index
+// collapse.
+func (tb *testbed) measure(service string, clients int, d time.Duration) (float64, bool) {
+	var ops, failures atomic.Uint64
+	stopAt := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := c
+			for time.Now().Before(stopAt) {
+				name := tb.names[i%len(tb.names)]
+				i++
+				var err error
+				switch service {
+				case "ATR":
+					// The registry answers named lookups from its hash
+					// table.
+					_, err = tb.client.Call(tb.server.ServiceURL(atr.ServiceName),
+						"GetType", xmlutil.NewNode("Name", name))
+				case "Index":
+					// The index only supports XPath over the aggregated
+					// document.
+					q := fmt.Sprintf(`//ActivityTypeEntry[@name='%s']`, name)
+					_, err = tb.client.Call(tb.server.ServiceURL(mds.ServiceName),
+						"Query", xmlutil.NewNode("XPath", q))
+				}
+				if err != nil {
+					failures.Add(1)
+					if tb.index.Wedged() {
+						return
+					}
+					continue
+				}
+				ops.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	rate := float64(ops.Load()) / d.Seconds()
+	return rate, tb.index.Wedged()
+}
+
+// RunFig10 produces the throughput-vs-concurrent-clients comparison of
+// Fig. 10 for both services, with and without transport-level security.
+func RunFig10(cfg Fig10Config) ([]ThroughputPoint, error) {
+	var out []ThroughputPoint
+	for _, secure := range cfg.Secure {
+		tb, err := newTestbedDelay(cfg.Resources, secure, mds.CollapseConfig{}, cfg.ContainerDelay)
+		if err != nil {
+			return nil, err
+		}
+		for _, service := range []string{"ATR", "Index"} {
+			for _, clients := range cfg.Clients {
+				rate, _ := tb.measure(service, clients, cfg.Duration)
+				out = append(out, ThroughputPoint{
+					Service: service, Secure: secure,
+					Clients: clients, Resources: cfg.Resources,
+					OpsPerSec: rate,
+				})
+			}
+		}
+		tb.close()
+	}
+	return out, nil
+}
+
+// PrintFig10 renders the series.
+func PrintFig10(w io.Writer, pts []ThroughputPoint) {
+	fmt.Fprintln(w, "\nFig. 10 — throughput (requests/sec) vs concurrent clients")
+	var rows [][]string
+	for _, p := range pts {
+		sec := "http"
+		if p.Secure {
+			sec = "https"
+		}
+		rows = append(rows, []string{
+			p.Service, sec, fmt.Sprintf("%d", p.Clients), fmt.Sprintf("%.0f", p.OpsPerSec),
+		})
+	}
+	writeTable(w, []string{"Service", "Transport", "Clients", "Req/s"}, rows)
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"glare/internal/mds"
+)
+
+// Fig11Config parameterizes the throughput-vs-resources comparison.
+type Fig11Config struct {
+	// Resources is the sweep of registered activity-type counts.
+	Resources []int
+	// Clients is the fixed concurrent client count. The paper observed the
+	// index collapse with "more than 130 activity type resources ... and
+	// number of concurrent clients exceeds 10", so the default is 12.
+	Clients int
+	// Duration is the measurement window per point.
+	Duration time.Duration
+	// Secure toggles transport-level security.
+	Secure bool
+}
+
+// DefaultFig11 mirrors the paper's sweep shape; Quick shrinks it.
+func DefaultFig11(scale Scale) Fig11Config {
+	if scale == Quick {
+		return Fig11Config{
+			Resources: []int{20, 140},
+			Clients:   24,
+			Duration:  200 * time.Millisecond,
+		}
+	}
+	return Fig11Config{
+		Resources: []int{10, 30, 60, 100, 130, 170, 220, 300},
+		Clients:   24,
+		Duration:  400 * time.Millisecond,
+	}
+}
+
+// RunFig11 measures both services' throughput as the number of registered
+// activity types grows, with the index's observed overload collapse
+// enabled: past ~130 resources under >10 concurrent clients the Index
+// Service "stops responding" while the ATR keeps answering from its hash
+// table.
+func RunFig11(cfg Fig11Config) ([]ThroughputPoint, error) {
+	var out []ThroughputPoint
+	for _, resources := range cfg.Resources {
+		tb, err := newTestbed(resources, cfg.Secure, mds.ObservedCollapse)
+		if err != nil {
+			return nil, err
+		}
+		for _, service := range []string{"ATR", "Index"} {
+			rate, collapsed := tb.measure(service, cfg.Clients, cfg.Duration)
+			if service == "ATR" {
+				collapsed = false // the registry never wedges
+			}
+			out = append(out, ThroughputPoint{
+				Service: service, Secure: cfg.Secure,
+				Clients: cfg.Clients, Resources: resources,
+				OpsPerSec: rate, Collapsed: collapsed,
+			})
+		}
+		tb.close()
+	}
+	return out, nil
+}
+
+// PrintFig11 renders the series.
+func PrintFig11(w io.Writer, pts []ThroughputPoint) {
+	fmt.Fprintln(w, "\nFig. 11 — throughput (requests/sec) vs registered activity types")
+	var rows [][]string
+	for _, p := range pts {
+		status := ""
+		if p.Collapsed {
+			status = "STOPPED RESPONDING"
+		}
+		rows = append(rows, []string{
+			p.Service, fmt.Sprintf("%d", p.Resources),
+			fmt.Sprintf("%d", p.Clients), fmt.Sprintf("%.0f", p.OpsPerSec), status,
+		})
+	}
+	writeTable(w, []string{"Service", "Resources", "Clients", "Req/s", "Status"}, rows)
+}

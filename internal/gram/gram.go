@@ -1,0 +1,198 @@
+// Package gram simulates the Globus Resource Allocation Manager: batch job
+// submission to a site. The deployment handler's GRAM alternative and the
+// JavaCoG deployment path submit installation steps as GRAM jobs; activity
+// instantiation of executable deployments also goes through GRAM.
+//
+// Each submission pays a fixed virtual-time overhead (authentication, job
+// manager fork, polling) before the job's own cost — this per-step tax is
+// why the CoG rows of Table 1 are so much slower than the Expect rows.
+package gram
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"glare/internal/simclock"
+	"glare/internal/site"
+)
+
+// JobState enumerates the lifecycle of a GRAM job.
+type JobState int
+
+const (
+	StatePending JobState = iota
+	StateActive
+	StateDone
+	StateFailed
+)
+
+// String renders the state name.
+func (s JobState) String() string {
+	switch s {
+	case StatePending:
+		return "Pending"
+	case StateActive:
+		return "Active"
+	case StateDone:
+		return "Done"
+	case StateFailed:
+		return "Failed"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Job is one submitted job.
+type Job struct {
+	ID      uint64
+	Cmdline string
+	Env     map[string]string
+	Dir     string
+
+	mu       sync.Mutex
+	state    JobState
+	output   []string
+	exitCode int
+	err      error
+	done     chan struct{}
+
+	// Metrics recorded for the Deployment Status Monitor.
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Wait blocks until the job finishes and returns its exit code and error.
+func (j *Job) Wait() (int, error) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.exitCode, j.err
+}
+
+// Output returns the job's collected output lines (after completion).
+func (j *Job) Output() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.output...)
+}
+
+// Manager is the per-site GRAM service.
+type Manager struct {
+	site  *site.Site
+	clock simclock.Clock
+
+	// SubmitOverhead is the fixed virtual cost per submission.
+	SubmitOverhead time.Duration
+
+	nextID    uint64
+	mu        sync.Mutex
+	jobs      map[uint64]*Job
+	submitted uint64
+}
+
+// DefaultSubmitOverhead approximates GT4 GRAM's per-job cost.
+const DefaultSubmitOverhead = 450 * time.Millisecond
+
+// NewManager creates a job manager for one site.
+func NewManager(s *site.Site, clock simclock.Clock) *Manager {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	return &Manager{
+		site:           s,
+		clock:          clock,
+		SubmitOverhead: DefaultSubmitOverhead,
+		jobs:           make(map[uint64]*Job),
+	}
+}
+
+// Submit queues a job and runs it synchronously on the site (the simulated
+// machine room has one slot per submission; concurrency is the caller's
+// concern, matching GRAM fork jobmanagers).
+func (m *Manager) Submit(cmdline, dir string, env map[string]string) *Job {
+	id := atomic.AddUint64(&m.nextID, 1)
+	j := &Job{
+		ID: id, Cmdline: cmdline, Env: env, Dir: dir,
+		state: StatePending, done: make(chan struct{}),
+		Submitted: m.clock.Now(),
+	}
+	m.mu.Lock()
+	m.jobs[id] = j
+	m.submitted++
+	m.mu.Unlock()
+	go m.run(j)
+	return j
+}
+
+// SubmitWait submits and waits; convenience for sequential deployment steps.
+func (m *Manager) SubmitWait(cmdline, dir string, env map[string]string) ([]string, int, error) {
+	j := m.Submit(cmdline, dir, env)
+	code, err := j.Wait()
+	return j.Output(), code, err
+}
+
+func (m *Manager) run(j *Job) {
+	m.clock.Sleep(m.SubmitOverhead)
+	sh := m.site.NewShell()
+	sh.AutoAnswer = true // batch jobs have no terminal
+	for k, v := range j.Env {
+		sh.Setenv(k, v)
+	}
+	if j.Dir != "" {
+		if err := sh.Chdir(j.Dir); err != nil {
+			j.mu.Lock()
+			j.state = StateFailed
+			j.err = err
+			j.exitCode = 1
+			j.Finished = m.clock.Now()
+			j.mu.Unlock()
+			close(j.done)
+			return
+		}
+	}
+	j.mu.Lock()
+	j.state = StateActive
+	j.Started = m.clock.Now()
+	j.mu.Unlock()
+
+	out, code, err := sh.Run(j.Cmdline)
+
+	j.mu.Lock()
+	j.output = out
+	j.exitCode = code
+	j.err = err
+	if err != nil || code != 0 {
+		j.state = StateFailed
+	} else {
+		j.state = StateDone
+	}
+	j.Finished = m.clock.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Job returns a submitted job by ID, or nil.
+func (m *Manager) Job(id uint64) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// Submitted returns the total number of submissions.
+func (m *Manager) Submitted() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.submitted
+}
+
+// Site returns the managed site.
+func (m *Manager) Site() *site.Site { return m.site }

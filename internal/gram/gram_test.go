@@ -1,0 +1,128 @@
+package gram
+
+import (
+	"testing"
+	"time"
+
+	"glare/internal/simclock"
+	"glare/internal/site"
+)
+
+func testManager() (*Manager, *site.Site, *simclock.Virtual) {
+	v := simclock.NewVirtual(time.Time{})
+	s := site.New(site.Attributes{Name: "s1", Platform: "Intel", OS: "Linux"}, v, site.StandardUniverse())
+	return NewManager(s, v), s, v
+}
+
+func TestSubmitRunsJob(t *testing.T) {
+	m, s, v := testManager()
+	s.FS.Mkdir("/work")
+	t0 := v.Now()
+	j := m.Submit("mkdir-p /work/out", "/work", nil)
+	code, err := j.Wait()
+	if err != nil || code != 0 {
+		t.Fatalf("job failed: %d %v", code, err)
+	}
+	if j.State() != StateDone {
+		t.Fatalf("state = %v", j.State())
+	}
+	if !s.FS.IsDir("/work/out") {
+		t.Fatal("job had no effect")
+	}
+	if v.Now().Sub(t0) < m.SubmitOverhead {
+		t.Fatal("submission overhead not charged")
+	}
+	if m.Submitted() != 1 {
+		t.Fatalf("submitted = %d", m.Submitted())
+	}
+	if m.Job(j.ID) != j {
+		t.Fatal("job lookup failed")
+	}
+	if m.Job(999) != nil {
+		t.Fatal("unknown job must be nil")
+	}
+}
+
+func TestFailingJob(t *testing.T) {
+	m, _, _ := testManager()
+	_, code, err := m.SubmitWait("no-such-command", "", nil)
+	if code == 0 || err == nil {
+		t.Fatal("failing command must fail the job")
+	}
+}
+
+func TestBadWorkingDirectory(t *testing.T) {
+	m, _, _ := testManager()
+	j := m.Submit("echo hi", "/does/not/exist", nil)
+	code, err := j.Wait()
+	if code == 0 || err == nil {
+		t.Fatal("bad dir must fail")
+	}
+	if j.State() != StateFailed {
+		t.Fatalf("state = %v", j.State())
+	}
+}
+
+func TestJobEnvPropagates(t *testing.T) {
+	m, s, _ := testManager()
+	out, code, err := m.SubmitWait("mkdir-p $TARGET", "", map[string]string{"TARGET": "/env/dir"})
+	if code != 0 || err != nil {
+		t.Fatalf("job: %v %v", out, err)
+	}
+	if !s.FS.IsDir("/env/dir") {
+		t.Fatal("env not substituted")
+	}
+}
+
+func TestJobTimestampsAndOutput(t *testing.T) {
+	m, _, _ := testManager()
+	j := m.Submit("echo hello world", "", nil)
+	j.Wait()
+	if j.Finished.Before(j.Started) || j.Started.Before(j.Submitted) {
+		t.Fatalf("timestamps out of order: %v %v %v", j.Submitted, j.Started, j.Finished)
+	}
+	out := j.Output()
+	if len(out) != 1 || out[0] != "hello world" {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestJobsAutoAnswerPrompts(t *testing.T) {
+	// A batch GRAM job has no terminal: interactive installers must be
+	// auto-answered (the generated deployment-script path of Example 1).
+	m, s, _ := testManager()
+	a, _ := s.Repo.ByName("POVray")
+	s.FS.Mkdir("/b")
+	s.FS.Write("/b/p.tgz", site.KindFile, a.SizeBytes, a.MD5(), a.Name)
+	if _, code, err := m.SubmitWait("tar xvfz p.tgz", "/b", nil); code != 0 {
+		t.Fatalf("tar: %v", err)
+	}
+	if _, code, err := m.SubmitWait("./configure", "/b/povray-3.6.1", nil); code != 0 {
+		t.Fatalf("configure: %v", err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[JobState]string{
+		StatePending: "Pending", StateActive: "Active",
+		StateDone: "Done", StateFailed: "Failed", JobState(42): "JobState(42)",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", int(st), st.String())
+		}
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	m, s, _ := testManager()
+	s.FS.Mkdir("/c")
+	jobs := make([]*Job, 8)
+	for i := range jobs {
+		jobs[i] = m.Submit("mkdir-p /c/out", "/c", nil)
+	}
+	for _, j := range jobs {
+		if code, err := j.Wait(); code != 0 || err != nil {
+			t.Fatalf("concurrent job failed: %v", err)
+		}
+	}
+}

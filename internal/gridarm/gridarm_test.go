@@ -1,0 +1,170 @@
+package gridarm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"glare/internal/simclock"
+	"glare/internal/site"
+)
+
+func attrs(name string, mhz, mem, procs, uptime int) site.Attributes {
+	return site.Attributes{
+		Name: name, ProcessorMHz: mhz, MemoryMB: mem, Processors: procs,
+		UptimeHours: uptime, Platform: "Intel", OS: "Linux", Arch: "32bit",
+	}
+}
+
+func TestRequestSatisfies(t *testing.T) {
+	a := attrs("s", 1500, 2048, 8, 100)
+	cases := []struct {
+		req  Request
+		want bool
+	}{
+		{Request{}, true},
+		{Request{OS: "Linux", MinProcessorMHz: 1000}, true},
+		{Request{OS: "Solaris"}, false},
+		{Request{MinProcessorMHz: 2000}, false},
+		{Request{MinMemoryMB: 4096}, false},
+		{Request{MinProcessors: 16}, false},
+		{Request{MinProcessors: 8, MinMemoryMB: 2048, MinProcessorMHz: 1500}, true},
+	}
+	for i, c := range cases {
+		if got := c.req.Satisfies(a); got != c.want {
+			t.Errorf("case %d: Satisfies = %v", i, got)
+		}
+	}
+}
+
+func TestRankOrdersByCapacity(t *testing.T) {
+	sites := []site.Attributes{
+		attrs("small", 1000, 1024, 2, 100),
+		attrs("big", 2000, 8192, 16, 100),
+		attrs("mid", 1500, 4096, 8, 100),
+		attrs("wrong-os", 3000, 16384, 32, 100),
+	}
+	sites[3].OS = "Solaris"
+	ranked := Rank(sites, Request{OS: "Linux"})
+	if len(ranked) != 3 {
+		t.Fatalf("candidates = %d", len(ranked))
+	}
+	if ranked[0].Attrs.Name != "big" || ranked[1].Attrs.Name != "mid" || ranked[2].Attrs.Name != "small" {
+		t.Fatalf("order = %v %v %v", ranked[0].Attrs.Name, ranked[1].Attrs.Name, ranked[2].Attrs.Name)
+	}
+	// Deterministic tie-break by name.
+	tie := []site.Attributes{attrs("b", 1000, 1024, 2, 100), attrs("a", 1000, 1024, 2, 100)}
+	r := Rank(tie, Request{})
+	if r[0].Attrs.Name != "a" {
+		t.Fatal("tie-break not by name")
+	}
+}
+
+func fixture() (*Reservations, *simclock.Virtual) {
+	v := simclock.NewVirtual(time.Time{})
+	s := NewReservations(v)
+	s.RegisterSite(attrs("agrid1", 1500, 2048, 8, 100))
+	return s, v
+}
+
+func TestReserveWithinCapacity(t *testing.T) {
+	s, v := fixture()
+	now := v.Now()
+	r1, err := s.Reserve("agrid1", "c1", 4, now, now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reserve("agrid1", "c2", 4, now, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity is now exhausted for the window.
+	if _, err := s.Reserve("agrid1", "c3", 1, now, now.Add(time.Hour)); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+	// A disjoint window is free.
+	if _, err := s.Reserve("agrid1", "c3", 8, now.Add(2*time.Hour), now.Add(3*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing frees the slot.
+	if err := s.Release(r1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reserve("agrid1", "c3", 4, now, now.Add(time.Hour)); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if err := s.Release(999); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	s, v := fixture()
+	now := v.Now()
+	if _, err := s.Reserve("agrid1", "c", 0, now, now.Add(time.Hour)); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+	if _, err := s.Reserve("agrid1", "c", 1, now, now); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := s.Reserve("ghost", "c", 1, now, now.Add(time.Hour)); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+func TestCommittedAndExpire(t *testing.T) {
+	s, v := fixture()
+	now := v.Now()
+	s.Reserve("agrid1", "c", 3, now, now.Add(time.Hour))
+	s.Reserve("agrid1", "c", 2, now.Add(30*time.Minute), now.Add(90*time.Minute))
+	if got := s.Committed("agrid1", now.Add(45*time.Minute)); got != 5 {
+		t.Fatalf("committed = %d", got)
+	}
+	if got := s.Committed("agrid1", now.Add(80*time.Minute)); got != 2 {
+		t.Fatalf("committed = %d", got)
+	}
+	v.Advance(2 * time.Hour)
+	if n := s.Expire(); n != 2 {
+		t.Fatalf("expired = %d", n)
+	}
+	if s.Active() != 0 {
+		t.Fatal("reservations survived expiry")
+	}
+}
+
+// Property: whatever sequence of reservations succeeds, the committed
+// processors at any sampled instant never exceed the site capacity.
+func TestQuickCapacityNeverExceeded(t *testing.T) {
+	type res struct {
+		Procs    uint8
+		FromMin  uint8
+		LenMin   uint8
+		SampleAt uint8
+	}
+	f := func(ops []res) bool {
+		v := simclock.NewVirtual(time.Time{})
+		s := NewReservations(v)
+		const cap = 8
+		s.RegisterSite(attrs("s", 1000, 1024, cap, 1))
+		base := v.Now()
+		for _, o := range ops {
+			from := base.Add(time.Duration(o.FromMin%120) * time.Minute)
+			to := from.Add(time.Duration(o.LenMin%60+1) * time.Minute)
+			_, _ = s.Reserve("s", "c", int(o.Procs%5)+1, from, to)
+			at := base.Add(time.Duration(o.SampleAt%180) * time.Minute)
+			if s.Committed("s", at) > cap {
+				return false
+			}
+		}
+		// Exhaustive sweep over minute boundaries.
+		for m := 0; m < 181; m++ {
+			if s.Committed("s", base.Add(time.Duration(m)*time.Minute)) > cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package gridftp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"glare/internal/simclock"
+	"glare/internal/site"
+)
+
+func fixture() (*Client, *site.Site, *simclock.Virtual) {
+	v := simclock.NewVirtual(time.Time{})
+	repo := site.StandardUniverse()
+	s := site.New(site.Attributes{Name: "dst"}, v, repo)
+	c := NewClient(v, repo, CostModel{LatencyPerTransfer: 100 * time.Millisecond, BytesPerMS: 1 << 20})
+	return c, s, v
+}
+
+func TestFetchMaterializesFileAndChargesCost(t *testing.T) {
+	c, s, v := fixture()
+	a, _ := s.Repo.ByName("POVray")
+	t0 := v.Now()
+	if err := c.Fetch(a.URL, s, "/tmp/povray.tgz"); err != nil {
+		t.Fatal(err)
+	}
+	e := s.FS.Stat("/tmp/povray.tgz")
+	if e == nil || e.Size != a.SizeBytes || e.Artifact != "POVray" {
+		t.Fatalf("entry = %+v", e)
+	}
+	want := 100*time.Millisecond + time.Duration(a.SizeBytes/(1<<20))*time.Millisecond
+	if got := v.Now().Sub(t0); got != want {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+	n, b := c.Stats()
+	if n != 1 || b != a.SizeBytes {
+		t.Fatalf("stats = %d, %d", n, b)
+	}
+}
+
+func TestFetchUnknownURL(t *testing.T) {
+	c, s, _ := fixture()
+	if err := c.Fetch("http://nowhere/else.tgz", s, "/tmp/x"); err == nil {
+		t.Fatal("unknown URL must fail")
+	}
+	if err := c.Fetch("not-a-url", s, "/tmp/x"); err == nil || !strings.Contains(err.Error(), "not a URL") {
+		t.Fatalf("bad URL error = %v", err)
+	}
+}
+
+func TestFetchChecked(t *testing.T) {
+	c, s, _ := fixture()
+	a, _ := s.Repo.ByName("Ant")
+	if err := c.FetchChecked(a.URL, s, "/tmp/ant.tgz", a.MD5()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FetchChecked(a.URL, s, "/tmp/ant2.tgz", "wrong-sum"); err == nil {
+		t.Fatal("md5 mismatch must fail")
+	}
+	if s.FS.Exists("/tmp/ant2.tgz") {
+		t.Fatal("corrupt download must be removed")
+	}
+	// Empty expected sum skips verification.
+	if err := c.FetchChecked(a.URL, s, "/tmp/ant3.tgz", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThirdPartyTransfer(t *testing.T) {
+	c, dst, v := fixture()
+	src := site.New(site.Attributes{Name: "src"}, v, dst.Repo)
+	src.FS.Write("/data/result.png", site.KindFile, 2<<20, "sum", "")
+	if err := c.ThirdParty(src, "/data/result.png", dst, "/home/glare/result.png"); err != nil {
+		t.Fatal(err)
+	}
+	if e := dst.FS.Stat("/home/glare/result.png"); e == nil || e.Size != 2<<20 {
+		t.Fatal("third-party copy failed")
+	}
+	if err := c.ThirdParty(src, "/missing", dst, "/x"); err == nil {
+		t.Fatal("missing source must fail")
+	}
+}
+
+func TestAttachEnablesShellCopy(t *testing.T) {
+	c, s, _ := fixture()
+	c.Attach(s)
+	sh := s.NewShell()
+	a, _ := s.Repo.ByName("Counter")
+	if _, code, err := sh.Run("globus-url-copy " + a.URL + " file:///tmp/counter.tgz"); code != 0 {
+		t.Fatalf("shell copy: %v", err)
+	}
+	if !s.FS.Exists("/tmp/counter.tgz") {
+		t.Fatal("file not transferred")
+	}
+}
+
+func TestCostModelDefaults(t *testing.T) {
+	if DefaultCost.Duration(0) != DefaultCost.LatencyPerTransfer {
+		t.Fatal("zero-size transfer should cost just latency")
+	}
+	zero := CostModel{}
+	if zero.Duration(10<<20) <= 0 {
+		t.Fatal("zero model must fall back to default bandwidth")
+	}
+	v := simclock.NewVirtual(time.Time{})
+	c := NewClient(v, site.NewRepo(), CostModel{})
+	if c.cost != DefaultCost {
+		t.Fatal("empty cost model must default")
+	}
+}

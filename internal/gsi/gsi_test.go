@@ -1,0 +1,102 @@
+package gsi
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"testing"
+)
+
+func TestAuthorityIssuesVerifiableCerts(t *testing.T) {
+	ca, err := NewAuthority("vo-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.IssueHost("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(cert.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ca.ClientConfig().RootCAs
+	if _, err := leaf.Verify(x509.VerifyOptions{Roots: pool}); err != nil {
+		t.Fatalf("issued cert does not chain to CA: %v", err)
+	}
+	if len(leaf.IPAddresses) != 1 || !leaf.IPAddresses[0].Equal(net.ParseIP("127.0.0.1")) {
+		t.Fatalf("IP SAN = %v", leaf.IPAddresses)
+	}
+}
+
+func TestDNSNameCert(t *testing.T) {
+	ca, _ := NewAuthority("vo-ca")
+	cert, err := ca.IssueHost("grid1.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, _ := x509.ParseCertificate(cert.Certificate[0])
+	if len(leaf.DNSNames) != 1 || leaf.DNSNames[0] != "grid1.example" {
+		t.Fatalf("DNS SAN = %v", leaf.DNSNames)
+	}
+}
+
+func TestSerialsAreUnique(t *testing.T) {
+	ca, _ := NewAuthority("vo-ca")
+	a, _ := ca.IssueHost("a")
+	b, _ := ca.IssueHost("b")
+	la, _ := x509.ParseCertificate(a.Certificate[0])
+	lb, _ := x509.ParseCertificate(b.Certificate[0])
+	if la.SerialNumber.Cmp(lb.SerialNumber) == 0 {
+		t.Fatal("serials must differ")
+	}
+}
+
+func TestEndToEndTLSHandshake(t *testing.T) {
+	ca, _ := NewAuthority("vo-ca")
+	serverConf, err := ca.ServerConfig("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", serverConf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := c.Read(buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = c.Write(buf)
+		done <- err
+	}()
+	conf := ca.ClientConfig()
+	conf.ServerName = "127.0.0.1"
+	c, err := tls.Dial("tcp", ln.Addr().String(), conf)
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo = %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

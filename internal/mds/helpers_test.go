@@ -1,0 +1,16 @@
+package mds
+
+import (
+	"glare/internal/wsrf"
+	"glare/internal/xmlutil"
+)
+
+func newTestHome() *wsrf.Home {
+	h := wsrf.NewHome("http://s/wsrf/services/ATR", "ActivityTypeKey", nil)
+	doc := xmlutil.NewNode("ActivityTypeEntry")
+	doc.SetAttr("name", "seed")
+	if _, err := h.Create("seed", doc); err != nil {
+		panic(err)
+	}
+	return h
+}

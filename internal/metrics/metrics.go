@@ -1,0 +1,179 @@
+// Package metrics implements the measurement instruments the experiments
+// need: a throughput meter (Figs. 10/11) and a Unix-style 1-minute load
+// average over a service's run queue (Fig. 13).
+//
+// The paper measures "the load average ... as the load on the Activity
+// Type Registry during the last minute (using Unix uptime command). The
+// load average is therefore a measure of the number of jobs waiting in the
+// run queue." Here the run queue is the set of requests currently being
+// handled by a service, sampled and exponentially decayed exactly like the
+// kernel's loadavg.
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Throughput measures completed operations per second over a window.
+type Throughput struct {
+	start time.Time
+	ops   atomic.Uint64
+}
+
+// NewThroughput starts a meter.
+func NewThroughput() *Throughput { return &Throughput{start: time.Now()} }
+
+// Add records n completed operations.
+func (t *Throughput) Add(n int) { t.ops.Add(uint64(n)) }
+
+// Ops returns the operation count.
+func (t *Throughput) Ops() uint64 { return t.ops.Load() }
+
+// PerSecond returns operations per wall-clock second since start.
+func (t *Throughput) PerSecond() float64 {
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.ops.Load()) / el
+}
+
+// LoadTracker computes a 1-minute exponentially-decayed load average of a
+// run queue. Callers bracket request handling with Enter/Exit; a sampler
+// goroutine (or explicit Sample calls, for deterministic tests) folds the
+// instantaneous queue length into the average.
+type LoadTracker struct {
+	mu      sync.Mutex
+	queue   int64
+	load    float64
+	period  time.Duration
+	window  time.Duration
+	decay   float64
+	samples uint64
+}
+
+// NewLoadTracker creates a tracker with the kernel's classic parameters:
+// 5-second sampling against a 1-minute window.
+func NewLoadTracker() *LoadTracker {
+	return NewLoadTrackerWith(5*time.Second, time.Minute)
+}
+
+// NewLoadTrackerWith creates a tracker with explicit sampling period and
+// averaging window.
+func NewLoadTrackerWith(period, window time.Duration) *LoadTracker {
+	t := &LoadTracker{period: period, window: window}
+	t.decay = math.Exp(-period.Seconds() / window.Seconds())
+	return t
+}
+
+// Enter marks a request entering the run queue.
+func (t *LoadTracker) Enter() {
+	t.mu.Lock()
+	t.queue++
+	t.mu.Unlock()
+}
+
+// Exit marks a request leaving the run queue.
+func (t *LoadTracker) Exit() {
+	t.mu.Lock()
+	if t.queue > 0 {
+		t.queue--
+	}
+	t.mu.Unlock()
+}
+
+// Queue returns the instantaneous run-queue length.
+func (t *LoadTracker) Queue() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.queue)
+}
+
+// Sample folds the current queue length into the load average, exactly as
+// the kernel does: load = load*decay + queue*(1-decay).
+func (t *LoadTracker) Sample() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.load = t.load*t.decay + float64(t.queue)*(1-t.decay)
+	t.samples++
+}
+
+// Load returns the current 1-minute load average.
+func (t *LoadTracker) Load() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.load
+}
+
+// Samples returns how many samples have been folded in.
+func (t *LoadTracker) Samples() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.samples
+}
+
+// Start launches the periodic sampler until stop is closed.
+func (t *LoadTracker) Start(stop <-chan struct{}) {
+	go func() {
+		tick := time.NewTicker(t.period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.Sample()
+			}
+		}
+	}()
+}
+
+// LatencyRecorder accumulates response-time observations (Fig. 12).
+type LatencyRecorder struct {
+	mu    sync.Mutex
+	total time.Duration
+	count int
+	max   time.Duration
+	min   time.Duration
+}
+
+// Observe records one response time.
+func (l *LatencyRecorder) Observe(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total += d
+	l.count++
+	if d > l.max {
+		l.max = d
+	}
+	if l.min == 0 || d < l.min {
+		l.min = d
+	}
+}
+
+// Mean returns the average response time.
+func (l *LatencyRecorder) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		return 0
+	}
+	return l.total / time.Duration(l.count)
+}
+
+// Count returns the number of observations.
+func (l *LatencyRecorder) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// MinMax returns the extreme observations.
+func (l *LatencyRecorder) MinMax() (time.Duration, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.min, l.max
+}

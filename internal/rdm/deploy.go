@@ -1,0 +1,547 @@
+package rdm
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+	"time"
+
+	"glare/internal/activity"
+	"glare/internal/cog"
+	"glare/internal/deployfile"
+	"glare/internal/expect"
+	"glare/internal/gridarm"
+	"glare/internal/simclock"
+	"glare/internal/site"
+	"glare/internal/superpeer"
+	"glare/internal/wsrf"
+	"glare/internal/xmlutil"
+)
+
+// Timings is the per-phase breakdown of one on-demand deployment, matching
+// the rows of Table 1 (all virtual time).
+type Timings struct {
+	TypeAddition   time.Duration
+	Communication  time.Duration
+	Installation   time.Duration
+	Registration   time.Duration
+	Notification   time.Duration
+	MethodOverhead time.Duration
+}
+
+// Total is the "Total overhead for meta-scheduler" row.
+func (t Timings) Total() time.Duration {
+	return t.TypeAddition + t.Communication + t.Installation +
+		t.Registration + t.Notification + t.MethodOverhead
+}
+
+func (t *Timings) add(o Timings) {
+	t.TypeAddition += o.TypeAddition
+	t.Communication += o.Communication
+	t.Installation += o.Installation
+	t.Registration += o.Registration
+	t.Notification += o.Notification
+	t.MethodOverhead += o.MethodOverhead
+}
+
+// DeployReport summarizes one on-demand deployment.
+type DeployReport struct {
+	Type        string
+	Site        string
+	Method      Method
+	Deployments []*activity.Deployment
+	Timings     Timings
+}
+
+// DeployOnDemand deploys a concrete activity type somewhere suitable in
+// the VO — on this site when its constraints match, otherwise on an
+// eligible peer — and returns the new deployments.
+func (s *Service) DeployOnDemand(typeName string, method Method) (*DeployReport, error) {
+	t, ok := s.LookupType(typeName)
+	if !ok {
+		return nil, fmt.Errorf("rdm: unknown activity type %q", typeName)
+	}
+	if t.Abstract {
+		return nil, fmt.Errorf("rdm: cannot deploy abstract type %q", typeName)
+	}
+	if t.Installation == nil {
+		return nil, fmt.Errorf("rdm: type %q has no installation description", typeName)
+	}
+	c := t.Installation.Constraints
+	if s.site.Attrs.Matches(c.Platform, c.OS, c.Arch) {
+		return s.DeployLocal(t, method)
+	}
+	// Find an eligible peer and hand the installation over to its RDM
+	// ("it invokes [the] deployment handler on the target site").
+	target, err := s.chooseTarget(t)
+	if err != nil {
+		return nil, err
+	}
+	return s.deployRemote(target, t, method)
+}
+
+// chooseTarget selects the best group peer for installing the type:
+// candidates are filtered by the type's constraints and ranked by the
+// GridARM broker ("in combination with GridARM's resource brokerage").
+func (s *Service) chooseTarget(t *activity.Type) (superpeer.SiteInfo, error) {
+	c := t.Installation.Constraints
+	req := gridarm.Request{Platform: c.Platform, OS: c.OS, Arch: c.Arch}
+	view := s.view()
+	byName := map[string]superpeer.SiteInfo{}
+	var candidates []site.Attributes
+	for _, peer := range view.Peers(s.selfName()) {
+		if s.client == nil {
+			break
+		}
+		resp, err := s.client.Call(peer.ServiceURL(ServiceName), "SiteAttrs", nil)
+		if err != nil || resp == nil {
+			continue
+		}
+		attrs := attrsFromXML(resp)
+		if !req.Satisfies(attrs) {
+			continue
+		}
+		byName[attrs.Name] = peer
+		candidates = append(candidates, attrs)
+	}
+	ranked := gridarm.Rank(candidates, req)
+	if len(ranked) == 0 {
+		return superpeer.SiteInfo{}, fmt.Errorf(
+			"rdm: no site in reach satisfies constraints %+v of %q", c, t.Name)
+	}
+	return byName[ranked[0].Attrs.Name], nil
+}
+
+// attrsFromXML parses a SiteAttrs response.
+func attrsFromXML(n *xmlutil.Node) site.Attributes {
+	atoi := func(s string) int {
+		v, _ := strconv.Atoi(s)
+		return v
+	}
+	return site.Attributes{
+		Name:         n.AttrOr("name", ""),
+		Platform:     n.AttrOr("platform", ""),
+		OS:           n.AttrOr("os", ""),
+		Arch:         n.AttrOr("arch", ""),
+		Processors:   atoi(n.AttrOr("processors", "0")),
+		ProcessorMHz: atoi(n.AttrOr("mhz", "0")),
+		MemoryMB:     atoi(n.AttrOr("memoryMB", "0")),
+	}
+}
+
+func (s *Service) deployRemote(target superpeer.SiteInfo, t *activity.Type, method Method) (*DeployReport, error) {
+	req := xmlutil.NewNode("Deploy")
+	req.SetAttr("method", string(method))
+	req.Add(t.ToXML())
+	resp, err := s.client.Call(target.ServiceURL(ServiceName), "DeployLocal", req)
+	if err != nil {
+		return nil, fmt.Errorf("rdm: remote deployment on %s: %w", target.Name, err)
+	}
+	report := &DeployReport{Type: t.Name, Site: target.Name, Method: method}
+	report.Deployments = deploymentsFromList(resp)
+	report.Timings = timingsFromXML(resp.First("Timings"))
+	// Cache the fresh deployments so subsequent lookups are local.
+	for _, d := range report.Deployments {
+		s.cacheDeployment(target, d)
+	}
+	return report, nil
+}
+
+// DeployLocal installs a concrete type on THIS site: dependencies first,
+// then the type itself, then registration of the identified deployments.
+func (s *Service) DeployLocal(t *activity.Type, method Method) (*DeployReport, error) {
+	return s.deployLocal(t, method, true)
+}
+
+// deployLocal is DeployLocal with control over the method overhead:
+// dependency installations reuse the parent's Expect session / CoG kit, so
+// only the top-level deployment pays the method's fixed cost (the paper's
+// Table 1 charges the Expect/CoG overhead once per application).
+func (s *Service) deployLocal(t *activity.Type, method Method, chargeOverhead bool) (*DeployReport, error) {
+	if method == "" {
+		method = MethodExpect
+	}
+	// If another request is already installing this type, wait for it and
+	// reuse its result instead of double-installing (look-ahead scheduling
+	// races the regular resolution path here by design).
+	s.mu.Lock()
+	if ch, busy := s.deploying[t.Name]; busy {
+		s.mu.Unlock()
+		<-ch
+		if deps := s.ADR.ByType(t.Name); len(deps) > 0 {
+			return &DeployReport{
+				Type: t.Name, Site: s.site.Attrs.Name, Method: method,
+				Deployments: deps,
+			}, nil
+		}
+		return nil, fmt.Errorf("rdm: concurrent deployment of %q failed", t.Name)
+	}
+	done := make(chan struct{})
+	s.deploying[t.Name] = done
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.deploying, t.Name)
+		s.mu.Unlock()
+		close(done)
+	}()
+
+	report := &DeployReport{Type: t.Name, Site: s.site.Attrs.Name, Method: method}
+
+	// Constraint check against this site.
+	if t.Installation != nil {
+		c := t.Installation.Constraints
+		if !s.site.Attrs.Matches(c.Platform, c.OS, c.Arch) {
+			return nil, fmt.Errorf("rdm: site %s does not satisfy constraints of %q",
+				s.site.Attrs.Name, t.Name)
+		}
+	}
+
+	// Activity Type Addition: make the type known to this site's registry.
+	sw := simclock.NewStopwatch(s.clock)
+	if _, known := s.ATR.Lookup(t.Name); !known {
+		s.clock.Sleep(s.costs.TypeAddition)
+		if _, err := s.RegisterType(t); err != nil {
+			return nil, err
+		}
+	}
+	report.Timings.TypeAddition = sw.Elapsed()
+
+	// Dependencies: "it discovers Java and Ant activity types ... and
+	// installs both ... automatically". Their cost folds into the parent's
+	// phases.
+	for _, depName := range t.Dependencies {
+		if len(s.ADR.ByType(depName)) > 0 {
+			continue // already deployed here
+		}
+		depType, ok := s.LookupType(depName)
+		if !ok {
+			return nil, fmt.Errorf("rdm: dependency %q of %q not found in VO", depName, t.Name)
+		}
+		depReport, err := s.deployLocal(depType, method, false)
+		if err != nil {
+			s.site.NotifyAdmin(
+				fmt.Sprintf("installation failed: %s", t.Name),
+				fmt.Sprintf("dependency %s failed: %v", depName, err))
+			return nil, fmt.Errorf("rdm: deploying dependency %q: %w", depName, err)
+		}
+		report.Timings.add(depReport.Timings)
+	}
+
+	// Fetch and resolve the deploy-file.
+	build, err := s.fetchBuild(t)
+	if err != nil {
+		return nil, err
+	}
+	cmds, err := build.Resolve(s.site.DefaultEnv())
+	if err != nil {
+		return nil, err
+	}
+
+	// Run the installation with the selected method.
+	var run cog.Result
+	switch method {
+	case MethodCoG:
+		cfg := s.cogCfg
+		if cfg == (cog.Config{}) {
+			cfg = cog.DefaultConfig()
+		}
+		if !chargeOverhead {
+			cfg.StartupOverhead = 0 // kit already started by the parent
+		}
+		runner := cog.NewRunner(cfg, s.clock, s.site.Repo)
+		run, err = runner.Run(s.site, cmds)
+	case MethodExpect:
+		run, err = s.runExpect(cmds, chargeOverhead)
+	default:
+		return nil, fmt.Errorf("rdm: unknown deployment method %q", method)
+	}
+	if err != nil {
+		s.site.NotifyAdmin(
+			fmt.Sprintf("installation failed: %s", t.Name),
+			fmt.Sprintf("deploy-file %s failed on %s: %v; contact the activity provider",
+				t.Installation.DeployFileURL, s.site.Attrs.Name, err))
+		return nil, fmt.Errorf("rdm: installing %q: %w", t.Name, err)
+	}
+	report.Timings.Communication += run.Communication
+	report.Timings.Installation += run.Installation
+	report.Timings.MethodOverhead += run.Overhead
+
+	// Identify and register the new deployments.
+	sw.Reset()
+	s.clock.Sleep(s.costs.Registration)
+	deps, err := s.identifyAndRegister(t)
+	if err != nil {
+		return nil, err
+	}
+	report.Timings.Registration += sw.Elapsed()
+	report.Deployments = deps
+
+	// Mark deployed and notify.
+	sw.Reset()
+	s.clock.Sleep(s.costs.Notification)
+	if err := s.ATR.MarkDeployed(t.Name, s.site.Attrs.Name); err != nil {
+		return nil, err
+	}
+	msg := xmlutil.NewNode("Deployed")
+	msg.SetAttr("type", t.Name)
+	msg.SetAttr("site", s.site.Attrs.Name)
+	s.broker.Publish(wsrf.TopicDeployment, t.Name, msg)
+	report.Timings.Notification += sw.Elapsed()
+	return report, nil
+}
+
+// fetchBuild resolves the provider's deploy-file for a type.
+func (s *Service) fetchBuild(t *activity.Type) (*deployfile.Build, error) {
+	if t.Installation == nil || t.Installation.DeployFileURL == "" {
+		return nil, fmt.Errorf("rdm: type %q has no deploy-file", t.Name)
+	}
+	if s.deployFiles == nil {
+		return nil, fmt.Errorf("rdm: no deploy-file resolver configured")
+	}
+	return s.deployFiles(t.Installation.DeployFileURL)
+}
+
+// runExpect executes resolved commands through the Expect-driven virtual
+// terminal (the paper's default deployment handler).
+func (s *Service) runExpect(cmds []deployfile.Command, chargeLogin bool) (cog.Result, error) {
+	var res cog.Result
+	sw := simclock.NewStopwatch(s.clock)
+	login := s.costs.ExpectLogin
+	if login <= 0 {
+		login = expectLoginDefault
+	}
+	if !chargeLogin {
+		login = -1 // session reuse: no additional login cost
+	}
+	sess := expect.Open(s.site, s.clock, login)
+	res.Overhead = sw.Elapsed()
+	sh := sess.Shell()
+	for _, c := range cmds {
+		for k, v := range c.Env {
+			sh.Setenv(k, v)
+		}
+		if c.BaseDir != "" {
+			s.site.FS.Mkdir(c.BaseDir)
+			if err := sh.Chdir(c.BaseDir); err != nil {
+				return res, err
+			}
+		}
+		if isTransferCmd(c.Cmdline) {
+			// Transfers go through GridFTP directly so that the
+			// deploy-file's md5sum is verified, exactly as the CoG path
+			// does.
+			sw.Reset()
+			f := strings.Fields(c.Cmdline)
+			if len(f) < 3 {
+				return res, fmt.Errorf("step %s: transfer needs source and destination", c.Step.Name)
+			}
+			dst := strings.TrimPrefix(f[2], "file://")
+			if err := s.FTP.FetchChecked(f[1], s.site, dst, deployfile.MD5OfStep(c.Step)); err != nil {
+				return res, fmt.Errorf("step %s: %w", c.Step.Name, err)
+			}
+			res.Communication += sw.Elapsed()
+			continue
+		}
+		var script expect.Script
+		for _, d := range c.Dialog {
+			script = append(script, expect.Step{Expect: d.Expect, Send: d.Send, Timeout: c.Timeout})
+		}
+		sw.Reset()
+		var err error
+		if len(script) > 0 {
+			_, err = sess.Interact(c.Cmdline, script)
+		} else {
+			_, err = sess.Exec(c.Cmdline)
+		}
+		if err != nil {
+			return res, fmt.Errorf("step %s: %w", c.Step.Name, err)
+		}
+		res.Installation += sw.Elapsed()
+	}
+	return res, nil
+}
+
+func isTransferCmd(cmdline string) bool {
+	f := strings.Fields(cmdline)
+	return len(f) > 0 && (f[0] == "globus-url-copy" || strings.HasSuffix(f[0], "/globus-url-copy"))
+}
+
+// identifyAndRegister finds the deployments produced by an installation —
+// from the artifact's executables under the deployment home ("exploring
+// [the] bin sub directory of the deployed activity home") and its exposed
+// services — and registers them in the local ADR.
+func (s *Service) identifyAndRegister(t *activity.Type) ([]*activity.Deployment, error) {
+	artifactName := t.Artifact
+	if artifactName == "" {
+		artifactName = t.Name
+	}
+	home := path.Join(s.site.DefaultEnv()["DEPLOYMENT_DIR"], strings.ToLower(artifactName))
+	var out []*activity.Deployment
+	for _, f := range s.site.FS.Executables(home) {
+		d := &activity.Deployment{
+			Name: path.Base(f.Path), Type: t.Name, Kind: activity.KindExecutable,
+			Site: s.site.Attrs.Name, Path: f.Path, Home: home,
+		}
+		if existing, ok := s.ADR.Get(d.Name); ok && existing.Type == t.Name {
+			out = append(out, existing)
+			continue
+		}
+		if _, err := s.ADR.Register(d); err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	if a, ok := s.site.Repo.ByName(artifactName); ok {
+		for _, svc := range a.Services {
+			if !s.site.HasService(svc) {
+				continue
+			}
+			addr := s.agentBase() + "/wsrf/services/" + svc
+			d := &activity.Deployment{
+				Name: svc, Type: t.Name, Kind: activity.KindService,
+				Site: s.site.Attrs.Name, Address: addr, Home: home,
+			}
+			if existing, ok := s.ADR.Get(d.Name); ok && existing.Type == t.Name {
+				out = append(out, existing)
+				continue
+			}
+			if _, err := s.ADR.Register(d); err != nil {
+				return nil, err
+			}
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rdm: installation of %q produced no deployments", t.Name)
+	}
+	return out, nil
+}
+
+func (s *Service) agentBase() string {
+	if s.agent != nil {
+		return s.agent.Self().BaseURL
+	}
+	return "http://" + s.site.Attrs.Name
+}
+
+// Undeploy removes a deployment (paper §6 future work): the registry entry
+// is destroyed, the executable removed from the site, the container
+// service withdrawn.
+func (s *Service) Undeploy(name string) error {
+	d, ok := s.ADR.Get(name)
+	if !ok {
+		return fmt.Errorf("rdm: no such deployment %q", name)
+	}
+	switch d.Kind {
+	case activity.KindExecutable:
+		s.site.FS.Remove(d.Path)
+	case activity.KindService:
+		s.site.UndeployService(d.Name)
+	}
+	if !s.ADR.Remove(name) {
+		return fmt.Errorf("rdm: removing %q from registry failed", name)
+	}
+	s.depCache.Invalidate("dep:" + name)
+	return nil
+}
+
+// Migrate moves a (failed) deployment to another eligible site: "if a
+// deployment fails on one site, it can be moved to another site."
+func (s *Service) Migrate(name string, method Method) (*DeployReport, error) {
+	d, ok := s.ADR.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("rdm: no such deployment %q", name)
+	}
+	t, ok := s.LookupType(d.Type)
+	if !ok {
+		return nil, fmt.Errorf("rdm: type %q of deployment %q not found", d.Type, name)
+	}
+	if t.Installation == nil {
+		return nil, fmt.Errorf("rdm: type %q cannot be reinstalled automatically", d.Type)
+	}
+	target, err := s.chooseTarget(t)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Undeploy(name); err != nil {
+		return nil, err
+	}
+	return s.deployRemote(target, t, method)
+}
+
+// Instantiate runs an executable deployment as a GRAM job (or touches a
+// service deployment), enforcing leases and recording the metrics the
+// Deployment Status Monitor exposes. ticketID 0 means unleased use, which
+// is allowed only when no exclusive lease is active.
+func (s *Service) Instantiate(name, client string, ticketID uint64, args string) error {
+	d, ok := s.ADR.Get(name)
+	if !ok {
+		return fmt.Errorf("rdm: no such deployment %q", name)
+	}
+	if ticketID != 0 {
+		if err := s.Leases.Authorize(ticketID, client, name); err != nil {
+			return err
+		}
+	} else if inUse, exclusive := s.Leases.InUse(name); inUse && exclusive {
+		return fmt.Errorf("rdm: deployment %q is exclusively leased", name)
+	}
+	start := s.clock.Now()
+	var code int
+	switch d.Kind {
+	case activity.KindExecutable:
+		_, c, err := s.Jobs.SubmitWait(d.Path+" "+args, d.Home, d.Env)
+		code = c
+		if err != nil {
+			code = 1
+		}
+	case activity.KindService:
+		if !s.site.HasService(d.Name) {
+			return fmt.Errorf("rdm: service %q is not hosted here", d.Name)
+		}
+		s.clock.Sleep(30 * time.Millisecond)
+	}
+	m := d.Metrics
+	m.LastExecutionTime = s.clock.Now().Sub(start)
+	m.LastReturnCode = code
+	m.LastInvocation = s.clock.Now()
+	m.Invocations++
+	if err := s.ADR.UpdateMetrics(name, m); err != nil {
+		return err
+	}
+	if code != 0 {
+		return fmt.Errorf("rdm: instantiation of %q exited with code %d", name, code)
+	}
+	return nil
+}
+
+func timingsFromXML(n *xmlutil.Node) Timings {
+	var t Timings
+	if n == nil {
+		return t
+	}
+	get := func(name string) time.Duration {
+		var ms int64
+		fmt.Sscanf(n.ChildText(name), "%d", &ms)
+		return time.Duration(ms) * time.Millisecond
+	}
+	t.TypeAddition = get("TypeAddition")
+	t.Communication = get("Communication")
+	t.Installation = get("Installation")
+	t.Registration = get("Registration")
+	t.Notification = get("Notification")
+	t.MethodOverhead = get("MethodOverhead")
+	return t
+}
+
+func (t Timings) toXML() *xmlutil.Node {
+	n := xmlutil.NewNode("Timings")
+	n.Elem("TypeAddition", fmt.Sprintf("%d", t.TypeAddition.Milliseconds()))
+	n.Elem("Communication", fmt.Sprintf("%d", t.Communication.Milliseconds()))
+	n.Elem("Installation", fmt.Sprintf("%d", t.Installation.Milliseconds()))
+	n.Elem("Registration", fmt.Sprintf("%d", t.Registration.Milliseconds()))
+	n.Elem("Notification", fmt.Sprintf("%d", t.Notification.Milliseconds()))
+	n.Elem("MethodOverhead", fmt.Sprintf("%d", t.MethodOverhead.Milliseconds()))
+	return n
+}

@@ -1,0 +1,218 @@
+package rdm
+
+import (
+	"strings"
+	"time"
+
+	"glare/internal/activity"
+	"glare/internal/epr"
+	"glare/internal/mds"
+	"glare/internal/superpeer"
+	"glare/internal/xmlutil"
+)
+
+// MonitorIntervals configures the background components.
+type MonitorIntervals struct {
+	CacheRefresh time.Duration
+	IndexProbe   time.Duration
+	StatusCheck  time.Duration
+	PeerLiveness time.Duration
+}
+
+// DefaultIntervals suits interactive use; tests call the single-pass
+// methods directly for determinism.
+func DefaultIntervals() MonitorIntervals {
+	return MonitorIntervals{
+		CacheRefresh: 5 * time.Second,
+		IndexProbe:   3 * time.Second,
+		StatusCheck:  5 * time.Second,
+		PeerLiveness: 2 * time.Second,
+	}
+}
+
+// StartMonitors launches the Cache Refresher, Index Monitor, Deployment
+// Status Monitor and super-peer liveness checks until Stop is called.
+// Intervals are real time.
+func (s *Service) StartMonitors(iv MonitorIntervals) {
+	if iv.CacheRefresh > 0 {
+		go s.loop(iv.CacheRefresh, func() { s.RefreshCaches() })
+	}
+	if iv.IndexProbe > 0 {
+		go s.loop(iv.IndexProbe, func() { s.CheckIndex() })
+	}
+	if iv.StatusCheck > 0 {
+		go s.loop(iv.StatusCheck, func() { s.CheckDeployments() })
+	}
+	if iv.PeerLiveness > 0 && s.agent != nil {
+		s.agent.StartMonitor(iv.PeerLiveness, s.stop)
+	}
+}
+
+func (s *Service) loop(interval time.Duration, fn func()) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
+
+// RefreshCaches is one Cache Refresher pass: cached deployments and types
+// whose source LastUpdateTime changed are revived; entries whose source is
+// gone are discarded. Index-style entries (merged lists) age out by TTL.
+func (s *Service) RefreshCaches() (revived, discarded int) {
+	probe := func(key string, source epr.EPR) (time.Time, error) {
+		switch {
+		case strings.HasPrefix(key, "dep:"), strings.HasPrefix(key, "type:"):
+			return s.probeLUT(source.Address, source.Key)
+		default:
+			// Merged lists have no single source; leave them to TTL.
+			return source.LastUpdateTime, nil
+		}
+	}
+	resolve := func(key string, source epr.EPR) (epr.EPR, *xmlutil.Node, error) {
+		op := "Get"
+		if strings.HasPrefix(key, "type:") {
+			op = "GetType"
+		}
+		resp, err := s.client.Call(source.Address, op, xmlutil.NewNode("Name", source.Key))
+		if err != nil {
+			return epr.EPR{}, nil, err
+		}
+		lut, err := s.probeLUT(source.Address, source.Key)
+		if err != nil {
+			return epr.EPR{}, nil, err
+		}
+		fresh := source
+		fresh.LastUpdateTime = lut
+		return fresh, resp, nil
+	}
+	r1, d1 := s.depCache.Refresh(probe, resolve)
+	r2, d2 := s.typeCache.Refresh(probe, resolve)
+	return r1 + r2, d1 + d2
+}
+
+// CheckIndex is one Index Monitor pass: "It periodically probes the GT4
+// Default Index to see whether it is a community index or local index. A
+// GLARE service on a site with [the] community index becomes super-peer
+// election coordinator and notifies all other Grid sites registered in the
+// community."
+func (s *Service) CheckIndex() error {
+	if s.localIndex == nil || s.agent == nil {
+		return nil
+	}
+	if s.localIndex.Kind() != mds.CommunityIndex {
+		return nil
+	}
+	sites := s.CommunitySites()
+	if len(sites) == 0 {
+		return nil
+	}
+	// Coordinate once per community composition: a new site joining the
+	// community index triggers a fresh election round that folds it into
+	// the groups.
+	s.mu.Lock()
+	if len(sites) == s.coordinatedFor {
+		s.mu.Unlock()
+		return nil
+	}
+	s.coordinatedFor = len(sites)
+	s.mu.Unlock()
+
+	_, err := s.agent.Coordinate(sites, superpeer.CoordinatorConfig{GroupSize: s.groupSize})
+	if err != nil {
+		s.mu.Lock()
+		s.coordinatedFor = 0
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// CommunitySites extracts the registered Grid sites from the community
+// index's aggregated document.
+func (s *Service) CommunitySites() []superpeer.SiteInfo {
+	if s.localIndex == nil {
+		return nil
+	}
+	res, err := s.localIndex.QueryString("//Site")
+	if err != nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []superpeer.SiteInfo
+	for _, n := range res.Nodes {
+		info, err := superpeer.SiteInfoFromXML(n)
+		if err != nil || seen[info.Name] {
+			continue
+		}
+		seen[info.Name] = true
+		out = append(out, info)
+	}
+	return out
+}
+
+// CheckDeployments is one Deployment Status Monitor pass: verify every
+// locally registered deployment still exists on the site (executable
+// present, service hosted), refresh its LastUpdateTime, sweep expired
+// resources, and restore any type that dropped below its provider-declared
+// deployment floor. Vanished deployments are unregistered and reported.
+func (s *Service) CheckDeployments() (alive int, removed []string) {
+	s.ATR.SweepExpired()
+	s.ADR.SweepExpired()
+	for _, d := range s.ADR.All() {
+		ok := true
+		switch d.Kind {
+		case activity.KindExecutable:
+			e := s.site.FS.Stat(d.Path)
+			ok = e != nil
+		case activity.KindService:
+			ok = s.site.HasService(d.Name)
+		}
+		if !ok {
+			s.ADR.Remove(d.Name)
+			removed = append(removed, d.Name)
+			continue
+		}
+		alive++
+		// Touch the resource: its LUT drives cache revival elsewhere.
+		_ = s.ADR.UpdateMetrics(d.Name, d.Metrics)
+	}
+	s.EnforceDeploymentFloor()
+	return alive, removed
+}
+
+// EnforceDeploymentFloor reinstalls types that fell below their provider's
+// MinDeployments bound ("a provider can also specify minimum and maximum
+// limits of deployments of an activity and the GLARE system ensures to
+// fulfil the implied constraints", §3.3). Only types this site is marked
+// deployed-on are restored here, so exactly one site heals each gap.
+// It returns the names of the types redeployed.
+func (s *Service) EnforceDeploymentFloor() []string {
+	var restored []string
+	for _, t := range s.ATR.Types() {
+		if t.MinDeployments <= 0 || t.Abstract || t.Installation == nil ||
+			t.Installation.Mode != activity.ModeOnDemand {
+			continue
+		}
+		deployedHere := false
+		for _, site := range s.ATR.DeployedOn(t.Name) {
+			if site == s.site.Attrs.Name {
+				deployedHere = true
+			}
+		}
+		if !deployedHere {
+			continue
+		}
+		if len(s.ATR.DeploymentRefs(t.Name)) >= t.MinDeployments {
+			continue
+		}
+		if _, err := s.DeployLocal(t, MethodExpect); err == nil {
+			restored = append(restored, t.Name)
+		}
+	}
+	return restored
+}

@@ -1,0 +1,247 @@
+package rdm
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"glare/internal/activity"
+	"glare/internal/lease"
+	"glare/internal/transport"
+	"glare/internal/wsrf"
+	"glare/internal/xmlutil"
+)
+
+// Mount exposes the RDM service (and the site's registries) on a transport
+// server. The RDM operation table is the protocol the distributed GLARE
+// framework speaks between sites.
+func (s *Service) Mount(srv *transport.Server) {
+	s.ATR.Mount(srv)
+	s.ADR.Mount(srv)
+	if s.agent != nil {
+		s.agent.Mount(srv)
+	}
+	if s.localIndex != nil {
+		s.localIndex.Mount(srv)
+	}
+	srv.RegisterService(ServiceName, map[string]transport.Handler{
+		// --- client entry points -------------------------------------
+		"GetDeployments": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			if body == nil {
+				return nil, fmt.Errorf("GetDeployments: missing request")
+			}
+			typeName := body.AttrOr("type", body.Text)
+			method := Method(body.AttrOr("method", string(MethodExpect)))
+			allow := body.AttrOr("deploy", "auto") != "never"
+			deps, err := s.GetDeployments(typeName, method, allow)
+			if err != nil {
+				return nil, err
+			}
+			return deploymentList(deps), nil
+		},
+		"RegisterType": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			t, err := activity.TypeFromXML(body)
+			if err != nil {
+				return nil, err
+			}
+			e, err := s.RegisterType(t)
+			if err != nil {
+				return nil, err
+			}
+			return e.ToXML("TypeEPR"), nil
+		},
+		"RegisterDeployment": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			d, err := activity.DeploymentFromXML(body)
+			if err != nil {
+				return nil, err
+			}
+			e, err := s.RegisterDeployment(d)
+			if err != nil {
+				return nil, err
+			}
+			return e.ToXML("DeploymentEPR"), nil
+		},
+		"Undeploy": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			if err := s.Undeploy(textOf(body)); err != nil {
+				return nil, err
+			}
+			return xmlutil.NewNode("Undeployed"), nil
+		},
+		"Instantiate": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			if body == nil {
+				return nil, fmt.Errorf("Instantiate: missing request")
+			}
+			ticket, _ := strconv.ParseUint(body.AttrOr("ticket", "0"), 10, 64)
+			err := s.Instantiate(body.AttrOr("name", ""), body.AttrOr("client", ""),
+				ticket, body.AttrOr("args", ""))
+			if err != nil {
+				return nil, err
+			}
+			return xmlutil.NewNode("Started"), nil
+		},
+
+		// --- overlay resolution protocol -----------------------------
+		"ConcreteOf": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			types, err := s.ATR.ConcreteOf(textOf(body))
+			if err != nil {
+				return nil, err
+			}
+			return typeList(types), nil
+		},
+		"GroupConcreteOf": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			return typeList(s.groupConcreteOf(textOf(body))), nil
+		},
+		"ForwardConcreteOf": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			name := textOf(body)
+			// Answer from our group first, then the other super-peers.
+			if types := s.groupConcreteOf(name); len(types) > 0 {
+				return typeList(types), nil
+			}
+			return typeList(s.superFanOut(name)), nil
+		},
+		"LocalDeployments": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			ds := s.ADR.ByType(textOf(body))
+			if s.scanDelay > 0 {
+				// Modeled container processing: proportional to the size
+				// of the local registry this site had to scan.
+				time.Sleep(time.Duration(s.ADR.Len()) * s.scanDelay)
+			}
+			return deploymentList(ds), nil
+		},
+		"GroupDeployments": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			return deploymentList(s.groupDeployments(textOf(body))), nil
+		},
+		"ForwardDeployments": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			name := textOf(body)
+			merged := map[string]*activity.Deployment{}
+			for _, d := range s.groupDeployments(name) {
+				merged[d.Name] = d
+			}
+			for _, d := range s.forwardDeployments(name) {
+				if _, dup := merged[d.Name]; !dup {
+					merged[d.Name] = d
+				}
+			}
+			return deploymentList(sortedDeployments(merged)), nil
+		},
+		"SiteAttrs": func(*xmlutil.Node) (*xmlutil.Node, error) {
+			a := s.site.Attrs
+			n := xmlutil.NewNode("Attrs")
+			n.SetAttr("name", a.Name)
+			n.SetAttr("platform", a.Platform)
+			n.SetAttr("os", a.OS)
+			n.SetAttr("arch", a.Arch)
+			n.SetAttr("processors", strconv.Itoa(a.Processors))
+			n.SetAttr("mhz", strconv.Itoa(a.ProcessorMHz))
+			n.SetAttr("memoryMB", strconv.Itoa(a.MemoryMB))
+			return n, nil
+		},
+		"DeployLocal": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			if body == nil {
+				return nil, fmt.Errorf("DeployLocal: missing request")
+			}
+			method := Method(body.AttrOr("method", string(MethodExpect)))
+			tNode := body.First("ActivityTypeEntry")
+			var t *activity.Type
+			if tNode != nil {
+				parsed, err := activity.TypeFromXML(tNode)
+				if err != nil {
+					return nil, err
+				}
+				t = parsed
+			} else {
+				name := body.AttrOr("type", "")
+				found, ok := s.LookupType(name)
+				if !ok {
+					return nil, fmt.Errorf("DeployLocal: unknown type %q", name)
+				}
+				t = found
+			}
+			report, err := s.DeployLocal(t, method)
+			if err != nil {
+				return nil, err
+			}
+			out := deploymentList(report.Deployments)
+			out.Add(report.Timings.toXML())
+			return out, nil
+		},
+
+		// --- leasing --------------------------------------------------
+		"AcquireLease": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			if body == nil {
+				return nil, fmt.Errorf("AcquireLease: missing request")
+			}
+			secs, _ := strconv.Atoi(body.AttrOr("seconds", "0"))
+			t, err := s.Leases.Acquire(
+				body.AttrOr("deployment", ""), body.AttrOr("client", ""),
+				lease.Kind(body.AttrOr("kind", string(lease.Shared))),
+				time.Duration(secs)*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			n := xmlutil.NewNode("Ticket")
+			n.SetAttr("id", strconv.FormatUint(t.ID, 10))
+			n.SetAttr("deployment", t.Deployment)
+			n.SetAttr("kind", string(t.Kind))
+			return n, nil
+		},
+		"ReleaseLease": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			id, _ := strconv.ParseUint(textOf(body), 10, 64)
+			if err := s.Leases.Release(id); err != nil {
+				return nil, err
+			}
+			return xmlutil.NewNode("Released"), nil
+		},
+
+		// --- notification ---------------------------------------------
+		"Subscribe": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+			if body == nil {
+				return nil, fmt.Errorf("Subscribe: missing request")
+			}
+			topic := body.AttrOr("topic", wsrf.TopicDeployment)
+			sinkURL := body.AttrOr("sink", "")
+			if sinkURL == "" {
+				return nil, fmt.Errorf("Subscribe: missing sink address")
+			}
+			id, err := s.broker.Subscribe(topic, wsrf.SinkFunc(func(n wsrf.Notification) {
+				msg := xmlutil.NewNode("Notification")
+				msg.SetAttr("topic", n.Topic)
+				msg.SetAttr("producer", n.Producer)
+				if n.Message != nil {
+					msg.Add(n.Message.Clone())
+				}
+				_, _ = s.client.Call(sinkURL, "Notify", msg)
+			}))
+			if err != nil {
+				return nil, err
+			}
+			n := xmlutil.NewNode("Subscription")
+			n.SetAttr("id", strconv.FormatUint(uint64(id), 10))
+			n.SetAttr("topic", topic)
+			return n, nil
+		},
+	})
+}
+
+func textOf(body *xmlutil.Node) string {
+	if body == nil {
+		return ""
+	}
+	return body.Text
+}
+
+func typeList(ts []*activity.Type) *xmlutil.Node {
+	n := xmlutil.NewNode("Types")
+	for _, t := range ts {
+		n.Add(t.ToXML())
+	}
+	return n
+}
+
+func deploymentList(ds []*activity.Deployment) *xmlutil.Node {
+	n := xmlutil.NewNode("Deployments")
+	for _, d := range ds {
+		n.Add(d.ToXML())
+	}
+	return n
+}

@@ -1,0 +1,223 @@
+// Package rdm implements the GLARE Registration, Deployment and Monitoring
+// service — "the main frontend service which consists of components
+// including Request Manager, Deployment Manager, Cache Refresher, Index
+// Monitor and Deployment Status Monitor" (paper §3.2).
+//
+// One Service runs per Grid site. Clients only ever talk to their local
+// RDM ("clients ... interact only with their local sites"): the service
+// resolves activity types and deployments from the local registries, its
+// caches, the peer group, and — through the super-peer — the rest of the
+// VO, and performs on-demand deployment when a requested type has no
+// deployment anywhere.
+package rdm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"glare/internal/adr"
+	"glare/internal/atr"
+	"glare/internal/cache"
+	"glare/internal/cog"
+	"glare/internal/deployfile"
+	"glare/internal/gram"
+	"glare/internal/gridftp"
+	"glare/internal/lease"
+	"glare/internal/mds"
+	"glare/internal/metrics"
+	"glare/internal/simclock"
+	"glare/internal/site"
+	"glare/internal/superpeer"
+	"glare/internal/transport"
+	"glare/internal/wsrf"
+)
+
+// ServiceName is the RDM's transport mount point.
+const ServiceName = "GLARE"
+
+// Method selects the deployment mechanics of Table 1.
+type Method string
+
+const (
+	MethodExpect Method = "expect"
+	MethodCoG    Method = "cog"
+)
+
+// DeployCosts models the WSRF interaction costs of the deployment phases
+// that are not otherwise simulated (remote resource creation, notification
+// delivery). Values calibrated against Table 1.
+type DeployCosts struct {
+	TypeAddition time.Duration // "Activity Type Addition"  (~630-665 ms)
+	Registration time.Duration // "Activity Deployment Registration" (~350 ms)
+	Notification time.Duration // "Notification" (345 ms)
+	ExpectLogin  time.Duration // "Expect Overhead" (2,100 ms)
+}
+
+// DefaultDeployCosts matches the Table 1 calibration.
+func DefaultDeployCosts() DeployCosts {
+	return DeployCosts{
+		TypeAddition: 640 * time.Millisecond,
+		Registration: 352 * time.Millisecond,
+		Notification: 345 * time.Millisecond,
+		ExpectLogin:  expectLoginDefault,
+	}
+}
+
+const expectLoginDefault = 2100 * time.Millisecond
+
+// Config assembles one site's RDM service.
+type Config struct {
+	Site  *site.Site
+	Clock simclock.Clock
+	// Client talks to remote services; TLS config must match the VO.
+	Client *transport.Client
+	// Agent is the super-peer overlay participant for this site.
+	Agent *superpeer.Agent
+	// LocalIndex is the site's GT4 Default Index (may be the community
+	// index on the root site); probed by the Index Monitor.
+	LocalIndex *mds.Index
+	// GroupSize is the super-peer group size used when this site becomes
+	// election coordinator; zero uses the overlay default.
+	GroupSize int
+	// DeployFiles resolves deploy-file URLs published by providers.
+	DeployFiles func(url string) (*deployfile.Build, error)
+	// Costs are the modeled WSRF operation costs (Table 1 calibration).
+	Costs DeployCosts
+	// CacheTTL bounds cached remote resources; zero = cache.DefaultTTL.
+	CacheTTL time.Duration
+	// CacheDisabled turns local caching off (the Fig. 12 "without cache"
+	// configuration).
+	CacheDisabled bool
+	// ScanDelayPerEntry models the remote registry container's processing
+	// time per scanned deployment entry when answering LocalDeployments.
+	// It is a blocking delay, so scans on different (simulated) sites
+	// overlap like real machines would; zero disables the model.
+	ScanDelayPerEntry time.Duration
+	// TransferCost configures the Expect path's direct GridFTP transfers.
+	TransferCost gridftp.CostModel
+	// CoG configures the JavaCoG deployment path.
+	CoG cog.Config
+}
+
+// Service is one site's GLARE RDM.
+type Service struct {
+	site   *site.Site
+	clock  simclock.Clock
+	client *transport.Client
+
+	ATR    *atr.Registry
+	ADR    *adr.Registry
+	Leases *lease.Service
+	Jobs   *gram.Manager
+	FTP    *gridftp.Client
+
+	agent      *superpeer.Agent
+	localIndex *mds.Index
+	groupSize  int
+	scanDelay  time.Duration
+	broker     *wsrf.Broker
+
+	typeCache *cache.Cache
+	depCache  *cache.Cache
+	cacheOff  bool
+
+	deployFiles func(url string) (*deployfile.Build, error)
+	costs       DeployCosts
+	cogCfg      cog.Config
+
+	// Load is the request-manager run-queue tracker (Fig. 13).
+	Load *metrics.LoadTracker
+
+	mu             sync.Mutex
+	deploying      map[string]chan struct{} // in-flight deployments by type
+	coordinatedFor int                      // community size the last election covered
+	stop           chan struct{}
+	stopOnce       sync.Once
+}
+
+// New assembles the service (does not start background monitors; call
+// StartMonitors for that).
+func New(cfg Config) (*Service, error) {
+	if cfg.Site == nil {
+		return nil, fmt.Errorf("rdm: config needs a site")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real
+	}
+	if cfg.Costs == (DeployCosts{}) {
+		cfg.Costs = DefaultDeployCosts()
+	}
+	broker := wsrf.NewBroker(clock)
+	var agentSelf superpeer.SiteInfo
+	if cfg.Agent != nil {
+		agentSelf = cfg.Agent.Self()
+	}
+	atrURL := agentSelf.ServiceURL(atr.ServiceName)
+	adrURL := agentSelf.ServiceURL(adr.ServiceName)
+	typesReg := atr.New(atrURL, clock, broker)
+	depsReg := adr.New(adrURL, typesReg, clock, broker)
+	ftp := gridftp.NewClient(clock, cfg.Site.Repo, cfg.TransferCost)
+	ftp.Attach(cfg.Site)
+	s := &Service{
+		site:        cfg.Site,
+		clock:       clock,
+		client:      cfg.Client,
+		ATR:         typesReg,
+		ADR:         depsReg,
+		Leases:      lease.NewService(clock),
+		Jobs:        gram.NewManager(cfg.Site, clock),
+		FTP:         ftp,
+		agent:       cfg.Agent,
+		localIndex:  cfg.LocalIndex,
+		groupSize:   cfg.GroupSize,
+		scanDelay:   cfg.ScanDelayPerEntry,
+		broker:      broker,
+		typeCache:   cache.New(clock, cfg.CacheTTL),
+		depCache:    cache.New(clock, cfg.CacheTTL),
+		cacheOff:    cfg.CacheDisabled,
+		deployFiles: cfg.DeployFiles,
+		costs:       cfg.Costs,
+		cogCfg:      cfg.CoG,
+		Load:        metrics.NewLoadTracker(),
+		deploying:   make(map[string]chan struct{}),
+		stop:        make(chan struct{}),
+	}
+	// Expiry cascade: destroying a type expires its deployments (§3.3).
+	s.ATR.OnRemove(func(typeName string) {
+		s.ADR.ExpireByType(typeName)
+	})
+	return s, nil
+}
+
+// Site returns the underlying grid site.
+func (s *Service) Site() *site.Site { return s.site }
+
+// Broker returns the notification broker shared by the registries.
+func (s *Service) Broker() *wsrf.Broker { return s.broker }
+
+// Agent returns the overlay agent (may be nil in single-site setups).
+func (s *Service) Agent() *superpeer.Agent { return s.agent }
+
+// Clock returns the service clock.
+func (s *Service) Clock() simclock.Clock { return s.clock }
+
+// SetCacheDisabled toggles local caching (Fig. 12 configurations).
+func (s *Service) SetCacheDisabled(off bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheOff = off
+	if off {
+		s.typeCache.Clear()
+		s.depCache.Clear()
+	}
+}
+
+// CacheStats reports the combined type+deployment cache statistics.
+func (s *Service) CacheStats() (types, deps cache.Stats) {
+	return s.typeCache.Stats(), s.depCache.Stats()
+}
+
+// Stop terminates background monitors.
+func (s *Service) Stop() { s.stopOnce.Do(func() { close(s.stop) }) }

@@ -1,0 +1,490 @@
+package rdm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"glare/internal/activity"
+	"glare/internal/adr"
+	"glare/internal/atr"
+	"glare/internal/epr"
+	"glare/internal/superpeer"
+	"glare/internal/xmlutil"
+)
+
+// RegisterType registers an activity type with the local GLARE service and
+// aggregates it into the site's index. "Notice that the registration of an
+// activity type is done only on a single Grid site, and GLARE takes care
+// of distributing and deploying it on other sites on-demand."
+func (s *Service) RegisterType(t *activity.Type) (epr.EPR, error) {
+	e, err := s.ATR.Register(t)
+	if err != nil {
+		return epr.EPR{}, err
+	}
+	if s.localIndex != nil {
+		s.localIndex.Register(e, t.ToXML())
+	}
+	return e, nil
+}
+
+// RegisterDeployment registers an existing deployment (e.g. pre-installed
+// software an administrator wants to expose) with the local registries.
+func (s *Service) RegisterDeployment(d *activity.Deployment) (epr.EPR, error) {
+	if d.Site == "" {
+		d.Site = s.site.Attrs.Name
+	}
+	return s.ADR.Register(d)
+}
+
+// GetDeployments is the Request Manager's client entry point (Example 3):
+// resolve the activity type (anywhere in the hierarchy), locate its
+// deployments across the VO, and — when none exist and the type supports
+// it — deploy on demand. The returned deployments are ready for selection
+// by a scheduler.
+func (s *Service) GetDeployments(typeName string, method Method, allowDeploy bool) ([]*activity.Deployment, error) {
+	s.Load.Enter()
+	defer s.Load.Exit()
+
+	concrete, err := s.ResolveConcrete(typeName)
+	if err != nil {
+		return nil, err
+	}
+	if len(concrete) == 0 {
+		return nil, fmt.Errorf("rdm: no activity type matching %q in the VO", typeName)
+	}
+	var out []*activity.Deployment
+	for _, ct := range concrete {
+		out = append(out, s.ResolveDeployments(ct.Name)...)
+	}
+	if len(out) > 0 {
+		return dedupeDeployments(out), nil
+	}
+	if !allowDeploy {
+		return nil, fmt.Errorf("rdm: no deployments of %q and on-demand deployment disabled", typeName)
+	}
+	// On-demand deployment of the first installable concrete type.
+	var lastErr error
+	for _, ct := range concrete {
+		if ct.Installation == nil {
+			continue
+		}
+		if ct.Installation.Mode == activity.ModeManual {
+			s.site.NotifyAdmin(
+				fmt.Sprintf("manual installation required: %s", ct.Name),
+				fmt.Sprintf("activity type %s requires manual deployment; see provider deploy-file %s",
+					ct.Name, ct.Installation.DeployFileURL))
+			lastErr = fmt.Errorf("rdm: type %q is manual-install; administrator notified", ct.Name)
+			continue
+		}
+		report, err := s.DeployOnDemand(ct.Name, method)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return report.Deployments, nil
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("rdm: no deployments of %q and no installable concrete type", typeName)
+}
+
+// ResolveConcrete resolves a type name (abstract or concrete, per Fig. 2)
+// to concrete types, looking successively at the local registry, the local
+// cache, the peer group, and — through the super-peer — the wider VO.
+func (s *Service) ResolveConcrete(typeName string) ([]*activity.Type, error) {
+	// 1. Local hierarchy (hash lookup + subtype closure).
+	local, err := s.ATR.ConcreteOf(typeName)
+	if err != nil {
+		return nil, err
+	}
+	if len(local) > 0 {
+		return local, nil
+	}
+	// 2. Cache.
+	if !s.cacheOff {
+		if e, ok := s.typeCache.Get("concrete:" + typeName); ok {
+			return typesFromList(e.Doc), nil
+		}
+	}
+	// 3. Peer group (peer-to-peer interaction within the group).
+	view := s.view()
+	for _, peer := range view.Peers(s.selfName()) {
+		if types := s.remoteConcreteOf(peer, typeName); len(types) > 0 {
+			s.cacheTypes(typeName, peer, types)
+			return types, nil
+		}
+	}
+	// 4. Super-peer forwarding ("A super-peer is contacted when other
+	// peers could not find information ... It then forwards requests to
+	// other super-peers and caches the results").
+	if types := s.forwardConcreteOf(typeName); len(types) > 0 {
+		return types, nil
+	}
+	return nil, nil
+}
+
+// remoteConcreteOf asks one remote RDM for its local concrete resolution.
+func (s *Service) remoteConcreteOf(target superpeer.SiteInfo, typeName string) []*activity.Type {
+	if s.client == nil || target.IsZero() {
+		return nil
+	}
+	resp, err := s.client.Call(target.ServiceURL(ServiceName), "ConcreteOf",
+		xmlutil.NewNode("Name", typeName))
+	if err != nil || resp == nil {
+		return nil
+	}
+	return typesFromList(resp)
+}
+
+// forwardConcreteOf routes the lookup through the super-peer overlay.
+func (s *Service) forwardConcreteOf(typeName string) []*activity.Type {
+	view := s.view()
+	if view.SuperPeer.IsZero() {
+		return nil
+	}
+	if view.SuperPeer.Name == s.selfName() {
+		// We are the super-peer: fan out to the other super-peers' groups.
+		return s.superFanOut(typeName)
+	}
+	if s.client == nil {
+		return nil
+	}
+	resp, err := s.client.Call(view.SuperPeer.ServiceURL(ServiceName), "ForwardConcreteOf",
+		xmlutil.NewNode("Name", typeName))
+	if err != nil || resp == nil {
+		return nil
+	}
+	types := typesFromList(resp)
+	if len(types) > 0 {
+		s.cacheTypes(typeName, view.SuperPeer, types)
+	}
+	return types
+}
+
+// superFanOut is the super-peer side of type forwarding: ask every other
+// super-peer to answer from its group, cache what comes back.
+func (s *Service) superFanOut(typeName string) []*activity.Type {
+	view := s.view()
+	for _, sp := range view.SuperPeers {
+		if sp.Name == s.selfName() || s.client == nil {
+			continue
+		}
+		resp, err := s.client.Call(sp.ServiceURL(ServiceName), "GroupConcreteOf",
+			xmlutil.NewNode("Name", typeName))
+		if err != nil || resp == nil {
+			continue
+		}
+		if types := typesFromList(resp); len(types) > 0 {
+			s.cacheTypes(typeName, sp, types)
+			return types
+		}
+	}
+	return nil
+}
+
+// groupConcreteOf answers a forwarded lookup from this super-peer's group:
+// our own registry plus every group member's.
+func (s *Service) groupConcreteOf(typeName string) []*activity.Type {
+	local, err := s.ATR.ConcreteOf(typeName)
+	if err == nil && len(local) > 0 {
+		return local
+	}
+	view := s.view()
+	for _, peer := range view.Peers(s.selfName()) {
+		if types := s.remoteConcreteOf(peer, typeName); len(types) > 0 {
+			return types
+		}
+	}
+	return nil
+}
+
+// ResolveDeployments collects the deployments of a concrete type from the
+// whole VO: local registry, cache, peer group, super-peer fan-out. Results
+// are merged (Fig. 12 spreads deployments across sites and expects the
+// full list back).
+func (s *Service) ResolveDeployments(typeName string) []*activity.Deployment {
+	merged := map[string]*activity.Deployment{}
+	for _, d := range s.ADR.ByType(typeName) {
+		merged[d.Name] = d
+	}
+	// Cache: a per-type index of deployment names, each name its own
+	// cached entry (so LUT-based revival works per deployment).
+	if !s.cacheOff {
+		if idx, ok := s.depCache.Get("index:" + typeName); ok {
+			for _, n := range idx.Doc.All("Name") {
+				if e, ok := s.depCache.Get("dep:" + n.Text); ok {
+					if d, err := activity.DeploymentFromXML(e.Doc); err == nil {
+						if _, dup := merged[d.Name]; !dup {
+							merged[d.Name] = d
+						}
+					}
+				}
+			}
+			if len(merged) > 0 {
+				return sortedDeployments(merged)
+			}
+		}
+	}
+	// Peer group — queried concurrently: with deployments spread across k
+	// sites each registry scans only its share, so the wall-clock cost of
+	// one request drops as k grows (the Fig. 12 effect).
+	view := s.view()
+	for peer, ds := range s.fanOutDeployments(view.Peers(s.selfName()), typeName) {
+		for _, d := range ds {
+			if _, dup := merged[d.Name]; !dup {
+				merged[d.Name] = d
+				s.cacheDeployment(peer, d)
+			}
+		}
+	}
+	// Super-peer fan-out — only on a group-wide miss: "A super-peer is
+	// contacted when other peers could not find information about some
+	// activity types or deployments within the group."
+	if len(merged) == 0 {
+		for _, d := range s.forwardDeployments(typeName) {
+			if _, dup := merged[d.Name]; !dup {
+				merged[d.Name] = d
+			}
+		}
+	}
+	out := sortedDeployments(merged)
+	if !s.cacheOff && len(out) > 0 {
+		idx := xmlutil.NewNode("Index")
+		for _, d := range out {
+			idx.Elem("Name", d.Name)
+		}
+		s.depCache.Put("index:"+typeName, epr.EPR{}, idx)
+	}
+	return out
+}
+
+func (s *Service) remoteDeployments(target superpeer.SiteInfo, typeName string) []*activity.Deployment {
+	if s.client == nil || target.IsZero() {
+		return nil
+	}
+	resp, err := s.client.Call(target.ServiceURL(ServiceName), "LocalDeployments",
+		xmlutil.NewNode("Type", typeName))
+	if err != nil || resp == nil {
+		return nil
+	}
+	return deploymentsFromList(resp)
+}
+
+func (s *Service) forwardDeployments(typeName string) []*activity.Deployment {
+	view := s.view()
+	if view.SuperPeer.IsZero() {
+		return nil
+	}
+	if view.SuperPeer.Name == s.selfName() {
+		var out []*activity.Deployment
+		for _, sp := range view.SuperPeers {
+			if sp.Name == s.selfName() || s.client == nil {
+				continue
+			}
+			resp, err := s.client.Call(sp.ServiceURL(ServiceName), "GroupDeployments",
+				xmlutil.NewNode("Type", typeName))
+			if err != nil || resp == nil {
+				continue
+			}
+			for _, d := range deploymentsFromList(resp) {
+				out = append(out, d)
+				s.cacheDeployment(sp, d)
+			}
+		}
+		return out
+	}
+	if s.client == nil {
+		return nil
+	}
+	resp, err := s.client.Call(view.SuperPeer.ServiceURL(ServiceName), "ForwardDeployments",
+		xmlutil.NewNode("Type", typeName))
+	if err != nil || resp == nil {
+		return nil
+	}
+	out := deploymentsFromList(resp)
+	for _, d := range out {
+		s.cacheDeployment(view.SuperPeer, d)
+	}
+	return out
+}
+
+// groupDeployments answers a forwarded deployment lookup from this
+// super-peer's whole group, fanning out to the members concurrently.
+func (s *Service) groupDeployments(typeName string) []*activity.Deployment {
+	merged := map[string]*activity.Deployment{}
+	for _, d := range s.ADR.ByType(typeName) {
+		merged[d.Name] = d
+	}
+	view := s.view()
+	for _, ds := range s.fanOutDeployments(view.Peers(s.selfName()), typeName) {
+		for _, d := range ds {
+			if _, dup := merged[d.Name]; !dup {
+				merged[d.Name] = d
+			}
+		}
+	}
+	return sortedDeployments(merged)
+}
+
+// fanOutDeployments queries several remote registries concurrently.
+func (s *Service) fanOutDeployments(peers []superpeer.SiteInfo, typeName string) map[superpeer.SiteInfo][]*activity.Deployment {
+	out := make(map[superpeer.SiteInfo][]*activity.Deployment, len(peers))
+	if len(peers) == 0 {
+		return out
+	}
+	type answer struct {
+		peer superpeer.SiteInfo
+		ds   []*activity.Deployment
+	}
+	ch := make(chan answer, len(peers))
+	for _, peer := range peers {
+		go func(p superpeer.SiteInfo) {
+			ch <- answer{peer: p, ds: s.remoteDeployments(p, typeName)}
+		}(peer)
+	}
+	for range peers {
+		a := <-ch
+		if len(a.ds) > 0 {
+			out[a.peer] = a.ds
+		}
+	}
+	return out
+}
+
+// ----------------------------------------------------------- cache plumbing
+
+func (s *Service) cacheTypes(queryName string, source superpeer.SiteInfo, types []*activity.Type) {
+	if s.cacheOff {
+		return
+	}
+	list := xmlutil.NewNode("Types")
+	for _, t := range types {
+		list.Add(t.ToXML())
+	}
+	src := epr.New(source.ServiceURL(atr.ServiceName), atr.KeyName, queryName)
+	src.LastUpdateTime = s.clock.Now()
+	s.typeCache.Put("concrete:"+queryName, src, list)
+}
+
+func (s *Service) cacheDeployment(source superpeer.SiteInfo, d *activity.Deployment) {
+	if s.cacheOff {
+		return
+	}
+	src := epr.New(source.ServiceURL(adr.ServiceName), adr.KeyName, d.Name)
+	src.LastUpdateTime = s.clock.Now()
+	s.depCache.Put("dep:"+d.Name, src, d.ToXML())
+}
+
+// ----------------------------------------------------------------- helpers
+
+func (s *Service) selfName() string {
+	if s.agent != nil {
+		return s.agent.Self().Name
+	}
+	return s.site.Attrs.Name
+}
+
+func (s *Service) view() superpeer.View {
+	if s.agent == nil {
+		return superpeer.View{}
+	}
+	return s.agent.View()
+}
+
+func typesFromList(list *xmlutil.Node) []*activity.Type {
+	var out []*activity.Type
+	for _, n := range list.All("ActivityTypeEntry") {
+		if t, err := activity.TypeFromXML(n); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func deploymentsFromList(list *xmlutil.Node) []*activity.Deployment {
+	var out []*activity.Deployment
+	for _, n := range list.All("ActivityDeployment") {
+		if d, err := activity.DeploymentFromXML(n); err == nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func sortedDeployments(m map[string]*activity.Deployment) []*activity.Deployment {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*activity.Deployment, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func dedupeDeployments(in []*activity.Deployment) []*activity.Deployment {
+	m := map[string]*activity.Deployment{}
+	for _, d := range in {
+		if _, dup := m[d.Name]; !dup {
+			m[d.Name] = d
+		}
+	}
+	return sortedDeployments(m)
+}
+
+// LookupType finds a single named type locally, in cache, or remotely.
+func (s *Service) LookupType(name string) (*activity.Type, bool) {
+	if t, ok := s.ATR.Lookup(name); ok {
+		return t, true
+	}
+	if !s.cacheOff {
+		if e, ok := s.typeCache.Get("type:" + name); ok {
+			if t, err := activity.TypeFromXML(e.Doc); err == nil {
+				return t, true
+			}
+		}
+	}
+	view := s.view()
+	targets := view.Peers(s.selfName())
+	if !view.SuperPeer.IsZero() && view.SuperPeer.Name != s.selfName() {
+		targets = append(targets, view.SuperPeer)
+	}
+	for _, peer := range targets {
+		if s.client == nil {
+			break
+		}
+		resp, err := s.client.Call(peer.ServiceURL(atr.ServiceName), "GetType",
+			xmlutil.NewNode("Name", name))
+		if err != nil || resp == nil {
+			continue
+		}
+		t, err := activity.TypeFromXML(resp)
+		if err != nil {
+			continue
+		}
+		if !s.cacheOff {
+			src := epr.New(peer.ServiceURL(atr.ServiceName), atr.KeyName, name)
+			src.LastUpdateTime = s.clock.Now()
+			s.typeCache.Put("type:"+name, src, resp.Clone())
+		}
+		return t, true
+	}
+	return nil, false
+}
+
+// probeLUT fetches the current LastUpdateTime of a remote resource for the
+// cache refresher.
+func (s *Service) probeLUT(service string, key string) (time.Time, error) {
+	if s.client == nil {
+		return time.Time{}, fmt.Errorf("rdm: no client")
+	}
+	resp, err := s.client.Call(service, "GetLUT", xmlutil.NewNode("Name", key))
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Parse(epr.TimeLayout, resp.Text)
+}

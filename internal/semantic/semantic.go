@@ -1,0 +1,168 @@
+// Package semantic implements capability-based activity-type search — the
+// paper's future-work item: "we plan to augment activity types with
+// ontological description so that activity types can be searched for
+// based on a semantic description" (§6, referencing [37]).
+//
+// A query describes WHAT the requester needs — a function, its inputs and
+// outputs, a domain — and matching ranks the registered types by how well
+// their (inherited) functional descriptions satisfy it. Inheritance
+// matters: a concrete type satisfies a query if any of its base types
+// provides the capability, which is exactly what the abstract/concrete
+// hierarchy encodes.
+package semantic
+
+import (
+	"sort"
+	"strings"
+
+	"glare/internal/activity"
+)
+
+// Query is a semantic description of a needed capability. Empty fields
+// are unconstrained. String matching is case-insensitive; inputs/outputs
+// match if the type's port list contains every requested name.
+type Query struct {
+	// Function is the behaviour wanted, e.g. "render".
+	Function string
+	// Inputs and Outputs the function must accept/produce.
+	Inputs  []string
+	Outputs []string
+	// Domain restricts the type's domain, e.g. "Imaging".
+	Domain string
+	// ConcreteOnly drops abstract types from the results (a scheduler
+	// wants deployable types; a composer may want abstract ones).
+	ConcreteOnly bool
+}
+
+// IsZero reports whether the query is unconstrained.
+func (q Query) IsZero() bool {
+	return q.Function == "" && len(q.Inputs) == 0 && len(q.Outputs) == 0 && q.Domain == ""
+}
+
+// Match is one scored result.
+type Match struct {
+	Type *activity.Type
+	// Score in (0,1]: 1.0 is a perfect match of every constraint.
+	Score float64
+	// Via names the type (possibly a base type) whose function satisfied
+	// the query; empty when only domain matched.
+	Via string
+}
+
+// Search ranks the hierarchy's types against the query, best first. Ties
+// break by type name for determinism.
+func Search(h *activity.Hierarchy, q Query) []Match {
+	var out []Match
+	for _, name := range h.Names() {
+		t, _ := h.Lookup(name)
+		if q.ConcreteOnly && t.Abstract {
+			continue
+		}
+		if m, ok := score(h, t, q); ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Type.Name < out[j].Type.Name
+	})
+	return out
+}
+
+// score evaluates one type against the query.
+func score(h *activity.Hierarchy, t *activity.Type, q Query) (Match, bool) {
+	if q.IsZero() {
+		return Match{Type: t, Score: 0.1}, true
+	}
+	total := 0.0
+	weight := 0.0
+
+	if q.Domain != "" {
+		weight += 1
+		if fold(t.Domain) == fold(q.Domain) {
+			total += 1
+		} else {
+			return Match{}, false // domain is a hard constraint
+		}
+	}
+
+	via := ""
+	if q.Function != "" || len(q.Inputs) > 0 || len(q.Outputs) > 0 {
+		weight += 3
+		best := 0.0
+		// A type offers its own functions plus everything inherited from
+		// its bases ("inherits functional description of the base types").
+		fns := h.InheritedFunctions(t.Name)
+		for _, f := range fns {
+			s, source := scoreFunction(f, q)
+			if s > best {
+				best = s
+				via = source
+			}
+		}
+		if best == 0 {
+			return Match{}, false
+		}
+		total += 3 * best
+	}
+
+	if weight == 0 {
+		return Match{}, false
+	}
+	return Match{Type: t, Score: total / weight, Via: via}, true
+}
+
+// scoreFunction rates one function against the query's function part.
+func scoreFunction(f activity.Function, q Query) (float64, string) {
+	parts := 0.0
+	weight := 0.0
+	if q.Function != "" {
+		weight += 1
+		switch {
+		case fold(f.Name) == fold(q.Function):
+			parts += 1
+		case strings.Contains(fold(f.Name), fold(q.Function)):
+			parts += 0.5
+		default:
+			return 0, ""
+		}
+	}
+	if len(q.Inputs) > 0 {
+		weight += 1
+		parts += portCoverage(f.Inputs, q.Inputs)
+	}
+	if len(q.Outputs) > 0 {
+		weight += 1
+		parts += portCoverage(f.Outputs, q.Outputs)
+	}
+	if weight == 0 {
+		return 0, ""
+	}
+	s := parts / weight
+	if s == 0 {
+		return 0, ""
+	}
+	return s, f.Name
+}
+
+// portCoverage is the fraction of wanted ports the function provides
+// (substring-tolerant: "scene.pov" satisfies a request for "pov").
+func portCoverage(have, want []string) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	hits := 0
+	for _, w := range want {
+		for _, h := range have {
+			if fold(h) == fold(w) || strings.Contains(fold(h), fold(w)) {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(want))
+}
+
+func fold(s string) string { return strings.ToLower(strings.TrimSpace(s)) }

@@ -1,0 +1,139 @@
+package semantic
+
+import (
+	"testing"
+
+	"glare/internal/activity"
+	"glare/internal/workload"
+)
+
+func hierarchy(t *testing.T) *activity.Hierarchy {
+	t.Helper()
+	types := workload.ImagingTypes()
+	types = append(types, &activity.Type{
+		Name: "Wien2k", Domain: "Physics",
+		Functions: []activity.Function{
+			{Name: "scf", Inputs: []string{"structure"}, Outputs: []string{"energy"}},
+		},
+	})
+	h, err := activity.NewHierarchy(types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func names(ms []Match) []string {
+	var out []string
+	for _, m := range ms {
+		out = append(out, m.Type.Name)
+	}
+	return out
+}
+
+func TestSearchByFunction(t *testing.T) {
+	h := hierarchy(t)
+	ms := Search(h, Query{Function: "render"})
+	if len(ms) == 0 {
+		t.Fatal("no matches")
+	}
+	// POVray declares render; JPOVray inherits it; both must appear.
+	found := map[string]bool{}
+	for _, m := range ms {
+		found[m.Type.Name] = true
+	}
+	if !found["POVray"] || !found["JPOVray"] {
+		t.Fatalf("matches = %v", names(ms))
+	}
+	if found["Wien2k"] {
+		t.Fatal("Wien2k does not render")
+	}
+	// The inherited match names the providing function.
+	for _, m := range ms {
+		if m.Type.Name == "JPOVray" && m.Via != "render" {
+			t.Fatalf("via = %q", m.Via)
+		}
+	}
+}
+
+func TestConcreteOnly(t *testing.T) {
+	h := hierarchy(t)
+	ms := Search(h, Query{Function: "render", ConcreteOnly: true})
+	if len(ms) != 1 || ms[0].Type.Name != "JPOVray" {
+		t.Fatalf("concrete matches = %v", names(ms))
+	}
+}
+
+func TestSearchByInputsOutputs(t *testing.T) {
+	h := hierarchy(t)
+	ms := Search(h, Query{Inputs: []string{"scene.pov"}, Outputs: []string{"image"}, ConcreteOnly: true})
+	if len(ms) == 0 || ms[0].Type.Name != "JPOVray" {
+		t.Fatalf("matches = %v", names(ms))
+	}
+	if ms[0].Score <= 0.5 {
+		t.Fatalf("score = %v", ms[0].Score)
+	}
+	// Substring tolerance: asking for "pov" still matches scene.pov.
+	ms = Search(h, Query{Inputs: []string{"pov"}, ConcreteOnly: true})
+	if len(ms) == 0 {
+		t.Fatal("substring port match failed")
+	}
+}
+
+func TestDomainIsHardConstraint(t *testing.T) {
+	h := hierarchy(t)
+	ms := Search(h, Query{Domain: "Physics"})
+	if len(ms) != 1 || ms[0].Type.Name != "Wien2k" {
+		t.Fatalf("matches = %v", names(ms))
+	}
+	ms = Search(h, Query{Domain: "Physics", Function: "render"})
+	if len(ms) != 0 {
+		t.Fatalf("impossible query matched %v", names(ms))
+	}
+}
+
+func TestPerfectMatchScoresHighest(t *testing.T) {
+	h := hierarchy(t)
+	ms := Search(h, Query{
+		Function: "convert",
+		Inputs:   []string{"scene.pov"},
+		Outputs:  []string{"image.png"},
+	})
+	if len(ms) == 0 {
+		t.Fatal("no matches")
+	}
+	if ms[0].Score != 1.0 {
+		t.Fatalf("top score = %v (%s)", ms[0].Score, ms[0].Type.Name)
+	}
+}
+
+func TestEmptyQueryMatchesWeakly(t *testing.T) {
+	h := hierarchy(t)
+	ms := Search(h, Query{})
+	if len(ms) != len(h.Names()) {
+		t.Fatalf("empty query matched %d/%d", len(ms), len(h.Names()))
+	}
+	for _, m := range ms {
+		if m.Score > 0.2 {
+			t.Fatalf("empty query scored %v", m.Score)
+		}
+	}
+}
+
+func TestNoMatchForUnknownFunction(t *testing.T) {
+	h := hierarchy(t)
+	if ms := Search(h, Query{Function: "teleport"}); len(ms) != 0 {
+		t.Fatalf("matches = %v", names(ms))
+	}
+}
+
+func TestRankingDeterministic(t *testing.T) {
+	h := hierarchy(t)
+	a := names(Search(h, Query{Function: "render"}))
+	b := names(Search(h, Query{Function: "render"}))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ranking not deterministic")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package simclock provides a clock abstraction so that the GLARE
+// middleware and its experiments can run either against the wall clock or
+// against a deterministic virtual clock.
+//
+// The paper's Table 1 reports tens of seconds of installation and transfer
+// time per application. Reproducing those rows in real time would make the
+// experiment suite take minutes for no benefit, so deployment cost models
+// advance a virtual clock instead. Components that genuinely need wall time
+// (HTTP benchmarks, throughput measurement) use the Real clock.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal clock surface used throughout the repository.
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant of this clock.
+	Now() time.Time
+	// Sleep blocks the caller for d of this clock's time. On a virtual
+	// clock Sleep advances the clock instead of blocking the OS thread.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+var Real Clock = realClock{}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Virtual is a deterministic, manually- or automatically-advancing clock.
+// Sleep advances the clock immediately; waiters registered via After fire
+// as soon as the clock passes their deadline.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewVirtual creates a virtual clock starting at the given epoch. A zero
+// epoch is replaced by a fixed, reproducible instant.
+func NewVirtual(epoch time.Time) *Virtual {
+	if epoch.IsZero() {
+		epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC) // SC'05
+	}
+	return &Virtual{now: epoch}
+}
+
+// Now returns the virtual instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep advances the virtual clock by d, releasing any waiter whose
+// deadline is reached. It never blocks the OS thread.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.Advance(d)
+}
+
+// After registers a waiter that fires when the clock passes now+d.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	w := &waiter{deadline: v.now.Add(d), ch: ch}
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	v.waiters = append(v.waiters, w)
+	return ch
+}
+
+// Advance moves the clock forward by d and fires matured waiters.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	now := v.now
+	var keep []*waiter
+	var fire []*waiter
+	for _, w := range v.waiters {
+		if !w.deadline.After(now) {
+			fire = append(fire, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	v.waiters = keep
+	v.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}
+
+// Pending reports how many waiters have not yet matured. Useful in tests.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
+// Stopwatch measures elapsed time on an arbitrary Clock.
+type Stopwatch struct {
+	clock Clock
+	start time.Time
+}
+
+// NewStopwatch starts a stopwatch on the given clock.
+func NewStopwatch(c Clock) *Stopwatch {
+	return &Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed returns the time since the stopwatch was started or last reset.
+func (s *Stopwatch) Elapsed() time.Duration { return s.clock.Now().Sub(s.start) }
+
+// Reset restarts the stopwatch at the clock's current instant.
+func (s *Stopwatch) Reset() { s.start = s.clock.Now() }

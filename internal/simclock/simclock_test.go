@@ -1,0 +1,124 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	t0 := v.Now()
+	v.Advance(5 * time.Second)
+	if got := v.Now().Sub(t0); got != 5*time.Second {
+		t.Fatalf("advanced %v, want 5s", got)
+	}
+}
+
+func TestVirtualSleepAdvancesInsteadOfBlocking(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	start := time.Now()
+	v.Sleep(10 * time.Hour)
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("virtual sleep took %v of real time", real)
+	}
+	if v.Now().Sub(NewVirtual(time.Time{}).Now()) != 10*time.Hour {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestVirtualSleepNonPositive(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	t0 := v.Now()
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if !v.Now().Equal(t0) {
+		t.Fatal("non-positive sleep must not advance")
+	}
+}
+
+func TestVirtualAfter(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	ch := v.After(3 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired before deadline")
+	default:
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired too early")
+	default:
+	}
+	if v.Pending() != 1 {
+		t.Fatalf("pending = %d", v.Pending())
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("did not fire after deadline")
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("pending after fire = %d", v.Pending())
+	}
+}
+
+func TestVirtualAfterImmediate(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	select {
+	case <-v.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) must fire immediately")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	t0 := Real.Now()
+	Real.Sleep(time.Millisecond)
+	if !Real.Now().After(t0) {
+		t.Fatal("real clock did not move")
+	}
+	select {
+	case <-Real.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	sw := NewStopwatch(v)
+	v.Advance(7 * time.Second)
+	if sw.Elapsed() != 7*time.Second {
+		t.Fatalf("elapsed = %v", sw.Elapsed())
+	}
+	sw.Reset()
+	if sw.Elapsed() != 0 {
+		t.Fatalf("after reset = %v", sw.Elapsed())
+	}
+}
+
+func TestVirtualConcurrentWaiters(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	const n = 32
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			<-v.After(time.Duration(i+1) * time.Millisecond)
+			done <- struct{}{}
+		}(i)
+	}
+	// Let the goroutines register.
+	for v.Pending() < n {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Duration(n+1) * time.Millisecond)
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d never fired", i)
+		}
+	}
+}

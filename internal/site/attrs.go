@@ -1,0 +1,64 @@
+// Package site simulates a Grid site: its static attributes, a virtual
+// filesystem, a software universe reachable by transfer, an interactive
+// shell, and a machine room that runs jobs.
+//
+// The paper evaluates GLARE on the Austrian Grid (7–10 physical sites). No
+// such testbed exists here, so sites are simulated: each site exposes the
+// same surfaces the real middleware used — attributes for ranking, a
+// filesystem for deployments, a shell for the Expect-driven deployment
+// handler, and a job runner behind GRAM — while costs (transfer,
+// compilation) advance a virtual clock per DESIGN.md's substitution table.
+package site
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Attributes are the static site properties used for super-peer ranking
+// ("processor speed, memory, uptime and site name") and for deployment
+// constraints (platform/os/arch).
+type Attributes struct {
+	Name         string
+	ProcessorMHz int
+	MemoryMB     int
+	UptimeHours  int
+	Processors   int
+	Platform     string // e.g. "Intel"
+	OS           string // e.g. "Linux"
+	Arch         string // e.g. "32bit"
+}
+
+// Rank computes the site's unique rank: the paper derives it as "a unique
+// hashcode of all grid sites ... based on their static attributes", relying
+// on a well-established hash so that every RDM service computes the same
+// value independently. FNV-1a over the canonical attribute string plays
+// that role here.
+func (a Attributes) Rank() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%s|%s|%s",
+		a.Name, a.ProcessorMHz, a.MemoryMB, a.UptimeHours, a.Processors,
+		a.Platform, a.OS, a.Arch)
+	return h.Sum64()
+}
+
+// Matches reports whether the site satisfies a platform/os/arch constraint
+// triple; empty constraint fields match anything.
+func (a Attributes) Matches(platform, os, arch string) bool {
+	if platform != "" && platform != a.Platform {
+		return false
+	}
+	if os != "" && os != a.OS {
+		return false
+	}
+	if arch != "" && arch != a.Arch {
+		return false
+	}
+	return true
+}
+
+// String renders a short identification.
+func (a Attributes) String() string {
+	return fmt.Sprintf("%s (%dx%dMHz, %dMB, %s/%s/%s)",
+		a.Name, a.Processors, a.ProcessorMHz, a.MemoryMB, a.Platform, a.OS, a.Arch)
+}

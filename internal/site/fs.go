@@ -1,0 +1,165 @@
+package site
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileKind distinguishes virtual filesystem entries.
+type FileKind int
+
+const (
+	KindDir FileKind = iota
+	KindFile
+	KindExecutable
+)
+
+// File is one entry in a site's virtual filesystem.
+type File struct {
+	Path     string
+	Kind     FileKind
+	Size     int64
+	MD5      string // content fingerprint for transferred artifacts
+	Artifact string // name of the software artifact this file came from, if any
+}
+
+// FS is a site-local virtual filesystem. Paths are slash-separated and
+// absolute; intermediate directories are created implicitly by writes.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string]*File
+}
+
+// NewFS creates a filesystem containing only the root directory.
+func NewFS() *FS {
+	fs := &FS{files: make(map[string]*File)}
+	fs.files["/"] = &File{Path: "/", Kind: KindDir}
+	return fs
+}
+
+func clean(p string) string {
+	p = path.Clean("/" + strings.TrimSpace(p))
+	return p
+}
+
+// Mkdir creates a directory and all parents.
+func (f *FS) Mkdir(p string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mkdirLocked(clean(p))
+}
+
+func (f *FS) mkdirLocked(p string) {
+	for p != "/" {
+		if e, ok := f.files[p]; ok && e.Kind == KindDir {
+			break
+		}
+		f.files[p] = &File{Path: p, Kind: KindDir}
+		p = path.Dir(p)
+	}
+}
+
+// Write creates or replaces a file entry; parent directories are created.
+func (f *FS) Write(p string, kind FileKind, size int64, md5, artifact string) *File {
+	cp := clean(p)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mkdirLocked(path.Dir(cp))
+	e := &File{Path: cp, Kind: kind, Size: size, MD5: md5, Artifact: artifact}
+	f.files[cp] = e
+	return e
+}
+
+// Stat returns the entry at p, or nil.
+func (f *FS) Stat(p string) *File {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.files[clean(p)]
+}
+
+// Exists reports whether p exists.
+func (f *FS) Exists(p string) bool { return f.Stat(p) != nil }
+
+// IsDir reports whether p is a directory.
+func (f *FS) IsDir(p string) bool {
+	e := f.Stat(p)
+	return e != nil && e.Kind == KindDir
+}
+
+// Remove deletes p and, for directories, everything below it. It reports
+// the number of entries removed.
+func (f *FS) Remove(p string) int {
+	cp := clean(p)
+	if cp == "/" {
+		return 0
+	}
+	prefix := cp + "/"
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for k := range f.files {
+		if k == cp || strings.HasPrefix(k, prefix) {
+			delete(f.files, k)
+			n++
+		}
+	}
+	return n
+}
+
+// List returns the direct children of directory p in sorted order.
+func (f *FS) List(p string) []*File {
+	cp := clean(p)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []*File
+	for k, e := range f.files {
+		if k == "/" || k == cp {
+			continue
+		}
+		if path.Dir(k) == cp {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Executables returns every executable entry under dir (recursively), in
+// sorted order. GLARE uses this to auto-discover deployments "by exploring
+// [the] bin sub directory of the deployed activity home".
+func (f *FS) Executables(dir string) []*File {
+	cd := clean(dir)
+	prefix := cd + "/"
+	if cd == "/" {
+		prefix = "/"
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []*File
+	for k, e := range f.files {
+		if e.Kind == KindExecutable && (k == cd || strings.HasPrefix(k, prefix)) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Len returns the number of filesystem entries (including directories).
+func (f *FS) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.files)
+}
+
+// MustStat is Stat that errors when the entry is missing; convenience for
+// command implementations.
+func (f *FS) MustStat(p string) (*File, error) {
+	if e := f.Stat(p); e != nil {
+		return e, nil
+	}
+	return nil, fmt.Errorf("no such file or directory: %s", p)
+}

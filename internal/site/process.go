@@ -1,0 +1,101 @@
+package site
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Process is a running (possibly interactive) command on a site's shell.
+// Output lines appear on Out; interactive installers block awaiting a line
+// on In. The Expect engine drives processes through exactly this surface.
+type Process struct {
+	Cmdline string
+
+	out  chan string
+	in   chan string
+	done chan struct{}
+
+	mu       sync.Mutex
+	exitCode int
+	err      error
+}
+
+func newProcess(cmdline string) *Process {
+	return &Process{
+		Cmdline: cmdline,
+		out:     make(chan string, 64),
+		in:      make(chan string, 4),
+		done:    make(chan struct{}),
+	}
+}
+
+// Out exposes the process's output line stream. The channel closes when
+// the process exits.
+func (p *Process) Out() <-chan string { return p.out }
+
+// Send writes one line to the process's stdin.
+func (p *Process) Send(line string) {
+	select {
+	case p.in <- line:
+	case <-p.done:
+	}
+}
+
+// Wait blocks until the process exits and returns its exit code.
+func (p *Process) Wait() int {
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exitCode
+}
+
+// Done returns a channel closed at process exit.
+func (p *Process) Done() <-chan struct{} { return p.done }
+
+// Err returns the failure that terminated the process, if any.
+func (p *Process) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// DrainOutput collects all remaining output lines until exit.
+func (p *Process) DrainOutput() []string {
+	var lines []string
+	for l := range p.out {
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// emit writes an output line (non-blocking against a full buffer would lose
+// data, so it blocks; readers must consume or the process stalls, exactly
+// like a real pipe).
+func (p *Process) emit(format string, args ...any) {
+	select {
+	case <-p.done:
+	default:
+		p.out <- fmt.Sprintf(format, args...)
+	}
+}
+
+// prompt emits a prompt line and waits for an answer with a timeout.
+func (p *Process) prompt(text string, timeout time.Duration) (string, error) {
+	p.emit("%s", text)
+	select {
+	case ans := <-p.in:
+		return ans, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("prompt %q: no input within %v", text, timeout)
+	}
+}
+
+func (p *Process) finish(code int, err error) {
+	p.mu.Lock()
+	p.exitCode = code
+	p.err = err
+	p.mu.Unlock()
+	close(p.out)
+	close(p.done)
+}

@@ -1,0 +1,178 @@
+package site
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+
+	"glare/internal/simclock"
+)
+
+// TransferFunc moves a remote object (identified by URL) onto this site's
+// filesystem. The VO wiring installs the GridFTP client here so shell
+// commands like globus-url-copy work.
+type TransferFunc func(srcURL, dstPath string) error
+
+// Site is one simulated Grid site.
+type Site struct {
+	Attrs Attributes
+	FS    *FS
+	Clock simclock.Clock
+	Repo  *Repo
+
+	// Transfer is invoked by globus-url-copy; nil means transfers fail.
+	Transfer TransferFunc
+
+	mu         sync.Mutex
+	unpacked   map[string]*Artifact // absolute source dir -> artifact
+	prefixes   map[string]string    // source dir -> configured install prefix
+	configured map[string]bool      // source dir -> configure completed
+	services   map[string]string    // service name -> home dir ("container")
+	notices    []Notice             // administrator mailbox
+}
+
+// Notice is one administrator notification (the paper's "notifies
+// administrator of the target site by email").
+type Notice struct {
+	Subject string
+	Body    string
+}
+
+// New creates a site with an empty filesystem and standard directories.
+func New(attrs Attributes, clock simclock.Clock, repo *Repo) *Site {
+	if clock == nil {
+		clock = simclock.Real
+	}
+	s := &Site{
+		Attrs:      attrs,
+		FS:         NewFS(),
+		Clock:      clock,
+		Repo:       repo,
+		unpacked:   make(map[string]*Artifact),
+		prefixes:   make(map[string]string),
+		configured: make(map[string]bool),
+		services:   make(map[string]string),
+	}
+	for _, d := range []string{"/tmp", "/home/glare", "/opt/globus/bin", "/scratch"} {
+		s.FS.Mkdir(d)
+	}
+	return s
+}
+
+// DefaultEnv returns the environment-variable defaults the RDM service
+// substitutes into deploy-files (paper §3.4).
+func (s *Site) DefaultEnv() map[string]string {
+	return map[string]string{
+		"DEPLOYMENT_DIR":     "/opt/glare/deployments",
+		"USER_HOME":          "/home/glare",
+		"GLOBUS_SCRATCH_DIR": "/scratch",
+		"GLOBUS_LOCATION":    "/opt/globus",
+	}
+}
+
+// recordUnpack notes that dir now holds artifact sources.
+func (s *Site) recordUnpack(dir string, a *Artifact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unpacked[clean(dir)] = a
+}
+
+// artifactAt resolves which artifact's sources live in dir (walking up so
+// `make` can run from a subdirectory).
+func (s *Site) artifactAt(dir string) (*Artifact, string, bool) {
+	d := clean(dir)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if a, ok := s.unpacked[d]; ok {
+			return a, d, true
+		}
+		if d == "/" {
+			return nil, "", false
+		}
+		d = path.Dir(d)
+	}
+}
+
+// setPrefix records the install prefix chosen at configure time.
+func (s *Site) setPrefix(srcDir, prefix string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prefixes[clean(srcDir)] = clean(prefix)
+	s.configured[clean(srcDir)] = true
+}
+
+func (s *Site) prefixOf(srcDir string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.prefixes[clean(srcDir)]
+	return p, ok
+}
+
+func (s *Site) isConfigured(srcDir string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.configured[clean(srcDir)]
+}
+
+// DeployService records a hosted web/Grid service in the site container.
+func (s *Site) DeployService(name, home string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.services[name] = home
+}
+
+// UndeployService removes a hosted service; reports whether it existed.
+func (s *Site) UndeployService(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.services[name]; !ok {
+		return false
+	}
+	delete(s.services, name)
+	return true
+}
+
+// HasService reports whether the container hosts the named service.
+func (s *Site) HasService(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.services[name]
+	return ok
+}
+
+// Services lists hosted service names in sorted order.
+func (s *Site) Services() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.services))
+	for n := range s.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NotifyAdmin appends a message to the administrator mailbox.
+func (s *Site) NotifyAdmin(subject, body string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notices = append(s.notices, Notice{Subject: subject, Body: body})
+}
+
+// Notices returns a copy of the administrator mailbox.
+func (s *Site) Notices() []Notice {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Notice(nil), s.notices...)
+}
+
+// NewShell opens a shell on this site.
+func (s *Site) NewShell() *Shell {
+	env := s.DefaultEnv()
+	return &Shell{site: s, cwd: "/home/glare", env: env}
+}
+
+// String identifies the site.
+func (s *Site) String() string { return fmt.Sprintf("site %s", s.Attrs.Name) }

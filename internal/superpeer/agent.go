@@ -1,0 +1,446 @@
+package superpeer
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"glare/internal/transport"
+	"glare/internal/wsrf"
+	"glare/internal/xmlutil"
+)
+
+// ServiceName is the transport mount point of the overlay agent.
+const ServiceName = "PeerService"
+
+// Role is a site's position in the overlay.
+type Role int
+
+const (
+	RoleUnassigned Role = iota
+	RoleMember
+	RoleSuperPeer
+)
+
+// String renders the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleMember:
+		return "Member"
+	case RoleSuperPeer:
+		return "SuperPeer"
+	}
+	return "Unassigned"
+}
+
+// Agent is one site's overlay participant. It serves the PeerService
+// operations and runs the election-coordinator and failure-recovery
+// protocols.
+type Agent struct {
+	self   SiteInfo
+	client *transport.Client
+	broker *wsrf.Broker
+
+	mu   sync.Mutex
+	role Role
+	view View
+	// bestCommunity is the strength of the strongest community whose
+	// coordinator this agent acknowledged; used to arbitrate between
+	// notifications from multiple indices.
+	bestCommunity int
+	onViewChange  []func(View)
+}
+
+// NewAgent creates an overlay agent for a site.
+func NewAgent(self SiteInfo, client *transport.Client, broker *wsrf.Broker) *Agent {
+	if broker == nil {
+		broker = wsrf.NewBroker(nil)
+	}
+	return &Agent{self: self, client: client, broker: broker}
+}
+
+// Self returns this agent's site info.
+func (a *Agent) Self() SiteInfo { return a.self }
+
+// Role returns the current overlay role.
+func (a *Agent) Role() Role {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.role
+}
+
+// View returns a copy of the current overlay view.
+func (a *Agent) View() View {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.view.Clone()
+}
+
+// OnViewChange registers a callback fired whenever the view changes.
+func (a *Agent) OnViewChange(fn func(View)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onViewChange = append(a.onViewChange, fn)
+}
+
+func (a *Agent) setView(v View) {
+	a.mu.Lock()
+	a.view = v
+	if v.SuperPeer.Name == a.self.Name {
+		a.role = RoleSuperPeer
+	} else {
+		a.role = RoleMember
+	}
+	callbacks := append([]func(View){}, a.onViewChange...)
+	a.mu.Unlock()
+	for _, fn := range callbacks {
+		fn(v.Clone())
+	}
+	a.broker.Publish(wsrf.TopicElection, a.self.Name, v.ToXML())
+}
+
+// Mount exposes the PeerService operations.
+func (a *Agent) Mount(srv *transport.Server) {
+	srv.RegisterService(ServiceName, map[string]transport.Handler{
+		"Ping": func(*xmlutil.Node) (*xmlutil.Node, error) {
+			n := xmlutil.NewNode("Pong")
+			n.SetAttr("name", a.self.Name)
+			n.SetAttr("rank", strconv.FormatUint(a.self.Rank, 10))
+			n.SetAttr("role", a.Role().String())
+			return n, nil
+		},
+		"ElectNotify":     a.handleElectNotify,
+		"GroupAssign":     a.handleGroupAssign,
+		"CandidateNotify": a.handleCandidateNotify,
+		"VerifyRequest":   a.handleVerifyRequest,
+		"Takeover":        a.handleTakeover,
+	})
+}
+
+// handleElectNotify processes the coordinator's two-round notification.
+// Round 1 is informational; round 2 must be acknowledged. When multiple
+// coordinators (multiple community indices) notify, the message from the
+// smaller community is the one acknowledged, per the paper.
+func (a *Agent) handleElectNotify(body *xmlutil.Node) (*xmlutil.Node, error) {
+	if body == nil {
+		return nil, fmt.Errorf("ElectNotify: missing body")
+	}
+	round, _ := strconv.Atoi(body.AttrOr("round", "1"))
+	strength, _ := strconv.Atoi(body.AttrOr("communitySize", "0"))
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if round < 2 {
+		if a.bestCommunity == 0 || strength < a.bestCommunity {
+			a.bestCommunity = strength
+		}
+		return xmlutil.NewNode("Noted"), nil
+	}
+	// Second round: acknowledge only the chosen community.
+	if a.bestCommunity != 0 && strength > a.bestCommunity {
+		return nil, fmt.Errorf("ElectNotify: already committed to community of %d sites", a.bestCommunity)
+	}
+	ack := xmlutil.NewNode("Ack")
+	ack.SetAttr("name", a.self.Name)
+	ack.SetAttr("rank", strconv.FormatUint(a.self.Rank, 10))
+	return ack, nil
+}
+
+func (a *Agent) handleGroupAssign(body *xmlutil.Node) (*xmlutil.Node, error) {
+	v, err := ViewFromXML(body)
+	if err != nil {
+		return nil, err
+	}
+	if !v.Member(a.self.Name) {
+		return nil, fmt.Errorf("GroupAssign: %s is not in the assigned group", a.self.Name)
+	}
+	a.setView(v)
+	return xmlutil.NewNode("Assigned"), nil
+}
+
+// Ping checks whether a remote site's agent answers.
+func (a *Agent) Ping(target SiteInfo) bool {
+	if a.client == nil {
+		return false
+	}
+	resp, err := a.client.Call(target.PeerURL(), "Ping", nil)
+	return err == nil && resp != nil && resp.Name == "Pong"
+}
+
+// ------------------------------------------------------------ coordinator
+
+// CoordinatorConfig tunes the election run by the community-index holder.
+type CoordinatorConfig struct {
+	// GroupSize is the target number of sites per peer group.
+	GroupSize int
+	// NotifyDelay separates the two notification rounds ("Notification is
+	// done twice (with a configurable time interval)").
+	NotifyDelay time.Duration
+}
+
+// DefaultGroupSize matches the paper's figure of ~3-4 sites per group.
+const DefaultGroupSize = 4
+
+// Coordinate runs a super-peer election over the given community. The
+// caller is the GLARE service holding the community index ("A GLARE
+// service on a site with community index becomes super-peer election
+// coordinator"). It returns the assigned views keyed by site name.
+func (a *Agent) Coordinate(sites []SiteInfo, cfg CoordinatorConfig) (map[string]View, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("superpeer: empty community")
+	}
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = DefaultGroupSize
+	}
+	// Round 1: informational notification carrying community strength.
+	note := xmlutil.NewNode("Election")
+	note.SetAttr("round", "1")
+	note.SetAttr("communitySize", strconv.Itoa(len(sites)))
+	note.SetAttr("coordinator", a.self.Name)
+	for _, s := range sites {
+		if s.Name == a.self.Name {
+			continue
+		}
+		_, _ = a.client.Call(s.PeerURL(), "ElectNotify", note.Clone())
+	}
+	if cfg.NotifyDelay > 0 {
+		time.Sleep(cfg.NotifyDelay)
+	}
+	// Round 2: acknowledged notification; only responders participate.
+	note.SetAttr("round", "2")
+	responding := []SiteInfo{}
+	for _, s := range sites {
+		if s.Name == a.self.Name {
+			responding = append(responding, s)
+			continue
+		}
+		if resp, err := a.client.Call(s.PeerURL(), "ElectNotify", note.Clone()); err == nil && resp != nil {
+			responding = append(responding, s)
+		}
+	}
+	if len(responding) == 0 {
+		return nil, fmt.Errorf("superpeer: no site acknowledged the election")
+	}
+	views := PartitionGroups(responding, cfg.GroupSize)
+	// Distribute assignments; the coordinator applies its own locally.
+	for name, v := range views {
+		if name == a.self.Name {
+			a.setView(v)
+			continue
+		}
+		var target SiteInfo
+		for _, s := range responding {
+			if s.Name == name {
+				target = s
+			}
+		}
+		if _, err := a.client.Call(target.PeerURL(), "GroupAssign", v.ToXML()); err != nil {
+			return views, fmt.Errorf("superpeer: assigning %s: %w", name, err)
+		}
+	}
+	return views, nil
+}
+
+// PartitionGroups ranks the sites, elects the top ceil(n/groupSize) as
+// super-peers and distributes the remaining members equally among them.
+// It is exported (and pure) so the partitioning policy can be tested and
+// ablated independently of the messaging.
+func PartitionGroups(sites []SiteInfo, groupSize int) map[string]View {
+	ranked := RankSites(sites)
+	n := len(ranked)
+	k := (n + groupSize - 1) / groupSize
+	if k < 1 {
+		k = 1
+	}
+	supers := ranked[:k]
+	rest := ranked[k:]
+	groups := make([][]SiteInfo, k)
+	for i, s := range supers {
+		groups[i] = []SiteInfo{s}
+	}
+	for i, s := range rest {
+		g := i % k
+		groups[g] = append(groups[g], s)
+	}
+	views := make(map[string]View, n)
+	superList := append([]SiteInfo(nil), supers...)
+	for gi, members := range groups {
+		v := View{Group: members, SuperPeer: supers[gi], SuperPeers: superList}
+		for _, m := range members {
+			views[m.Name] = v
+		}
+	}
+	return views
+}
+
+// --------------------------------------------------------- failure paths
+
+// handleCandidateNotify is received by the highest-ranked member when
+// another member detects the super-peer's failure.
+func (a *Agent) handleCandidateNotify(body *xmlutil.Node) (*xmlutil.Node, error) {
+	if body == nil {
+		return nil, fmt.Errorf("CandidateNotify: missing body")
+	}
+	downName := body.AttrOr("down", "")
+	go a.RunTakeover(downName) // verification happens inside
+	return xmlutil.NewNode("Noted"), nil
+}
+
+// handleVerifyRequest: a member independently verifies that the super-peer
+// is unavailable and that the candidate outranks it, then acknowledges.
+func (a *Agent) handleVerifyRequest(body *xmlutil.Node) (*xmlutil.Node, error) {
+	if body == nil {
+		return nil, fmt.Errorf("VerifyRequest: missing body")
+	}
+	candRank, _ := strconv.ParseUint(body.AttrOr("rank", "0"), 10, 64)
+	candName := body.AttrOr("candidate", "")
+	a.mu.Lock()
+	view := a.view.Clone()
+	a.mu.Unlock()
+	if view.SuperPeer.IsZero() {
+		return nil, fmt.Errorf("VerifyRequest: no group assigned")
+	}
+	if body.AttrOr("down", "") != view.SuperPeer.Name {
+		return nil, fmt.Errorf("VerifyRequest: %q is not my super-peer", body.AttrOr("down", ""))
+	}
+	// Verify the super-peer really is unreachable.
+	if a.Ping(view.SuperPeer) {
+		return nil, fmt.Errorf("VerifyRequest: super-peer %s is alive", view.SuperPeer.Name)
+	}
+	// Verify the candidate is the highest-ranked surviving member.
+	for _, s := range view.Group {
+		if s.Name == view.SuperPeer.Name || s.Name == candName {
+			continue
+		}
+		if s.Rank > candRank && a.Ping(s) {
+			return nil, fmt.Errorf("VerifyRequest: %s outranks candidate", s.Name)
+		}
+	}
+	ack := xmlutil.NewNode("Ack")
+	ack.SetAttr("agree", "true")
+	ack.SetAttr("name", a.self.Name)
+	return ack, nil
+}
+
+func (a *Agent) handleTakeover(body *xmlutil.Node) (*xmlutil.Node, error) {
+	v, err := ViewFromXML(body)
+	if err != nil {
+		return nil, err
+	}
+	if !v.Member(a.self.Name) {
+		return nil, fmt.Errorf("Takeover: not my group")
+	}
+	a.setView(v)
+	return xmlutil.NewNode("Accepted"), nil
+}
+
+// DetectAndRecover is the member-side failure path: if the super-peer does
+// not answer, compute the ranks of the surviving members, notify the
+// highest-ranked one (or run the takeover directly if that is us). It
+// reports whether recovery was initiated.
+func (a *Agent) DetectAndRecover() (bool, error) {
+	view := a.View()
+	if view.SuperPeer.IsZero() || view.SuperPeer.Name == a.self.Name {
+		return false, nil
+	}
+	if a.Ping(view.SuperPeer) {
+		return false, nil
+	}
+	survivors := make([]SiteInfo, 0, len(view.Group))
+	for _, s := range view.Group {
+		if s.Name != view.SuperPeer.Name {
+			survivors = append(survivors, s)
+		}
+	}
+	ranked := RankSites(survivors)
+	if len(ranked) == 0 {
+		return false, fmt.Errorf("superpeer: no survivors in group")
+	}
+	highest := ranked[0]
+	if highest.Name == a.self.Name {
+		return true, a.RunTakeover(view.SuperPeer.Name)
+	}
+	note := xmlutil.NewNode("SuperPeerDown")
+	note.SetAttr("down", view.SuperPeer.Name)
+	if _, err := a.client.Call(highest.PeerURL(), "CandidateNotify", note); err != nil {
+		return false, fmt.Errorf("superpeer: notifying candidate %s: %w", highest.Name, err)
+	}
+	return true, nil
+}
+
+// RunTakeover is the candidate-side protocol: (a) verify the super-peer is
+// down, (b) verify our own rank, (c) collect verification acks from every
+// member; a simple majority confirms and we take over.
+func (a *Agent) RunTakeover(downName string) error {
+	view := a.View()
+	if view.SuperPeer.IsZero() || view.SuperPeer.Name != downName {
+		return fmt.Errorf("superpeer: %q is not the current super-peer", downName)
+	}
+	if a.Ping(view.SuperPeer) {
+		return fmt.Errorf("superpeer: %s is alive, aborting takeover", downName)
+	}
+	survivors := make([]SiteInfo, 0, len(view.Group))
+	for _, s := range view.Group {
+		if s.Name != downName {
+			survivors = append(survivors, s)
+		}
+	}
+	ranked := RankSites(survivors)
+	if len(ranked) == 0 || ranked[0].Name != a.self.Name {
+		return fmt.Errorf("superpeer: %s is not the highest-ranked survivor", a.self.Name)
+	}
+	// Collect verification acks from the other members.
+	req := xmlutil.NewNode("Verify")
+	req.SetAttr("down", downName)
+	req.SetAttr("candidate", a.self.Name)
+	req.SetAttr("rank", strconv.FormatUint(a.self.Rank, 10))
+	acks := 1 // our own vote
+	for _, s := range survivors {
+		if s.Name == a.self.Name {
+			continue
+		}
+		if resp, err := a.client.Call(s.PeerURL(), "VerifyRequest", req.Clone()); err == nil &&
+			resp != nil && resp.AttrOr("agree", "") == "true" {
+			acks++
+		}
+	}
+	if acks*2 <= len(survivors) {
+		return fmt.Errorf("superpeer: only %d/%d acknowledgements, no majority", acks, len(survivors))
+	}
+	// Build the new view: we are the super-peer; the super-group swaps the
+	// failed peer for us.
+	newSupers := make([]SiteInfo, 0, len(view.SuperPeers))
+	for _, s := range view.SuperPeers {
+		if s.Name == downName {
+			newSupers = append(newSupers, a.self)
+		} else {
+			newSupers = append(newSupers, s)
+		}
+	}
+	newView := View{Group: survivors, SuperPeer: a.self, SuperPeers: newSupers}
+	a.setView(newView)
+	for _, s := range survivors {
+		if s.Name == a.self.Name {
+			continue
+		}
+		_, _ = a.client.Call(s.PeerURL(), "Takeover", newView.ToXML())
+	}
+	return nil
+}
+
+// StartMonitor launches periodic super-peer liveness checks until stop is
+// closed. interval is real time.
+func (a *Agent) StartMonitor(interval time.Duration, stop <-chan struct{}) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_, _ = a.DetectAndRecover()
+			}
+		}
+	}()
+}

@@ -1,0 +1,122 @@
+package superpeer
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"glare/internal/transport"
+	"glare/internal/xmlutil"
+)
+
+// electNotify sends one ElectNotify round to an agent over the wire.
+func electNotify(t *testing.T, cli *transport.Client, target SiteInfo, round, strength int) (*xmlutil.Node, error) {
+	t.Helper()
+	n := xmlutil.NewNode("Election")
+	n.SetAttr("round", strconv.Itoa(round))
+	n.SetAttr("communitySize", strconv.Itoa(strength))
+	n.SetAttr("coordinator", "test")
+	return cli.Call(target.PeerURL(), "ElectNotify", n)
+}
+
+// The paper: "A notification message includes [the] number of registered
+// Grid sites in the community ... A message from a smaller community is
+// acknowledged in case of notifications from multiple indices."
+func TestMultipleCoordinatorsSmallerCommunityWins(t *testing.T) {
+	h := newHarness(t, 1)
+	cli := transport.NewClient(nil)
+	target := h.infos[0]
+
+	// Two coordinators announce in round 1: community sizes 10 and 4.
+	if _, err := electNotify(t, cli, target, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := electNotify(t, cli, target, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2 from the larger community is refused...
+	if _, err := electNotify(t, cli, target, 2, 10); err == nil {
+		t.Fatal("larger community acknowledged")
+	}
+	// ...while the smaller one is acknowledged with the site's rank.
+	resp, err := electNotify(t, cli, target, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "Ack" || resp.AttrOr("rank", "") == "" {
+		t.Fatalf("ack = %s", resp)
+	}
+}
+
+// Losing a re-elected super-peer must trigger a second, equally successful
+// re-election among the remaining members.
+func TestRepeatedFailover(t *testing.T) {
+	h := newHarness(t, 5)
+	if _, err := h.agents[0].Coordinate(h.infos, CoordinatorConfig{GroupSize: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Ranks rise with index: site04 is the first super-peer.
+	kill := func(name string) {
+		for i, info := range h.infos {
+			if info.Name == name {
+				h.servers[i].Close()
+			}
+		}
+	}
+	survivorIdx := 0
+	waitSP := func(want string) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for h.agents[survivorIdx].View().SuperPeer.Name != want {
+			select {
+			case <-deadline:
+				t.Fatalf("super-peer never became %s (is %s)",
+					want, h.agents[survivorIdx].View().SuperPeer.Name)
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+
+	kill("site04")
+	if _, err := h.agents[survivorIdx].DetectAndRecover(); err != nil {
+		t.Fatal(err)
+	}
+	waitSP("site03")
+
+	kill("site03")
+	if _, err := h.agents[survivorIdx].DetectAndRecover(); err != nil {
+		t.Fatal(err)
+	}
+	waitSP("site02")
+
+	// The twice-rebuilt group no longer contains either corpse.
+	view := h.agents[survivorIdx].View()
+	for _, s := range view.Group {
+		if s.Name == "site04" || s.Name == "site03" {
+			t.Fatalf("dead site %s still in group", s.Name)
+		}
+	}
+	if len(view.Group) != 3 {
+		t.Fatalf("group = %d members", len(view.Group))
+	}
+}
+
+// A takeover with no majority (every other member is unreachable) must be
+// refused unless the candidate alone IS the majority.
+func TestTakeoverMajorityRule(t *testing.T) {
+	h := newHarness(t, 4)
+	if _, err := h.agents[0].Coordinate(h.infos, CoordinatorConfig{GroupSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the super-peer (site03) AND one member (site01): survivors are
+	// site02 (candidate) and site00. Candidate + 1 ack = 2 of 3 survivors
+	// in the old view — still a majority, takeover succeeds.
+	h.servers[3].Close()
+	h.servers[1].Close()
+	if err := h.agents[2].RunTakeover("site03"); err != nil {
+		t.Fatalf("majority takeover failed: %v", err)
+	}
+	if h.agents[2].Role() != RoleSuperPeer {
+		t.Fatal("candidate did not take over")
+	}
+}

@@ -1,0 +1,164 @@
+// Package superpeer implements GLARE's self-management overlay (paper
+// §3.3): Grid sites form peer groups, each group elects one super-peer by
+// rank, all super-peers form a super-group, and members detect super-peer
+// failure and re-elect by majority acknowledgement.
+package superpeer
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"glare/internal/xmlutil"
+)
+
+// SiteInfo identifies one Grid site in the overlay.
+type SiteInfo struct {
+	// Name is the unique site name.
+	Name string
+	// Rank is the site's unique hashcode computed from static attributes
+	// (site.Attributes.Rank); higher ranks win elections.
+	Rank uint64
+	// BaseURL is the site's transport base (http(s)://host:port); the
+	// standard services are mounted under it.
+	BaseURL string
+}
+
+// IsZero reports whether the info is unset.
+func (s SiteInfo) IsZero() bool { return s.Name == "" }
+
+// PeerURL returns the site's PeerService address.
+func (s SiteInfo) PeerURL() string { return s.BaseURL + "/wsrf/services/" + ServiceName }
+
+// ServiceURL returns the address of an arbitrary service on the site.
+func (s SiteInfo) ServiceURL(service string) string {
+	return s.BaseURL + "/wsrf/services/" + service
+}
+
+// ToXML renders the site info.
+func (s SiteInfo) ToXML() *xmlutil.Node {
+	n := xmlutil.NewNode("Site")
+	n.SetAttr("name", s.Name)
+	n.SetAttr("rank", strconv.FormatUint(s.Rank, 10))
+	n.SetAttr("baseURL", s.BaseURL)
+	return n
+}
+
+// SiteInfoFromXML parses a site info node.
+func SiteInfoFromXML(n *xmlutil.Node) (SiteInfo, error) {
+	if n == nil || n.Name != "Site" {
+		return SiteInfo{}, fmt.Errorf("superpeer: expected <Site>")
+	}
+	rank, err := strconv.ParseUint(n.AttrOr("rank", "0"), 10, 64)
+	if err != nil {
+		return SiteInfo{}, fmt.Errorf("superpeer: bad rank: %w", err)
+	}
+	s := SiteInfo{Name: n.AttrOr("name", ""), Rank: rank, BaseURL: n.AttrOr("baseURL", "")}
+	if s.Name == "" {
+		return SiteInfo{}, fmt.Errorf("superpeer: site without name")
+	}
+	return s, nil
+}
+
+// View is a site's knowledge of the overlay.
+type View struct {
+	// Group lists the members of this site's peer group, including the
+	// super-peer and the site itself.
+	Group []SiteInfo
+	// SuperPeer is this group's super-peer.
+	SuperPeer SiteInfo
+	// SuperPeers lists every super-peer in the VO (the super-group).
+	SuperPeers []SiteInfo
+}
+
+// Clone deep-copies the view.
+func (v View) Clone() View {
+	return View{
+		Group:      append([]SiteInfo(nil), v.Group...),
+		SuperPeer:  v.SuperPeer,
+		SuperPeers: append([]SiteInfo(nil), v.SuperPeers...),
+	}
+}
+
+// Peers returns the group members excluding the named site.
+func (v View) Peers(self string) []SiteInfo {
+	var out []SiteInfo
+	for _, s := range v.Group {
+		if s.Name != self {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Member reports whether name is in the group.
+func (v View) Member(name string) bool {
+	for _, s := range v.Group {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ToXML renders a group-assignment message.
+func (v View) ToXML() *xmlutil.Node {
+	n := xmlutil.NewNode("Group")
+	n.SetAttr("superPeer", v.SuperPeer.Name)
+	n.SetAttr("superPeerURL", v.SuperPeer.BaseURL)
+	for _, s := range v.Group {
+		n.Add(s.ToXML())
+	}
+	sp := n.Elem("SuperPeers")
+	for _, s := range v.SuperPeers {
+		sp.Add(s.ToXML())
+	}
+	return n
+}
+
+// ViewFromXML parses a group-assignment message.
+func ViewFromXML(n *xmlutil.Node) (View, error) {
+	if n == nil || n.Name != "Group" {
+		return View{}, fmt.Errorf("superpeer: expected <Group>")
+	}
+	var v View
+	for _, c := range n.All("Site") {
+		s, err := SiteInfoFromXML(c)
+		if err != nil {
+			return View{}, err
+		}
+		v.Group = append(v.Group, s)
+	}
+	if sp := n.First("SuperPeers"); sp != nil {
+		for _, c := range sp.All("Site") {
+			s, err := SiteInfoFromXML(c)
+			if err != nil {
+				return View{}, err
+			}
+			v.SuperPeers = append(v.SuperPeers, s)
+		}
+	}
+	spName := n.AttrOr("superPeer", "")
+	for _, s := range v.Group {
+		if s.Name == spName {
+			v.SuperPeer = s
+		}
+	}
+	if v.SuperPeer.IsZero() {
+		return View{}, fmt.Errorf("superpeer: group message without super-peer")
+	}
+	return v, nil
+}
+
+// RankSites orders sites by descending rank (ties by name for
+// determinism). The highest-ranked site wins elections.
+func RankSites(sites []SiteInfo) []SiteInfo {
+	out := append([]SiteInfo(nil), sites...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank > out[j].Rank
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

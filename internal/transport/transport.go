@@ -1,0 +1,269 @@
+// Package transport implements the message layer all GLARE and substrate
+// services speak: XML request/response envelopes over HTTP or HTTPS on the
+// loopback interface.
+//
+// Every service is addressed WSRF-style as
+//
+//	http(s)://host:port/wsrf/services/<ServiceName>
+//
+// and exposes named operations. A request envelope is
+//
+//	<Envelope><Operation>GetDeployments</Operation><Body>…</Body></Envelope>
+//
+// and a response is either <Envelope><Body>…</Body></Envelope> or
+// <Envelope><Fault>message</Fault></Envelope>. This stands in for the
+// paper's SOAP/WSRF stack while keeping real network and (optionally) real
+// TLS cost in the measured path.
+package transport
+
+import (
+	"bytes"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"glare/internal/xmlutil"
+)
+
+// ServicePrefix is the URL prefix under which services are mounted.
+const ServicePrefix = "/wsrf/services/"
+
+// Handler processes one operation invocation. The body may be nil for
+// operations without arguments; a nil response body is rendered as an empty
+// <Body/>.
+type Handler func(body *xmlutil.Node) (*xmlutil.Node, error)
+
+// Fault is an application-level error returned by a remote service.
+type Fault struct {
+	Service   string
+	Operation string
+	Message   string
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault from %s.%s: %s", f.Service, f.Operation, f.Message)
+}
+
+// IsFault reports whether err is (or wraps) a remote Fault.
+func IsFault(err error) bool {
+	var f *Fault
+	return errors.As(err, &f)
+}
+
+// Server hosts services on one listener. It is the per-site "container"
+// (the GT4 analogue) into which registries and grid services deploy.
+type Server struct {
+	mu       sync.RWMutex
+	services map[string]map[string]Handler // service -> operation -> handler
+	listener net.Listener
+	http     *http.Server
+	secure   bool
+	baseURL  string
+	closed   chan struct{}
+}
+
+// NewServer creates an unstarted server.
+func NewServer() *Server {
+	return &Server{
+		services: make(map[string]map[string]Handler),
+		closed:   make(chan struct{}),
+	}
+}
+
+// Register mounts an operation handler on a service. Registering the same
+// service/operation twice replaces the handler.
+func (s *Server) Register(service, operation string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ops := s.services[service]
+	if ops == nil {
+		ops = make(map[string]Handler)
+		s.services[service] = ops
+	}
+	ops[operation] = h
+}
+
+// RegisterService mounts a whole operation table at once.
+func (s *Server) RegisterService(service string, ops map[string]Handler) {
+	for op, h := range ops {
+		s.Register(service, op, h)
+	}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port). If tlsConf
+// is non-nil the server speaks HTTPS.
+func (s *Server) Start(addr string, tlsConf *tls.Config) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.secure = tlsConf != nil
+	scheme := "http"
+	if s.secure {
+		scheme = "https"
+	}
+	s.baseURL = fmt.Sprintf("%s://%s", scheme, ln.Addr().String())
+	s.http = &http.Server{Handler: http.HandlerFunc(s.serveHTTP), TLSConfig: tlsConf}
+	srv := s.http
+	s.mu.Unlock()
+	go func() {
+		var serveErr error
+		if tlsConf != nil {
+			serveErr = srv.ServeTLS(ln, "", "")
+		} else {
+			serveErr = srv.Serve(ln)
+		}
+		_ = serveErr // http.ErrServerClosed on shutdown
+		close(s.closed)
+	}()
+	return nil
+}
+
+// BaseURL returns e.g. "http://127.0.0.1:45123"; empty before Start.
+func (s *Server) BaseURL() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.baseURL
+}
+
+// ServiceURL returns the full address of a mounted service.
+func (s *Server) ServiceURL(service string) string {
+	return s.BaseURL() + ServicePrefix + service
+}
+
+// Secure reports whether the server speaks HTTPS.
+func (s *Server) Secure() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.secure
+}
+
+// Close shuts the server down and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.http
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	err := srv.Close()
+	select {
+	case <-s.closed:
+	case <-time.After(5 * time.Second):
+	}
+	return err
+}
+
+func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, ServicePrefix) {
+		http.NotFound(w, r)
+		return
+	}
+	service := strings.TrimPrefix(r.URL.Path, ServicePrefix)
+	s.mu.RLock()
+	ops := s.services[service]
+	s.mu.RUnlock()
+	if ops == nil {
+		writeFault(w, http.StatusNotFound, fmt.Sprintf("no such service %q", service))
+		return
+	}
+	env, err := xmlutil.Parse(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		writeFault(w, http.StatusBadRequest, "malformed envelope: "+err.Error())
+		return
+	}
+	opName := env.ChildText("Operation")
+	h := ops[opName]
+	if h == nil {
+		writeFault(w, http.StatusNotFound, fmt.Sprintf("no such operation %q on %q", opName, service))
+		return
+	}
+	var body *xmlutil.Node
+	if b := env.First("Body"); b != nil && len(b.Children) > 0 {
+		body = b.Children[0]
+	}
+	resp, err := h(body)
+	if err != nil {
+		writeFault(w, http.StatusOK, err.Error())
+		return
+	}
+	out := xmlutil.NewNode("Envelope")
+	b := out.Elem("Body")
+	if resp != nil {
+		b.Add(resp)
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_, _ = io.WriteString(w, out.String())
+}
+
+func writeFault(w http.ResponseWriter, status int, msg string) {
+	out := xmlutil.NewNode("Envelope")
+	out.Elem("Fault", msg)
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	_, _ = io.WriteString(w, out.String())
+}
+
+// Client invokes operations on remote services. The zero value is not
+// usable; construct with NewClient.
+type Client struct {
+	http *http.Client
+}
+
+// NewClient builds a client. tlsConf may be nil for plain HTTP; when
+// non-nil it is used for HTTPS addresses.
+func NewClient(tlsConf *tls.Config) *Client {
+	tr := &http.Transport{
+		TLSClientConfig:     tlsConf,
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &Client{http: &http.Client{Transport: tr, Timeout: 30 * time.Second}}
+}
+
+// Call invokes operation on the service at address (a full service URL as
+// returned by Server.ServiceURL) with an optional body node.
+func (c *Client) Call(address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
+	env := xmlutil.NewNode("Envelope")
+	env.Elem("Operation", operation)
+	b := env.Elem("Body")
+	if body != nil {
+		b.Add(body)
+	}
+	resp, err := c.http.Post(address, "application/xml", bytes.NewReader([]byte(env.String())))
+	if err != nil {
+		return nil, fmt.Errorf("transport: call %s %s: %w", address, operation, err)
+	}
+	defer resp.Body.Close()
+	out, err := xmlutil.Parse(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("transport: call %s %s: bad response: %w", address, operation, err)
+	}
+	if f := out.First("Fault"); f != nil {
+		return nil, &Fault{Service: serviceOf(address), Operation: operation, Message: f.Text}
+	}
+	if b := out.First("Body"); b != nil && len(b.Children) > 0 {
+		return b.Children[0], nil
+	}
+	return nil, nil
+}
+
+// CloseIdle releases pooled connections.
+func (c *Client) CloseIdle() { c.http.CloseIdleConnections() }
+
+func serviceOf(address string) string {
+	if i := strings.LastIndex(address, ServicePrefix); i >= 0 {
+		return address[i+len(ServicePrefix):]
+	}
+	return address
+}

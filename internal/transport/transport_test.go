@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"glare/internal/gsi"
+	"glare/internal/xmlutil"
+)
+
+func echoServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer()
+	srv.Register("Echo", "Say", func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		if body == nil {
+			return nil, fmt.Errorf("nothing to say")
+		}
+		out := xmlutil.NewNode("Said", body.Text)
+		return out, nil
+	})
+	srv.Register("Echo", "Nothing", func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		return nil, nil
+	})
+	if err := srv.Start("127.0.0.1:0", nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, NewClient(nil)
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	srv, cli := echoServer(t)
+	resp, err := cli.Call(srv.ServiceURL("Echo"), "Say", xmlutil.NewNode("Msg", "hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "Said" || resp.Text != "hello" {
+		t.Fatalf("resp = %s", resp)
+	}
+}
+
+func TestCallNilBodyAndNilResponse(t *testing.T) {
+	srv, cli := echoServer(t)
+	resp, err := cli.Call(srv.ServiceURL("Echo"), "Nothing", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != nil {
+		t.Fatalf("expected nil response, got %s", resp)
+	}
+}
+
+func TestFaultPropagation(t *testing.T) {
+	srv, cli := echoServer(t)
+	_, err := cli.Call(srv.ServiceURL("Echo"), "Say", nil)
+	if err == nil || !IsFault(err) {
+		t.Fatalf("expected fault, got %v", err)
+	}
+	var f *Fault
+	if !strings.Contains(err.Error(), "nothing to say") {
+		t.Fatalf("fault text = %v", err)
+	}
+	_ = f
+}
+
+func TestUnknownServiceAndOperation(t *testing.T) {
+	srv, cli := echoServer(t)
+	if _, err := cli.Call(srv.ServiceURL("Nope"), "Say", nil); err == nil {
+		t.Fatal("unknown service must fault")
+	}
+	if _, err := cli.Call(srv.ServiceURL("Echo"), "Nope", nil); err == nil {
+		t.Fatal("unknown operation must fault")
+	}
+}
+
+func TestSecureTransport(t *testing.T) {
+	ca, err := gsi.NewAuthority("vo-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := ca.ServerConfig("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	srv.Register("S", "Ping", func(*xmlutil.Node) (*xmlutil.Node, error) {
+		return xmlutil.NewNode("Pong"), nil
+	})
+	if err := srv.Start("127.0.0.1:0", conf); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !srv.Secure() || !strings.HasPrefix(srv.BaseURL(), "https://") {
+		t.Fatalf("base url = %s", srv.BaseURL())
+	}
+	cli := NewClient(ca.ClientConfig())
+	resp, err := cli.Call(srv.ServiceURL("S"), "Ping", nil)
+	if err != nil || resp.Name != "Pong" {
+		t.Fatalf("secure call: %v %v", resp, err)
+	}
+	// A client that does not trust the CA must fail the handshake.
+	bad := NewClient(nil)
+	if _, err := bad.Call(srv.ServiceURL("S"), "Ping", nil); err == nil {
+		t.Fatal("untrusting client must fail TLS")
+	}
+}
+
+func TestRegisterServiceTable(t *testing.T) {
+	srv := NewServer()
+	srv.RegisterService("Multi", map[string]Handler{
+		"A": func(*xmlutil.Node) (*xmlutil.Node, error) { return xmlutil.NewNode("RA"), nil },
+		"B": func(*xmlutil.Node) (*xmlutil.Node, error) { return xmlutil.NewNode("RB"), nil },
+	})
+	if err := srv.Start("127.0.0.1:0", nil); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(nil)
+	for _, op := range []string{"A", "B"} {
+		resp, err := cli.Call(srv.ServiceURL("Multi"), op, nil)
+		if err != nil || resp.Name != "R"+op {
+			t.Fatalf("%s: %v %v", op, resp, err)
+		}
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	srv, cli := echoServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				msg := fmt.Sprintf("m%d-%d", i, j)
+				resp, err := cli.Call(srv.ServiceURL("Echo"), "Say", xmlutil.NewNode("M", msg))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Text != msg {
+					errs <- fmt.Errorf("got %q want %q", resp.Text, msg)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIsIdempotentAndUnstartedClose(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("closing unstarted server: %v", err)
+	}
+	if err := srv.Start("127.0.0.1:0", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(nil)
+	if _, err := cli.Call(srv.ServiceURL("X"), "Y", nil); err == nil {
+		t.Fatal("call after close must fail")
+	}
+	cli.CloseIdle()
+}
+
+func TestFaultErrorFormat(t *testing.T) {
+	f := &Fault{Service: "S", Operation: "Op", Message: "boom"}
+	if got := f.Error(); got != "fault from S.Op: boom" {
+		t.Fatalf("Error() = %q", got)
+	}
+	if IsFault(fmt.Errorf("wrapped: %w", f)) != true {
+		t.Fatal("IsFault must unwrap")
+	}
+	if IsFault(fmt.Errorf("plain")) {
+		t.Fatal("plain error is not a fault")
+	}
+}
+
+func TestServiceOf(t *testing.T) {
+	if got := serviceOf("http://h:1/wsrf/services/Abc"); got != "Abc" {
+		t.Fatalf("serviceOf = %q", got)
+	}
+	if got := serviceOf("http://h:1/other"); got != "http://h:1/other" {
+		t.Fatalf("serviceOf fallback = %q", got)
+	}
+}

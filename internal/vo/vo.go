@@ -1,0 +1,244 @@
+// Package vo assembles a simulated Virtual Organization: N Grid sites on
+// the loopback interface, each running the full per-site stack (transport
+// container, Default Index, ATR, ADR, PeerService, GLARE RDM), wired into
+// the GT4-style aggregation hierarchy with one community index, ready for
+// super-peer election.
+//
+// This is the stand-in for the Austrian Grid testbed of the paper's
+// evaluation: everything above the site substrate is the production code
+// path — real HTTP(S) between sites, real registries, real elections.
+package vo
+
+import (
+	"fmt"
+	"time"
+
+	"glare/internal/cog"
+	"glare/internal/epr"
+	"glare/internal/gridftp"
+	"glare/internal/gsi"
+	"glare/internal/mds"
+	"glare/internal/rdm"
+	"glare/internal/simclock"
+	"glare/internal/site"
+	"glare/internal/superpeer"
+	"glare/internal/transport"
+	"glare/internal/workload"
+)
+
+// Options configures a VO build.
+type Options struct {
+	// Sites is the number of Grid sites (default 3).
+	Sites int
+	// Secure enables HTTPS with a VO-internal CA on every container.
+	Secure bool
+	// GroupSize is the super-peer group size (default superpeer default).
+	GroupSize int
+	// Clock is shared by all sites; nil means a fresh virtual clock.
+	Clock simclock.Clock
+	// CacheDisabled turns off RDM caches VO-wide (Fig. 12 config).
+	CacheDisabled bool
+	// CacheTTL overrides the cache TTL.
+	CacheTTL time.Duration
+	// ScanDelayPerEntry models remote registry processing per scanned
+	// entry (see rdm.Config).
+	ScanDelayPerEntry time.Duration
+	// Costs overrides the Table 1 cost calibration.
+	Costs rdm.DeployCosts
+	// TransferCost configures direct GridFTP transfers.
+	TransferCost gridftp.CostModel
+	// CoG configures the JavaCoG path.
+	CoG cog.Config
+	// IndexCollapse configures the community index's overload behaviour;
+	// zero disables it (keep it disabled unless reproducing Fig. 11).
+	IndexCollapse mds.CollapseConfig
+}
+
+// Node is one Grid site's full stack.
+type Node struct {
+	Site   *site.Site
+	Server *transport.Server
+	RDM    *rdm.Service
+	Agent  *superpeer.Agent
+	Index  *mds.Index
+	Info   superpeer.SiteInfo
+}
+
+// VO is a running virtual organization.
+type VO struct {
+	Clock     simclock.Clock
+	Repo      *site.Repo
+	Resolver  *workload.Resolver
+	CA        *gsi.Authority
+	Client    *transport.Client
+	Nodes     []*Node
+	Community *mds.Index
+
+	stopped map[int]bool
+}
+
+// siteAttrs fabricates realistic, mutually distinct site attributes.
+func siteAttrs(i int) site.Attributes {
+	return site.Attributes{
+		Name:         fmt.Sprintf("agrid%02d.uibk.ac.at", i+1),
+		ProcessorMHz: 1000 + 250*(i%5),
+		MemoryMB:     1024 * (1 + i%4),
+		UptimeHours:  200 + 37*i,
+		Processors:   4 * (1 + i%3),
+		Platform:     "Intel",
+		OS:           "Linux",
+		Arch:         "32bit",
+	}
+}
+
+// Build constructs and starts a VO.
+func Build(opts Options) (*VO, error) {
+	if opts.Sites <= 0 {
+		opts.Sites = 3
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.NewVirtual(time.Time{})
+	}
+	repo := site.StandardUniverse()
+	resolver := workload.NewResolver(repo)
+
+	v := &VO{Clock: clock, Repo: repo, Resolver: resolver, stopped: map[int]bool{}}
+	var err error
+	if opts.Secure {
+		v.CA, err = gsi.NewAuthority("glare-vo-ca")
+		if err != nil {
+			return nil, err
+		}
+		v.Client = transport.NewClient(v.CA.ClientConfig())
+	} else {
+		v.Client = transport.NewClient(nil)
+	}
+
+	for i := 0; i < opts.Sites; i++ {
+		node, err := v.buildNode(i, opts)
+		if err != nil {
+			v.Close()
+			return nil, err
+		}
+		v.Nodes = append(v.Nodes, node)
+	}
+	// Hierarchical aggregation: every default index feeds the community
+	// index (held by site 0), and every site registers itself there.
+	v.Community = v.Nodes[0].Index
+	for i, n := range v.Nodes {
+		if i != 0 {
+			n.Index.AddUpstream(v.Community)
+		}
+		siteEPR := epr.New(n.Info.ServiceURL(rdm.ServiceName), "SiteKey", n.Info.Name)
+		siteEPR.LastUpdateTime = v.Clock.Now()
+		n.Index.Register(siteEPR, n.Info.ToXML())
+	}
+	return v, nil
+}
+
+func (v *VO) buildNode(i int, opts Options) (*Node, error) {
+	attrs := siteAttrs(i)
+	st := site.New(attrs, v.Clock, v.Repo)
+	srv := transport.NewServer()
+	if opts.Secure {
+		conf, err := v.CA.ServerConfig("127.0.0.1")
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.Start("127.0.0.1:0", conf); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := srv.Start("127.0.0.1:0", nil); err != nil {
+			return nil, err
+		}
+	}
+	info := superpeer.SiteInfo{Name: attrs.Name, Rank: attrs.Rank(), BaseURL: srv.BaseURL()}
+	agent := superpeer.NewAgent(info, v.Client, nil)
+
+	kind := mds.DefaultIndex
+	if i == 0 {
+		kind = mds.CommunityIndex
+	}
+	index := mds.New(fmt.Sprintf("index-%s", attrs.Name), kind, v.Clock)
+	if i == 0 && opts.IndexCollapse != (mds.CollapseConfig{}) {
+		index.SetCollapse(opts.IndexCollapse)
+	}
+
+	svc, err := rdm.New(rdm.Config{
+		Site:              st,
+		Clock:             v.Clock,
+		Client:            v.Client,
+		Agent:             agent,
+		LocalIndex:        index,
+		DeployFiles:       v.Resolver.Fetch,
+		GroupSize:         opts.GroupSize,
+		Costs:             opts.Costs,
+		CacheTTL:          opts.CacheTTL,
+		ScanDelayPerEntry: opts.ScanDelayPerEntry,
+		CacheDisabled:     opts.CacheDisabled,
+		TransferCost:      opts.TransferCost,
+		CoG:               opts.CoG,
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	svc.Mount(srv)
+	svc.MountExtensions(srv)
+	return &Node{Site: st, Server: srv, RDM: svc, Agent: agent, Index: index, Info: info}, nil
+}
+
+// ElectSuperPeers runs the initial election from the community-index
+// holder (the Index Monitor path).
+func (v *VO) ElectSuperPeers() error {
+	return v.Nodes[0].RDM.CheckIndex()
+}
+
+// Node returns a site's stack by index.
+func (v *VO) Node(i int) *Node { return v.Nodes[i] }
+
+// StopSite simulates a site failure: its container stops answering.
+func (v *VO) StopSite(i int) {
+	if v.stopped[i] {
+		return
+	}
+	v.stopped[i] = true
+	v.Nodes[i].RDM.Stop()
+	v.Nodes[i].Server.Close()
+}
+
+// Stopped reports whether a site was stopped.
+func (v *VO) Stopped(i int) bool { return v.stopped[i] }
+
+// RegisterImagingStack registers the Section-2 type hierarchy on one site.
+func (v *VO) RegisterImagingStack(i int) error {
+	for _, t := range workload.ImagingTypes() {
+		if _, err := v.Nodes[i].RDM.RegisterType(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterEvaluationApps registers the Table 1 application types on one
+// site.
+func (v *VO) RegisterEvaluationApps(i int) error {
+	for _, t := range workload.EvaluationTypes() {
+		if _, err := v.Nodes[i].RDM.RegisterType(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops every site.
+func (v *VO) Close() {
+	for i := range v.Nodes {
+		v.StopSite(i)
+	}
+	if v.Client != nil {
+		v.Client.CloseIdle()
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"glare/internal/site"
+)
+
+func TestSynthesizeBuildShapes(t *testing.T) {
+	repo := site.StandardUniverse()
+	cases := map[string][]string{
+		// artifact -> expected step tasks (substring match)
+		"POVray":  {"mkdir-p", "globus-url-copy", "tar xvfz", "./configure", "make", "make"},
+		"JPOVray": {"mkdir-p", "globus-url-copy", "tar xvfz", "ant"},
+		"Java":    {"mkdir-p", "globus-url-copy", "tar xvfz", "install.sh"},
+		"Wien2k":  {"mkdir-p", "globus-url-copy", "tar xvfz"},
+	}
+	for name, wantTasks := range cases {
+		a, ok := repo.ByName(name)
+		if !ok {
+			t.Fatalf("missing artifact %s", name)
+		}
+		b := SynthesizeBuild(a)
+		if b.Name != name {
+			t.Fatalf("%s: build name %q", name, b.Name)
+		}
+		steps, err := b.Order()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(steps) < len(wantTasks) {
+			t.Fatalf("%s: %d steps, want >= %d", name, len(steps), len(wantTasks))
+		}
+		for i, want := range wantTasks {
+			if !strings.Contains(steps[i].Task, want) {
+				t.Fatalf("%s step %d task %q, want %q", name, i, steps[i].Task, want)
+			}
+		}
+	}
+}
+
+func TestSynthesizedDialogsCarryProviderPatterns(t *testing.T) {
+	repo := site.StandardUniverse()
+	a, _ := repo.ByName("POVray")
+	b := SynthesizeBuild(a)
+	var found bool
+	for _, s := range b.Steps {
+		for _, d := range s.Dialog {
+			if strings.Contains(d.Expect, "Accept POV-Ray license") && d.Send == "y" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("license dialog not in deploy-file")
+	}
+}
+
+func TestResolver(t *testing.T) {
+	repo := site.StandardUniverse()
+	r := NewResolver(repo)
+	for _, name := range repo.Names() {
+		b, err := r.Fetch(DeployFileURL(name))
+		if err != nil || b == nil {
+			t.Fatalf("fetch %s: %v", name, err)
+		}
+	}
+	if _, err := r.Fetch("http://nowhere/x.build"); err == nil {
+		t.Fatal("unknown url must fail")
+	}
+	custom := SynthesizeBuild(mustArtifact(t, repo, "Ant"))
+	r.Publish("http://custom/ant.build", custom)
+	if b, err := r.Fetch("http://custom/ant.build"); err != nil || b != custom {
+		t.Fatal("publish/fetch failed")
+	}
+}
+
+func mustArtifact(t *testing.T, repo *site.Repo, name string) *site.Artifact {
+	t.Helper()
+	a, ok := repo.ByName(name)
+	if !ok {
+		t.Fatalf("no artifact %s", name)
+	}
+	return a
+}
+
+func TestImagingTypesConsistency(t *testing.T) {
+	types := ImagingTypes()
+	byName := map[string]bool{}
+	for _, ty := range types {
+		if err := ty.Validate(); err != nil {
+			t.Fatalf("%s: %v", ty.Name, err)
+		}
+		byName[ty.Name] = true
+	}
+	// Every base and dependency resolves within the stack.
+	for _, ty := range types {
+		for _, b := range ty.Base {
+			if !byName[b] {
+				t.Fatalf("%s: dangling base %s", ty.Name, b)
+			}
+		}
+		for _, d := range ty.Dependencies {
+			if !byName[d] {
+				t.Fatalf("%s: dangling dependency %s", ty.Name, d)
+			}
+		}
+	}
+	// Deploy-file URLs resolve against the standard universe.
+	r := NewResolver(site.StandardUniverse())
+	for _, ty := range types {
+		if ty.Installation == nil {
+			continue
+		}
+		if _, err := r.Fetch(ty.Installation.DeployFileURL); err != nil {
+			t.Fatalf("%s deploy-file: %v", ty.Name, err)
+		}
+	}
+}
+
+func TestEvaluationTypes(t *testing.T) {
+	types := EvaluationTypes()
+	if len(types) != 3 {
+		t.Fatalf("types = %d", len(types))
+	}
+	names := map[string]bool{}
+	for _, ty := range types {
+		if err := ty.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if ty.Installation == nil || ty.Installation.Mode != "on-demand" {
+			t.Fatalf("%s not on-demand installable", ty.Name)
+		}
+		names[ty.Name] = true
+	}
+	for _, want := range []string{"Wien2k", "Invmod", "Counter"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestSyntheticTypes(t *testing.T) {
+	types := SyntheticTypes(50)
+	if len(types) != 50 {
+		t.Fatalf("len = %d", len(types))
+	}
+	seen := map[string]bool{}
+	for _, ty := range types {
+		if seen[ty.Name] {
+			t.Fatalf("duplicate %s", ty.Name)
+		}
+		seen[ty.Name] = true
+		if err := ty.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(SyntheticTypes(0)) != 0 {
+		t.Fatal("zero must be empty")
+	}
+}

@@ -1,0 +1,289 @@
+package wsrf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"glare/internal/simclock"
+	"glare/internal/xmlutil"
+	"glare/internal/xpath"
+)
+
+func newHome(clock simclock.Clock) *Home {
+	return NewHome("http://x/wsrf/services/ATR", "ActivityTypeKey", clock)
+}
+
+func TestCreateFindDestroy(t *testing.T) {
+	h := newHome(nil)
+	doc := xmlutil.MustParse(`<ActivityTypeEntry name="JPOVray"/>`)
+	r, err := h.Create("JPOVray", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Find("JPOVray") != r {
+		t.Fatal("Find failed")
+	}
+	if _, err := h.Create("JPOVray", doc); err == nil {
+		t.Fatal("duplicate create must fail")
+	}
+	if _, err := h.Create("", doc); err == nil {
+		t.Fatal("empty key must fail")
+	}
+	if !h.Destroy("JPOVray") {
+		t.Fatal("destroy failed")
+	}
+	if h.Destroy("JPOVray") {
+		t.Fatal("double destroy must report false")
+	}
+	if h.Find("JPOVray") != nil {
+		t.Fatal("destroyed resource still findable")
+	}
+	if !r.Destroyed() {
+		t.Fatal("resource not marked destroyed")
+	}
+}
+
+func TestDocumentIsolation(t *testing.T) {
+	h := newHome(nil)
+	r, _ := h.Create("a", xmlutil.MustParse(`<P><v>1</v></P>`))
+	doc := r.Document()
+	doc.First("v").Text = "mutated"
+	if r.Document().ChildText("v") != "1" {
+		t.Fatal("Document() must return a copy")
+	}
+}
+
+func TestUpdateBumpsLastUpdate(t *testing.T) {
+	v := simclock.NewVirtual(time.Time{})
+	h := newHome(v)
+	r, _ := h.Create("a", nil)
+	t0 := r.LastUpdate()
+	v.Advance(time.Second)
+	r.Update(v.Now(), func(doc *xmlutil.Node) { doc.Elem("x") })
+	if !r.LastUpdate().After(t0) {
+		t.Fatal("LastUpdate not bumped")
+	}
+	var hasX bool
+	r.Read(func(doc *xmlutil.Node) { hasX = doc.First("x") != nil })
+	if !hasX {
+		t.Fatal("update lost")
+	}
+}
+
+func TestLifetimeAndSweep(t *testing.T) {
+	v := simclock.NewVirtual(time.Time{})
+	h := newHome(v)
+	a, _ := h.Create("a", nil)
+	b, _ := h.Create("b", nil)
+	a.SetTerminationTime(v.Now().Add(10 * time.Second))
+	if a.Expired(v.Now()) {
+		t.Fatal("not yet expired")
+	}
+	v.Advance(11 * time.Second)
+	if !a.Expired(v.Now()) {
+		t.Fatal("should be expired")
+	}
+	if b.Expired(v.Now()) {
+		t.Fatal("b has no termination time")
+	}
+	gone := h.SweepExpired()
+	if len(gone) != 1 || gone[0] != "a" {
+		t.Fatalf("swept %v", gone)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestOnDestroyListener(t *testing.T) {
+	h := newHome(nil)
+	var mu sync.Mutex
+	var destroyed []string
+	h.OnDestroy(func(r *Resource) {
+		mu.Lock()
+		destroyed = append(destroyed, r.Key())
+		mu.Unlock()
+	})
+	h.Create("x", nil)
+	h.Destroy("x")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(destroyed) != 1 || destroyed[0] != "x" {
+		t.Fatalf("listener saw %v", destroyed)
+	}
+}
+
+func TestEPRMinting(t *testing.T) {
+	v := simclock.NewVirtual(time.Time{})
+	h := newHome(v)
+	h.Create("jpovray", nil)
+	e := h.EPR("jpovray")
+	if e.Address != "http://x/wsrf/services/ATR" || e.KeyName != "ActivityTypeKey" || e.Key != "jpovray" {
+		t.Fatalf("EPR = %+v", e)
+	}
+	if e.LastUpdateTime.IsZero() {
+		t.Fatal("EPR must carry LUT for existing resource")
+	}
+}
+
+func TestKeysSortedAndAll(t *testing.T) {
+	h := newHome(nil)
+	for _, k := range []string{"c", "a", "b"} {
+		h.Create(k, nil)
+	}
+	keys := h.Keys()
+	if fmt.Sprint(keys) != "[a b c]" {
+		t.Fatalf("keys = %v", keys)
+	}
+	all := h.All()
+	if len(all) != 3 || all[0].Key() != "a" {
+		t.Fatal("All not sorted")
+	}
+}
+
+func TestServiceGroupAggregationAndQuery(t *testing.T) {
+	v := simclock.NewVirtual(time.Time{})
+	h := newHome(v)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("t%d", i)
+		doc := xmlutil.NewNode("ActivityTypeEntry")
+		doc.SetAttr("name", key)
+		h.Create(key, doc)
+	}
+	g := NewServiceGroup("atr", v)
+	g.Refresh(h)
+	if g.Len() != 5 {
+		t.Fatalf("group len = %d", g.Len())
+	}
+	res := g.Query(xpath.MustCompile(`//ActivityTypeEntry[@name='t3']`))
+	if len(res.Nodes) != 1 {
+		t.Fatalf("query = %d nodes", len(res.Nodes))
+	}
+	// Destroy one source and refresh: entry must disappear.
+	h.Destroy("t3")
+	g.Refresh(h)
+	if g.Len() != 4 {
+		t.Fatalf("after refresh len = %d", g.Len())
+	}
+	if !g.Query(xpath.MustCompile(`//ActivityTypeEntry[@name='t3']`)).Empty() {
+		t.Fatal("stale entry survived refresh")
+	}
+}
+
+func TestServiceGroupStaleEntries(t *testing.T) {
+	v := simclock.NewVirtual(time.Time{})
+	g := NewServiceGroup("g", v)
+	h := newHome(v)
+	h.Create("a", nil)
+	g.Refresh(h)
+	v.Advance(time.Minute)
+	h.Create("b", nil)
+	g.AddEntry(h.EPR("b"), nil)
+	stale := g.StaleEntries(v.Now().Add(-30 * time.Second))
+	if len(stale) != 1 || stale[0] != "a" {
+		t.Fatalf("stale = %v", stale)
+	}
+}
+
+func TestServiceGroupRemoveEntry(t *testing.T) {
+	g := NewServiceGroup("g", nil)
+	h := newHome(nil)
+	h.Create("a", nil)
+	g.Refresh(h)
+	if !g.RemoveEntry("a") {
+		t.Fatal("remove failed")
+	}
+	if g.RemoveEntry("a") {
+		t.Fatal("double remove must be false")
+	}
+}
+
+func TestBrokerPublishSubscribe(t *testing.T) {
+	b := NewBroker(nil)
+	var mu sync.Mutex
+	var got []Notification
+	id, err := b.Subscribe(TopicDeployment, SinkFunc(func(n Notification) {
+		mu.Lock()
+		got = append(got, n)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Publish(TopicDeployment, "jpovray", xmlutil.NewNode("Deployed")); n != 1 {
+		t.Fatalf("published to %d sinks", n)
+	}
+	if n := b.Publish("OtherTopic", "x", nil); n != 0 {
+		t.Fatal("published to wrong topic")
+	}
+	mu.Lock()
+	if len(got) != 1 || got[0].Producer != "jpovray" {
+		t.Fatalf("got %v", got)
+	}
+	mu.Unlock()
+	b.Unsubscribe(TopicDeployment, id)
+	if n := b.Publish(TopicDeployment, "jpovray", nil); n != 0 {
+		t.Fatal("unsubscribe ineffective")
+	}
+	if b.Delivered() != 1 {
+		t.Fatalf("delivered = %d", b.Delivered())
+	}
+}
+
+func TestBrokerErrors(t *testing.T) {
+	b := NewBroker(nil)
+	if _, err := b.Subscribe("", SinkFunc(func(Notification) {})); err == nil {
+		t.Fatal("empty topic must fail")
+	}
+	if _, err := b.Subscribe("t", nil); err == nil {
+		t.Fatal("nil sink must fail")
+	}
+}
+
+func TestBrokerManySinks(t *testing.T) {
+	b := NewBroker(nil)
+	const sinks = 100
+	var mu sync.Mutex
+	delivered := 0
+	for i := 0; i < sinks; i++ {
+		b.Subscribe("t", SinkFunc(func(Notification) {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+		}))
+	}
+	if n := b.Publish("t", "p", nil); n != sinks {
+		t.Fatalf("published %d", n)
+	}
+	if delivered != sinks {
+		t.Fatalf("delivered %d", delivered)
+	}
+	if b.Subscribers("t") != sinks {
+		t.Fatalf("subscribers = %d", b.Subscribers("t"))
+	}
+}
+
+func TestConcurrentHomeAccess(t *testing.T) {
+	h := newHome(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				key := fmt.Sprintf("r%d-%d", i, j)
+				h.Create(key, nil)
+				h.Find(key)
+				if j%2 == 0 {
+					h.Destroy(key)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Len() != 16*25 {
+		t.Fatalf("len = %d, want %d", h.Len(), 16*25)
+	}
+}

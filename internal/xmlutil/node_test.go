@@ -1,0 +1,226 @@
+package xmlutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildAndQueryTree(t *testing.T) {
+	n := NewNode("Root")
+	n.SetAttr("version", "1")
+	child := n.Elem("Child", "hello")
+	child.SetAttr("id", "c1")
+	n.Elem("Child", "world")
+	n.Elem("Other")
+
+	if got := len(n.All("Child")); got != 2 {
+		t.Fatalf("All(Child) = %d, want 2", got)
+	}
+	if got := n.First("Child").Text; got != "hello" {
+		t.Fatalf("First(Child).Text = %q", got)
+	}
+	if got := n.ChildText("Child"); got != "hello" {
+		t.Fatalf("ChildText = %q", got)
+	}
+	if v, ok := n.First("Child").Attr("id"); !ok || v != "c1" {
+		t.Fatalf("Attr(id) = %q,%v", v, ok)
+	}
+	if n.First("Missing") != nil {
+		t.Fatal("First(Missing) should be nil")
+	}
+	if got := n.AttrOr("version", "x"); got != "1" {
+		t.Fatalf("AttrOr = %q", got)
+	}
+	if got := n.AttrOr("nope", "x"); got != "x" {
+		t.Fatalf("AttrOr default = %q", got)
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	n := NewNode("A")
+	n.SetAttr("k", "1")
+	n.SetAttr("k", "2")
+	if len(n.Attrs) != 1 {
+		t.Fatalf("attrs = %d, want 1", len(n.Attrs))
+	}
+	if v, _ := n.Attr("k"); v != "2" {
+		t.Fatalf("k = %q, want 2", v)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	n := NewNode("A")
+	c1 := n.Elem("B")
+	c2 := n.Elem("B")
+	if !n.Remove(c1) {
+		t.Fatal("Remove(c1) failed")
+	}
+	if n.Remove(c1) {
+		t.Fatal("Remove(c1) twice should fail")
+	}
+	if len(n.Children) != 1 || n.Children[0] != c2 {
+		t.Fatal("wrong child remains")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `<Build baseDir="/tmp/papers/" defaultTask="Deploy" name="Povray">
+  <Step name="Init" task="mkdir-p" timeout="10">
+    <Env name="POVRAY_HOME" value="$DEPLOYMENT_DIR/povray/"/>
+    <Property name="argument" value="$POVRAY_HOME"/>
+  </Step>
+  <Step name="Download" depends="Init" task="globus-url-copy">
+    <Property name="source" value="http://www.povray.org/ft...povlinux-3.6.tgz"/>
+  </Step>
+</Build>`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if n.Name != "Build" || n.AttrOr("name", "") != "Povray" {
+		t.Fatalf("bad root: %s", n.Name)
+	}
+	steps := n.All("Step")
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if steps[1].AttrOr("depends", "") != "Init" {
+		t.Fatal("depends lost")
+	}
+	// Serialize and reparse; must be structurally equal.
+	again, err := ParseString(n.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !n.Equal(again) {
+		t.Fatalf("round trip not equal:\n%s\n%s", n.Indent(), again.Indent())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"<a><b></a>",
+		"<a/><b/>",
+		"no xml at all<",
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("ParseString(%q): expected error", c)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	n := NewNode("A", "a < b & c > d")
+	n.SetAttr("attr", `x<y>"z"&w`)
+	out, err := ParseString(n.String())
+	if err != nil {
+		t.Fatalf("reparse escaped: %v\nxml: %s", err, n.String())
+	}
+	if out.Text != "a < b & c > d" {
+		t.Fatalf("text = %q", out.Text)
+	}
+	if v, _ := out.Attr("attr"); v != `x<y>"z"&w` {
+		t.Fatalf("attr = %q", v)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := MustParse(`<a x="1"><b>t</b></a>`)
+	c := n.Clone()
+	c.First("b").Text = "changed"
+	c.SetAttr("x", "2")
+	if n.First("b").Text != "t" {
+		t.Fatal("clone shares child text")
+	}
+	if v, _ := n.Attr("x"); v != "1" {
+		t.Fatal("clone shares attrs")
+	}
+}
+
+func TestDescendantsAndWalk(t *testing.T) {
+	n := MustParse(`<r><a><b/><b/></a><b/></r>`)
+	if got := len(n.Descendants("b")); got != 3 {
+		t.Fatalf("Descendants(b) = %d", got)
+	}
+	if got := len(n.Descendants("*")); got != 4 {
+		t.Fatalf("Descendants(*) = %d", got)
+	}
+	// Walk pruning: stop below <a>.
+	count := 0
+	n.Walk(func(x *Node) bool {
+		count++
+		return x.Name != "a"
+	})
+	if count != 3 { // r, a, b(top-level)
+		t.Fatalf("pruned walk visited %d", count)
+	}
+}
+
+func TestEqualIgnoresAttrOrder(t *testing.T) {
+	a := MustParse(`<x p="1" q="2"/>`)
+	b := MustParse(`<x q="2" p="1"/>`)
+	if !a.Equal(b) {
+		t.Fatal("attr order should not matter")
+	}
+	c := MustParse(`<x p="1" q="3"/>`)
+	if a.Equal(c) {
+		t.Fatal("different attr values must differ")
+	}
+}
+
+// Property: any tree built from sanitized names/texts survives a
+// serialize→parse round trip structurally intact.
+func TestQuickRoundTrip(t *testing.T) {
+	sanitize := func(s string, forName bool) string {
+		var b strings.Builder
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+				b.WriteRune(r)
+			case r >= '0' && r <= '9' && !forName:
+				b.WriteRune(r)
+			}
+		}
+		out := b.String()
+		if forName && out == "" {
+			return "elem"
+		}
+		return out
+	}
+	f := func(names [][3]string) bool {
+		root := NewNode("root")
+		cur := root
+		for _, trip := range names {
+			c := cur.Elem(sanitize(trip[0], true), sanitize(trip[1], false))
+			c.SetAttr("a"+sanitize(trip[2], true), sanitize(trip[2], false))
+			cur = c
+		}
+		again, err := ParseString(root.String())
+		if err != nil {
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		return root.Equal(again)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortChildrenByName(t *testing.T) {
+	n := MustParse(`<r><c>2</c><a/><c>1</c><b/></r>`)
+	n.SortChildrenByName()
+	var got []string
+	for _, c := range n.Children {
+		got = append(got, c.Name+c.Text)
+	}
+	want := []string{"a", "b", "c1", "c2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package xpath
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"glare/internal/xmlutil"
+)
+
+// buildTree constructs a deterministic tree from a compact spec: each byte
+// selects a tag and whether to descend or ascend.
+func buildTree(spec []byte) *xmlutil.Node {
+	tags := []string{"a", "b", "c"}
+	root := xmlutil.NewNode("root")
+	cur := root
+	parents := map[*xmlutil.Node]*xmlutil.Node{}
+	id := 0
+	for _, s := range spec {
+		switch s % 4 {
+		case 0, 1: // add child, stay
+			c := cur.Elem(tags[int(s/4)%len(tags)])
+			c.SetAttr("id", fmt.Sprintf("n%d", id))
+			id++
+		case 2: // add child, descend
+			c := cur.Elem(tags[int(s/4)%len(tags)])
+			c.SetAttr("id", fmt.Sprintf("n%d", id))
+			id++
+			parents[c] = cur
+			cur = c
+		case 3: // ascend
+			if p := parents[cur]; p != nil {
+				cur = p
+			}
+		}
+	}
+	return root
+}
+
+// naiveDescendants is the reference evaluator for //tag.
+func naiveDescendants(root *xmlutil.Node, tag string) []*xmlutil.Node {
+	var out []*xmlutil.Node
+	var walk func(n *xmlutil.Node)
+	walk = func(n *xmlutil.Node) {
+		for _, c := range n.Children {
+			if c.Name == tag {
+				out = append(out, c)
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// Property: //tag matches exactly the reference descendant scan, in
+// document order.
+func TestQuickDescendantMatchesReference(t *testing.T) {
+	f := func(spec []byte) bool {
+		if len(spec) > 64 {
+			spec = spec[:64]
+		}
+		root := buildTree(spec)
+		for _, tag := range []string{"a", "b", "c"} {
+			got := MustCompile("//" + tag).Select(root).Nodes
+			want := naiveDescendants(root, tag)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an attribute-equality predicate on a unique id matches exactly
+// one node, and it is the right one.
+func TestQuickAttrPredicateFindsUniqueNode(t *testing.T) {
+	f := func(spec []byte, pick uint8) bool {
+		if len(spec) > 64 {
+			spec = spec[:64]
+		}
+		root := buildTree(spec)
+		all := root.Descendants("*")
+		if len(all) == 0 {
+			return true
+		}
+		target := all[int(pick)%len(all)]
+		id, _ := target.Attr("id")
+		expr := MustCompile(fmt.Sprintf(`//%s[@id='%s']`, target.Name, id))
+		got := expr.Select(root).Nodes
+		return len(got) == 1 && got[0] == target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: //*/@id returns exactly one value per element, all distinct.
+func TestQuickAttributeProjection(t *testing.T) {
+	f := func(spec []byte) bool {
+		if len(spec) > 64 {
+			spec = spec[:64]
+		}
+		root := buildTree(spec)
+		vals := MustCompile(`//*/@id`).Select(root).Strings
+		all := root.Descendants("*")
+		if len(vals) != len(all) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, v := range vals {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
