@@ -21,10 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"glare/internal/atr"
+	"glare/internal/mds"
 	"glare/internal/rdm"
+	"glare/internal/superpeer"
 	"glare/internal/transport"
 	"glare/internal/xmlutil"
 )
@@ -78,6 +81,8 @@ func main() {
 		err = instantiate(cli, rdmURL, args)
 	case "search":
 		err = search(cli, rdmURL, args[1:])
+	case "metrics":
+		err = metricsCmd(cli, siteBase, args[1:])
 	default:
 		usage()
 	}
@@ -107,7 +112,10 @@ commands:
   lease <dep> <client> <kind> <sec>  acquire a lease (kind: exclusive|shared)
   release <ticket-id>                release a lease
   instantiate <dep> <client> <ticket|0> [args]
-  search <function> [input...]       semantic type search by capability`)
+  search <function> [input...]       semantic type search by capability
+  metrics [prefix]                   scrape /metrics from every community
+                                     site into one table (prefix filters
+                                     metric names; default glare_)`)
 	os.Exit(2)
 }
 
@@ -237,6 +245,114 @@ func search(cli *transport.Client, url string, args []string) error {
 			ty.AttrOr("name", "?"), m.AttrOr("score", "?"), m.AttrOr("via", "-"))
 	}
 	return nil
+}
+
+// metricsCmd scrapes the /metrics admin endpoint of every site registered
+// in the community index reachable through -url, and prints one grid-wide
+// table: one row per metric series, one column per site. When the index
+// is unreachable (or empty) it falls back to scraping the -url site alone.
+func metricsCmd(cli *transport.Client, siteBase string, args []string) error {
+	prefix := "glare_"
+	if len(args) > 0 {
+		prefix = args[0]
+	}
+	sites := communitySites(cli, siteBase)
+	if len(sites) == 0 {
+		sites = []superpeer.SiteInfo{{Name: siteBase, BaseURL: siteBase}}
+	}
+
+	// site name -> metric series -> value; unreachable sites show as "-".
+	perSite := make([]map[string]string, len(sites))
+	union := map[string]bool{}
+	for i, s := range sites {
+		text, err := cli.Get(s.BaseURL + "/metrics")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glarectl: %s: %v\n", s.Name, err)
+			continue
+		}
+		perSite[i] = parseExposition(text, prefix)
+		for name := range perSite[i] {
+			union[name] = true
+		}
+	}
+	if len(union) == 0 {
+		return fmt.Errorf("no metrics matching %q scraped from %d site(s)", prefix, len(sites))
+	}
+
+	names := make([]string, 0, len(union))
+	for n := range union {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	wide := 0
+	for _, n := range names {
+		if len(n) > wide {
+			wide = len(n)
+		}
+	}
+	fmt.Printf("%-*s", wide, "METRIC")
+	for _, s := range sites {
+		fmt.Printf("  %s", s.Name)
+	}
+	fmt.Println()
+	for _, n := range names {
+		fmt.Printf("%-*s", wide, n)
+		for i, s := range sites {
+			v := "-"
+			if perSite[i] != nil {
+				if got, ok := perSite[i][n]; ok {
+					v = got
+				}
+			}
+			fmt.Printf("  %*s", len(s.Name), v)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// communitySites asks the site's index service for every <Site> registered
+// in the (aggregated) community document.
+func communitySites(cli *transport.Client, siteBase string) []superpeer.SiteInfo {
+	resp, err := cli.Call(siteBase+transport.ServicePrefix+mds.ServiceName,
+		"Query", xmlutil.NewNode("XPath", "//Site"))
+	if err != nil || resp == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []superpeer.SiteInfo
+	for _, n := range resp.All("Site") {
+		info, err := superpeer.SiteInfoFromXML(n)
+		if err != nil || seen[info.Name] || info.BaseURL == "" {
+			continue
+		}
+		seen[info.Name] = true
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// parseExposition extracts "name value" samples from the text exposition
+// format, keeping series whose name starts with prefix.
+func parseExposition(text, prefix string) map[string]string {
+	out := map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		name, value := line[:i], line[i+1:]
+		if strings.HasPrefix(name, prefix) {
+			out[name] = value
+		}
+	}
+	return out
 }
 
 func instantiate(cli *transport.Client, url string, args []string) error {

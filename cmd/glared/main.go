@@ -26,6 +26,7 @@ import (
 	"glare/internal/simclock"
 	"glare/internal/site"
 	"glare/internal/superpeer"
+	"glare/internal/telemetry"
 	"glare/internal/transport"
 	"glare/internal/workload"
 	"glare/internal/xmlutil"
@@ -62,7 +63,9 @@ func main() {
 	clock := simclock.Real
 	st := site.New(attrs, clock, site.StandardUniverse())
 	info := superpeer.SiteInfo{Name: attrs.Name, Rank: attrs.Rank(), BaseURL: srv.BaseURL()}
+	tel := telemetry.New(attrs.Name)
 	client := transport.NewClient(nil)
+	client.SetTelemetry(tel)
 	agent := superpeer.NewAgent(info, client, nil)
 
 	kind := mds.DefaultIndex
@@ -78,6 +81,7 @@ func main() {
 		Agent:       agent,
 		LocalIndex:  index,
 		DeployFiles: resolver.Fetch,
+		Telemetry:   tel,
 	})
 	if err != nil {
 		fatal(err)
@@ -104,6 +108,8 @@ func main() {
 	svc.StartMonitors(rdm.DefaultIntervals())
 	fmt.Printf("glared: site %s up at %s (index: %s)\n", attrs.Name, srv.BaseURL(), kind)
 	fmt.Printf("RDM service: %s\n", srv.ServiceURL(rdm.ServiceName))
+	fmt.Printf("admin: %s/metrics %s/healthz %s/tracez\n",
+		srv.BaseURL(), srv.BaseURL(), srv.BaseURL())
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)

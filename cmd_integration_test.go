@@ -81,6 +81,17 @@ func TestCommandsEndToEnd(t *testing.T) {
 		time.Sleep(500 * time.Millisecond)
 	}
 
+	// The grid-wide metrics table scraped through A's community index must
+	// cover both daemons and show the RDM traffic the flow above produced.
+	if out, err = ctl("-url", aURL, "metrics"); err != nil {
+		t.Fatalf("metrics: %v\n%s", err, out)
+	}
+	for _, want := range []string{"METRIC", "site-a", "site-b", "glare_rdm_requests_total", "glare_rpc_server_requests_total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+
 	// The deployment lives somewhere; lease + instantiate + release on the
 	// site that owns it (B deployed locally since it matches constraints).
 	owner := bURL

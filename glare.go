@@ -40,6 +40,7 @@ import (
 	"glare/internal/semantic"
 	"glare/internal/simclock"
 	"glare/internal/site"
+	"glare/internal/telemetry"
 	"glare/internal/vo"
 	"glare/internal/workload"
 	"glare/internal/wsrf"
@@ -72,6 +73,12 @@ type (
 	SemanticQuery = semantic.Query
 	// SemanticMatch is one scored semantic search result.
 	SemanticMatch = semantic.Match
+	// Telemetry is a site's observability bundle: its metrics registry
+	// and tracer, also served over HTTP at the site's /metrics, /healthz
+	// and /tracez admin endpoints.
+	Telemetry = telemetry.Telemetry
+	// TraceSpan is one recorded span of a distributed trace.
+	TraceSpan = telemetry.SpanRecord
 )
 
 // Deployment method and mode constants.
@@ -161,6 +168,16 @@ func (g *Grid) Client(i int) *Client {
 	return &Client{svc: g.vo.Nodes[i].RDM}
 }
 
+// Telemetry returns the i-th site's observability bundle — the metrics
+// registry and tracer that back its /metrics, /healthz and /tracez admin
+// endpoints (served under SiteURL(i)).
+func (g *Grid) Telemetry(i int) *Telemetry {
+	if i < 0 || i >= len(g.vo.Nodes) {
+		return nil
+	}
+	return g.vo.Nodes[i].Tel
+}
+
 // StopSite simulates a site failure (its container stops answering).
 // Super-peer failures trigger re-election among the survivors.
 func (g *Grid) StopSite(i int) { g.vo.StopSite(i) }
@@ -196,6 +213,9 @@ type Client struct {
 
 // SiteName returns the name of the Grid site this client talks to.
 func (c *Client) SiteName() string { return c.svc.Site().Attrs.Name }
+
+// Telemetry returns the site's observability bundle (metrics + traces).
+func (c *Client) Telemetry() *Telemetry { return c.svc.Telemetry() }
 
 // RegisterType registers an activity type with the local GLARE service.
 // Registration on a single site is enough: the distributed framework makes

@@ -17,6 +17,7 @@ import (
 	"glare/internal/atr"
 	"glare/internal/epr"
 	"glare/internal/simclock"
+	"glare/internal/telemetry"
 	"glare/internal/transport"
 	"glare/internal/wsrf"
 	"glare/internal/xmlutil"
@@ -34,6 +35,9 @@ type Registry struct {
 	types  *atr.Registry
 	broker *wsrf.Broker
 	clock  simclock.Clock
+
+	// Hot-path counters; nil (no-op) until SetTelemetry is called.
+	registers, byType, removes *telemetry.Counter
 }
 
 // New creates a deployment registry bound to the site's type registry.
@@ -56,9 +60,18 @@ func New(serviceURL string, types *atr.Registry, clock simclock.Clock, broker *w
 // Home exposes the resource home.
 func (r *Registry) Home() *wsrf.Home { return r.home }
 
+// SetTelemetry binds the registry's hot-path counters to a site's
+// telemetry registry. Call during site assembly, before serving traffic.
+func (r *Registry) SetTelemetry(tel *telemetry.Telemetry) {
+	r.registers = tel.Counter("glare_adr_registers_total")
+	r.byType = tel.Counter("glare_adr_bytype_total")
+	r.removes = tel.Counter("glare_adr_removes_total")
+}
+
 // Register records a deployment. If the concrete type is not yet known to
 // the type registry, a minimal concrete type is registered dynamically.
 func (r *Registry) Register(d *activity.Deployment) (epr.EPR, error) {
+	r.registers.Inc()
 	if err := d.Validate(); err != nil {
 		return epr.EPR{}, err
 	}
@@ -127,6 +140,7 @@ func (r *Registry) LUT(name string) (time.Time, bool) {
 
 // ByType lists local deployments of the given concrete type.
 func (r *Registry) ByType(typeName string) []*activity.Deployment {
+	r.byType.Inc()
 	var out []*activity.Deployment
 	for _, res := range r.home.All() {
 		var d *activity.Deployment
@@ -158,6 +172,7 @@ func (r *Registry) Len() int { return r.home.Len() }
 
 // Remove unregisters a deployment and clears its ref in the type resource.
 func (r *Registry) Remove(name string) bool {
+	r.removes.Inc()
 	d, ok := r.Get(name)
 	if !ok {
 		return false

@@ -20,6 +20,7 @@ import (
 	"glare/internal/activity"
 	"glare/internal/epr"
 	"glare/internal/simclock"
+	"glare/internal/telemetry"
 	"glare/internal/transport"
 	"glare/internal/wsrf"
 	"glare/internal/xmlutil"
@@ -38,6 +39,9 @@ type Registry struct {
 	group  *wsrf.ServiceGroup
 	broker *wsrf.Broker
 	clock  simclock.Clock
+
+	// Hot-path counters; nil (no-op) until SetTelemetry is called.
+	lookups, registers, concrete *telemetry.Counter
 }
 
 // New creates an empty registry. serviceURL is the address other sites use
@@ -63,8 +67,17 @@ func (r *Registry) Home() *wsrf.Home { return r.home }
 // Broker exposes the notification broker.
 func (r *Registry) Broker() *wsrf.Broker { return r.broker }
 
+// SetTelemetry binds the registry's hot-path counters to a site's
+// telemetry registry. Call during site assembly, before serving traffic.
+func (r *Registry) SetTelemetry(tel *telemetry.Telemetry) {
+	r.lookups = tel.Counter("glare_atr_lookups_total")
+	r.registers = tel.Counter("glare_atr_registers_total")
+	r.concrete = tel.Counter("glare_atr_concrete_queries_total")
+}
+
 // Register adds an activity type; duplicate names are rejected.
 func (r *Registry) Register(t *activity.Type) (epr.EPR, error) {
+	r.registers.Inc()
 	if err := t.Validate(); err != nil {
 		return epr.EPR{}, err
 	}
@@ -78,6 +91,7 @@ func (r *Registry) Register(t *activity.Type) (epr.EPR, error) {
 
 // Lookup resolves a named type through the hash table — the O(1) path.
 func (r *Registry) Lookup(name string) (*activity.Type, bool) {
+	r.lookups.Inc()
 	res := r.home.Find(name)
 	if res == nil {
 		return nil, false
@@ -153,6 +167,7 @@ func (r *Registry) Hierarchy() (*activity.Hierarchy, error) {
 // ConcreteOf resolves an abstract or concrete name to the concrete types
 // satisfying it, using the local hierarchy.
 func (r *Registry) ConcreteOf(name string) ([]*activity.Type, error) {
+	r.concrete.Inc()
 	h, err := r.Hierarchy()
 	if err != nil {
 		return nil, err

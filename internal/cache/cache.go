@@ -17,6 +17,7 @@ import (
 
 	"glare/internal/epr"
 	"glare/internal/simclock"
+	"glare/internal/telemetry"
 	"glare/internal/xmlutil"
 )
 
@@ -43,6 +44,10 @@ type Cache struct {
 	ttl     time.Duration
 	entries map[string]*Entry
 	stats   Stats
+
+	// Telemetry mirrors of the stats counters; nil until Instrument is
+	// called (a nil counter is a no-op).
+	hits, misses, revived, discarded *telemetry.Counter
 }
 
 // DefaultTTL bounds how long an entry may serve without refresh.
@@ -59,6 +64,15 @@ func New(clock simclock.Clock, ttl time.Duration) *Cache {
 	return &Cache{clock: clock, ttl: ttl, entries: make(map[string]*Entry)}
 }
 
+// Instrument mirrors the cache's effectiveness counters onto telemetry
+// instruments so they appear on the site's /metrics exposition. Call
+// before the cache is shared across goroutines.
+func (c *Cache) Instrument(hits, misses, revived, discarded *telemetry.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.revived, c.discarded = hits, misses, revived, discarded
+}
+
 // Put stores (or replaces) a cached resource.
 func (c *Cache) Put(key string, source epr.EPR, doc *xmlutil.Node) {
 	c.mu.Lock()
@@ -73,15 +87,19 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	e, ok := c.entries[key]
 	if !ok {
 		c.stats.Misses++
+		c.misses.Inc()
 		return nil, false
 	}
 	if c.clock.Now().Sub(e.Fetched) > c.ttl {
 		delete(c.entries, key)
 		c.stats.Misses++
 		c.stats.Discarded++
+		c.misses.Inc()
+		c.discarded.Inc()
 		return nil, false
 	}
 	c.stats.Hits++
+	c.hits.Inc()
 	return e, true
 }
 
@@ -100,6 +118,7 @@ func (c *Cache) Invalidate(key string) {
 	if _, ok := c.entries[key]; ok {
 		delete(c.entries, key)
 		c.stats.Discarded++
+		c.discarded.Inc()
 	}
 }
 
@@ -151,6 +170,7 @@ func (c *Cache) Refresh(probe func(key string, source epr.EPR) (time.Time, error
 			c.mu.Lock()
 			delete(c.entries, e.Key)
 			c.stats.Discarded++
+			c.discarded.Inc()
 			c.mu.Unlock()
 			discarded++
 			continue
@@ -163,6 +183,7 @@ func (c *Cache) Refresh(probe func(key string, source epr.EPR) (time.Time, error
 			c.mu.Lock()
 			delete(c.entries, e.Key)
 			c.stats.Discarded++
+			c.discarded.Inc()
 			c.mu.Unlock()
 			discarded++
 			continue
@@ -170,6 +191,7 @@ func (c *Cache) Refresh(probe func(key string, source epr.EPR) (time.Time, error
 		c.mu.Lock()
 		c.entries[e.Key] = &Entry{Key: e.Key, Source: freshEPR, Doc: doc, Fetched: c.clock.Now()}
 		c.stats.Revived++
+		c.revived.Inc()
 		c.mu.Unlock()
 		revived++
 	}

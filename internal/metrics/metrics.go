@@ -8,6 +8,12 @@
 // run queue." Here the run queue is the set of requests currently being
 // handled by a service, sampled and exponentially decayed exactly like the
 // kernel's loadavg.
+//
+// The instruments are thin wrappers over the telemetry package's counters,
+// gauges and histograms, so experiment measurements and the live /metrics
+// exposition share one implementation. The *On constructors bind a tracker
+// to an instrument from a site registry; the plain constructors keep the
+// historical standalone behavior with private instruments.
 package metrics
 
 import (
@@ -15,22 +21,34 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"glare/internal/telemetry"
 )
 
 // Throughput measures completed operations per second over a window.
 type Throughput struct {
 	start time.Time
-	ops   atomic.Uint64
+	ops   *telemetry.Counter
 }
 
-// NewThroughput starts a meter.
-func NewThroughput() *Throughput { return &Throughput{start: time.Now()} }
+// NewThroughput starts a meter backed by a private counter.
+func NewThroughput() *Throughput { return NewThroughputOn(nil) }
+
+// NewThroughputOn starts a meter recording into c, so the same completions
+// feed both the experiment figure and the site's /metrics exposition. A
+// nil c falls back to a private counter.
+func NewThroughputOn(c *telemetry.Counter) *Throughput {
+	if c == nil {
+		c = new(telemetry.Counter)
+	}
+	return &Throughput{start: time.Now(), ops: c}
+}
 
 // Add records n completed operations.
 func (t *Throughput) Add(n int) { t.ops.Add(uint64(n)) }
 
 // Ops returns the operation count.
-func (t *Throughput) Ops() uint64 { return t.ops.Load() }
+func (t *Throughput) Ops() uint64 { return t.ops.Value() }
 
 // PerSecond returns operations per wall-clock second since start.
 func (t *Throughput) PerSecond() float64 {
@@ -38,7 +56,7 @@ func (t *Throughput) PerSecond() float64 {
 	if el <= 0 {
 		return 0
 	}
-	return float64(t.ops.Load()) / el
+	return float64(t.ops.Value()) / el
 }
 
 // LoadTracker computes a 1-minute exponentially-decayed load average of a
@@ -46,8 +64,10 @@ func (t *Throughput) PerSecond() float64 {
 // goroutine (or explicit Sample calls, for deterministic tests) folds the
 // instantaneous queue length into the average.
 type LoadTracker struct {
+	queue   *telemetry.Gauge
+	clamped atomic.Uint64
+
 	mu      sync.Mutex
-	queue   int64
 	load    float64
 	period  time.Duration
 	window  time.Duration
@@ -64,40 +84,52 @@ func NewLoadTracker() *LoadTracker {
 // NewLoadTrackerWith creates a tracker with explicit sampling period and
 // averaging window.
 func NewLoadTrackerWith(period, window time.Duration) *LoadTracker {
-	t := &LoadTracker{period: period, window: window}
+	return NewLoadTrackerOn(nil, period, window)
+}
+
+// NewLoadTrackerOn creates a tracker whose run queue is the given gauge,
+// so the instantaneous queue depth shows up on /metrics while the tracker
+// derives the decayed average from it. A nil gauge falls back to a private
+// one.
+func NewLoadTrackerOn(g *telemetry.Gauge, period, window time.Duration) *LoadTracker {
+	if g == nil {
+		g = new(telemetry.Gauge)
+	}
+	t := &LoadTracker{queue: g, period: period, window: window}
 	t.decay = math.Exp(-period.Seconds() / window.Seconds())
 	return t
 }
 
 // Enter marks a request entering the run queue.
-func (t *LoadTracker) Enter() {
-	t.mu.Lock()
-	t.queue++
-	t.mu.Unlock()
-}
+func (t *LoadTracker) Enter() { t.queue.Inc() }
 
 // Exit marks a request leaving the run queue.
+//
+// Exits without a matching Enter are clamped: the queue never goes
+// negative, mirroring a kernel run queue, which cannot hold a negative
+// number of jobs. Each clamped call is counted and reported by
+// ClampedExits, so a double-Exit bug in an instrumented service is
+// observable instead of silently dragging the load average below reality.
 func (t *LoadTracker) Exit() {
-	t.mu.Lock()
-	if t.queue > 0 {
-		t.queue--
+	if !t.queue.DecFloor() {
+		t.clamped.Add(1)
 	}
-	t.mu.Unlock()
 }
 
+// ClampedExits returns how many Exit calls arrived with an empty run queue
+// and were clamped rather than applied.
+func (t *LoadTracker) ClampedExits() uint64 { return t.clamped.Load() }
+
 // Queue returns the instantaneous run-queue length.
-func (t *LoadTracker) Queue() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return int(t.queue)
-}
+func (t *LoadTracker) Queue() int { return int(t.queue.Value()) }
 
 // Sample folds the current queue length into the load average, exactly as
 // the kernel does: load = load*decay + queue*(1-decay).
 func (t *LoadTracker) Sample() {
+	q := float64(t.queue.Value())
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.load = t.load*t.decay + float64(t.queue)*(1-t.decay)
+	t.load = t.load*t.decay + q*(1-t.decay)
 	t.samples++
 }
 
@@ -131,49 +163,27 @@ func (t *LoadTracker) Start(stop <-chan struct{}) {
 	}()
 }
 
-// LatencyRecorder accumulates response-time observations (Fig. 12).
+// LatencyRecorder accumulates response-time observations (Fig. 12). The
+// zero value is ready to use; it wraps a telemetry histogram, adding the
+// experiment-friendly Mean/MinMax surface.
 type LatencyRecorder struct {
-	mu    sync.Mutex
-	total time.Duration
-	count int
-	max   time.Duration
-	min   time.Duration
+	h telemetry.Histogram
 }
 
 // Observe records one response time.
-func (l *LatencyRecorder) Observe(d time.Duration) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.total += d
-	l.count++
-	if d > l.max {
-		l.max = d
-	}
-	if l.min == 0 || d < l.min {
-		l.min = d
-	}
-}
+func (l *LatencyRecorder) Observe(d time.Duration) { l.h.Observe(d) }
 
 // Mean returns the average response time.
-func (l *LatencyRecorder) Mean() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.count == 0 {
-		return 0
-	}
-	return l.total / time.Duration(l.count)
-}
+func (l *LatencyRecorder) Mean() time.Duration { return l.h.Mean() }
 
 // Count returns the number of observations.
-func (l *LatencyRecorder) Count() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.count
-}
+func (l *LatencyRecorder) Count() int { return int(l.h.Count()) }
 
 // MinMax returns the extreme observations.
 func (l *LatencyRecorder) MinMax() (time.Duration, time.Duration) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.min, l.max
+	return l.h.Min(), l.h.Max()
 }
+
+// Quantile reports an approximate latency quantile (0 < q <= 1) from the
+// underlying histogram buckets.
+func (l *LatencyRecorder) Quantile(q float64) time.Duration { return l.h.Quantile(q) }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"glare/internal/telemetry"
 )
 
 func TestThroughput(t *testing.T) {
@@ -35,6 +37,52 @@ func TestLoadTrackerQueue(t *testing.T) {
 	lt.Exit() // extra exits clamp at zero
 	if lt.Queue() != 0 {
 		t.Fatalf("queue = %d", lt.Queue())
+	}
+}
+
+func TestLoadTrackerClampedExitsObservable(t *testing.T) {
+	lt := NewLoadTracker()
+	lt.Enter()
+	lt.Exit()
+	lt.Exit() // no matching Enter: clamped, not applied
+	if lt.Queue() != 0 {
+		t.Fatalf("queue = %d", lt.Queue())
+	}
+	if lt.ClampedExits() != 1 {
+		t.Fatalf("clamped = %d", lt.ClampedExits())
+	}
+	// The clamp must not corrupt later accounting.
+	lt.Enter()
+	if lt.Queue() != 1 {
+		t.Fatalf("queue after re-enter = %d", lt.Queue())
+	}
+	if lt.ClampedExits() != 1 {
+		t.Fatalf("clamped after re-enter = %d", lt.ClampedExits())
+	}
+}
+
+func TestLoadTrackerOnSharedGauge(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("glare_rdm_run_queue")
+	lt := NewLoadTrackerOn(g, time.Second, time.Minute)
+	lt.Enter()
+	lt.Enter()
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, queue depth must be visible on the registry", g.Value())
+	}
+	lt.Exit()
+	if lt.Queue() != 1 || g.Value() != 1 {
+		t.Fatalf("queue = %d gauge = %d", lt.Queue(), g.Value())
+	}
+}
+
+func TestThroughputOnSharedCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("glare_ops_total")
+	m := NewThroughputOn(c)
+	m.Add(3)
+	if c.Value() != 3 || m.Ops() != 3 {
+		t.Fatalf("counter = %d ops = %d", c.Value(), m.Ops())
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"glare/internal/simclock"
 	"glare/internal/site"
 	"glare/internal/superpeer"
+	"glare/internal/telemetry"
 	"glare/internal/wsrf"
 	"glare/internal/xmlutil"
 )
@@ -58,7 +59,14 @@ type DeployReport struct {
 // the VO — on this site when its constraints match, otherwise on an
 // eligible peer — and returns the new deployments.
 func (s *Service) DeployOnDemand(typeName string, method Method) (*DeployReport, error) {
-	t, ok := s.LookupType(typeName)
+	return s.deployOnDemand(nil, typeName, method)
+}
+
+func (s *Service) deployOnDemand(parent *telemetry.Span, typeName string, method Method) (report *DeployReport, err error) {
+	sp := s.tel.StartSpan("rdm.DeployOnDemand", parent)
+	sp.SetNote(typeName)
+	defer func() { sp.End(err) }()
+	t, ok := s.lookupType(sp, typeName)
 	if !ok {
 		return nil, fmt.Errorf("rdm: unknown activity type %q", typeName)
 	}
@@ -70,21 +78,21 @@ func (s *Service) DeployOnDemand(typeName string, method Method) (*DeployReport,
 	}
 	c := t.Installation.Constraints
 	if s.site.Attrs.Matches(c.Platform, c.OS, c.Arch) {
-		return s.DeployLocal(t, method)
+		return s.deployLocal(sp, t, method, true)
 	}
 	// Find an eligible peer and hand the installation over to its RDM
 	// ("it invokes [the] deployment handler on the target site").
-	target, err := s.chooseTarget(t)
+	target, err := s.chooseTarget(sp, t)
 	if err != nil {
 		return nil, err
 	}
-	return s.deployRemote(target, t, method)
+	return s.deployRemote(sp, target, t, method)
 }
 
 // chooseTarget selects the best group peer for installing the type:
 // candidates are filtered by the type's constraints and ranked by the
 // GridARM broker ("in combination with GridARM's resource brokerage").
-func (s *Service) chooseTarget(t *activity.Type) (superpeer.SiteInfo, error) {
+func (s *Service) chooseTarget(sp *telemetry.Span, t *activity.Type) (superpeer.SiteInfo, error) {
 	c := t.Installation.Constraints
 	req := gridarm.Request{Platform: c.Platform, OS: c.OS, Arch: c.Arch}
 	view := s.view()
@@ -94,7 +102,7 @@ func (s *Service) chooseTarget(t *activity.Type) (superpeer.SiteInfo, error) {
 		if s.client == nil {
 			break
 		}
-		resp, err := s.client.Call(peer.ServiceURL(ServiceName), "SiteAttrs", nil)
+		resp, err := s.call(sp, peer.ServiceURL(ServiceName), "SiteAttrs", nil)
 		if err != nil || resp == nil {
 			continue
 		}
@@ -130,11 +138,11 @@ func attrsFromXML(n *xmlutil.Node) site.Attributes {
 	}
 }
 
-func (s *Service) deployRemote(target superpeer.SiteInfo, t *activity.Type, method Method) (*DeployReport, error) {
+func (s *Service) deployRemote(sp *telemetry.Span, target superpeer.SiteInfo, t *activity.Type, method Method) (*DeployReport, error) {
 	req := xmlutil.NewNode("Deploy")
 	req.SetAttr("method", string(method))
 	req.Add(t.ToXML())
-	resp, err := s.client.Call(target.ServiceURL(ServiceName), "DeployLocal", req)
+	resp, err := s.call(sp, target.ServiceURL(ServiceName), "DeployLocal", req)
 	if err != nil {
 		return nil, fmt.Errorf("rdm: remote deployment on %s: %w", target.Name, err)
 	}
@@ -151,14 +159,23 @@ func (s *Service) deployRemote(target superpeer.SiteInfo, t *activity.Type, meth
 // DeployLocal installs a concrete type on THIS site: dependencies first,
 // then the type itself, then registration of the identified deployments.
 func (s *Service) DeployLocal(t *activity.Type, method Method) (*DeployReport, error) {
-	return s.deployLocal(t, method, true)
+	return s.deployLocal(nil, t, method, true)
 }
 
 // deployLocal is DeployLocal with control over the method overhead:
 // dependency installations reuse the parent's Expect session / CoG kit, so
 // only the top-level deployment pays the method's fixed cost (the paper's
 // Table 1 charges the Expect/CoG overhead once per application).
-func (s *Service) deployLocal(t *activity.Type, method Method, chargeOverhead bool) (*DeployReport, error) {
+func (s *Service) deployLocal(parent *telemetry.Span, t *activity.Type, method Method, chargeOverhead bool) (_ *DeployReport, err error) {
+	sp := s.tel.StartSpan("rdm.deployLocal", parent)
+	sp.SetNote(t.Name)
+	s.tel.Counter("glare_rdm_deploys_total").Inc()
+	defer func() {
+		if err != nil {
+			s.tel.Counter("glare_rdm_deploy_errors_total").Inc()
+		}
+		sp.End(err)
+	}()
 	if method == "" {
 		method = MethodExpect
 	}
@@ -215,11 +232,11 @@ func (s *Service) deployLocal(t *activity.Type, method Method, chargeOverhead bo
 		if len(s.ADR.ByType(depName)) > 0 {
 			continue // already deployed here
 		}
-		depType, ok := s.LookupType(depName)
+		depType, ok := s.lookupType(sp, depName)
 		if !ok {
 			return nil, fmt.Errorf("rdm: dependency %q of %q not found in VO", depName, t.Name)
 		}
-		depReport, err := s.deployLocal(depType, method, false)
+		depReport, err := s.deployLocal(sp, depType, method, false)
 		if err != nil {
 			s.site.NotifyAdmin(
 				fmt.Sprintf("installation failed: %s", t.Name),
@@ -434,6 +451,7 @@ func (s *Service) Undeploy(name string) error {
 	if !ok {
 		return fmt.Errorf("rdm: no such deployment %q", name)
 	}
+	s.tel.Counter("glare_rdm_undeploys_total").Inc()
 	switch d.Kind {
 	case activity.KindExecutable:
 		s.site.FS.Remove(d.Path)
@@ -461,14 +479,14 @@ func (s *Service) Migrate(name string, method Method) (*DeployReport, error) {
 	if t.Installation == nil {
 		return nil, fmt.Errorf("rdm: type %q cannot be reinstalled automatically", d.Type)
 	}
-	target, err := s.chooseTarget(t)
+	target, err := s.chooseTarget(nil, t)
 	if err != nil {
 		return nil, err
 	}
 	if err := s.Undeploy(name); err != nil {
 		return nil, err
 	}
-	return s.deployRemote(target, t, method)
+	return s.deployRemote(nil, target, t, method)
 }
 
 // Instantiate runs an executable deployment as a GRAM job (or touches a
@@ -480,6 +498,7 @@ func (s *Service) Instantiate(name, client string, ticketID uint64, args string)
 	if !ok {
 		return fmt.Errorf("rdm: no such deployment %q", name)
 	}
+	s.tel.Counter("glare_rdm_instantiations_total").Inc()
 	if ticketID != 0 {
 		if err := s.Leases.Authorize(ticketID, client, name); err != nil {
 			return err

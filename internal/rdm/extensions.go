@@ -6,6 +6,7 @@ import (
 
 	"glare/internal/activity"
 	"glare/internal/semantic"
+	"glare/internal/telemetry"
 	"glare/internal/transport"
 	"glare/internal/xmlutil"
 )
@@ -59,8 +60,8 @@ func (s *Service) WrapService(execName string) (*activity.Deployment, error) {
 // Kept separate from Mount so the baseline protocol matches the paper's
 // surface exactly; vo mounts both.
 func (s *Service) MountExtensions(srv *transport.Server) {
-	srv.RegisterService(ServiceName, map[string]transport.Handler{
-		"SearchTypes": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+	srv.RegisterTracedService(ServiceName, s.tracedTable(map[string]transport.TracedHandler{
+		"SearchTypes": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			q := semantic.Query{}
 			if body != nil {
 				q.Function = body.AttrOr("function", "")
@@ -88,12 +89,12 @@ func (s *Service) MountExtensions(srv *transport.Server) {
 			}
 			return out, nil
 		},
-		"WrapService": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"WrapService": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			d, err := s.WrapService(textOf(body))
 			if err != nil {
 				return nil, err
 			}
 			return d.ToXML(), nil
 		},
-	})
+	}))
 }

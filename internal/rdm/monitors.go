@@ -1,6 +1,7 @@
 package rdm
 
 import (
+	"fmt"
 	"strings"
 	"time"
 
@@ -64,11 +65,14 @@ func (s *Service) loop(interval time.Duration, fn func()) {
 // RefreshCaches is one Cache Refresher pass: cached deployments and types
 // whose source LastUpdateTime changed are revived; entries whose source is
 // gone are discarded. Index-style entries (merged lists) age out by TTL.
+// Each pass runs under its own trace span, so the LUT probes it issues
+// carry a correlation ID to the source sites.
 func (s *Service) RefreshCaches() (revived, discarded int) {
+	sp := s.tel.StartSpan("rdm.RefreshCaches", nil)
 	probe := func(key string, source epr.EPR) (time.Time, error) {
 		switch {
 		case strings.HasPrefix(key, "dep:"), strings.HasPrefix(key, "type:"):
-			return s.probeLUT(source.Address, source.Key)
+			return s.probeLUT(sp, source.Address, source.Key)
 		default:
 			// Merged lists have no single source; leave them to TTL.
 			return source.LastUpdateTime, nil
@@ -79,11 +83,11 @@ func (s *Service) RefreshCaches() (revived, discarded int) {
 		if strings.HasPrefix(key, "type:") {
 			op = "GetType"
 		}
-		resp, err := s.client.Call(source.Address, op, xmlutil.NewNode("Name", source.Key))
+		resp, err := s.call(sp, source.Address, op, xmlutil.NewNode("Name", source.Key))
 		if err != nil {
 			return epr.EPR{}, nil, err
 		}
-		lut, err := s.probeLUT(source.Address, source.Key)
+		lut, err := s.probeLUT(sp, source.Address, source.Key)
 		if err != nil {
 			return epr.EPR{}, nil, err
 		}
@@ -93,7 +97,10 @@ func (s *Service) RefreshCaches() (revived, discarded int) {
 	}
 	r1, d1 := s.depCache.Refresh(probe, resolve)
 	r2, d2 := s.typeCache.Refresh(probe, resolve)
-	return r1 + r2, d1 + d2
+	revived, discarded = r1+r2, d1+d2
+	sp.SetNote(fmt.Sprintf("revived=%d discarded=%d", revived, discarded))
+	sp.End(nil)
+	return revived, discarded
 }
 
 // CheckIndex is one Index Monitor pass: "It periodically probes the GT4
@@ -182,6 +189,7 @@ func (s *Service) CheckDeployments() (alive int, removed []string) {
 		_ = s.ADR.UpdateMetrics(d.Name, d.Metrics)
 	}
 	s.EnforceDeploymentFloor()
+	s.tel.Gauge("glare_rdm_deployments_alive").Set(int64(alive))
 	return alive, removed
 }
 

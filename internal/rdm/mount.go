@@ -7,15 +7,48 @@ import (
 
 	"glare/internal/activity"
 	"glare/internal/lease"
+	"glare/internal/telemetry"
 	"glare/internal/transport"
 	"glare/internal/wsrf"
 	"glare/internal/xmlutil"
 )
 
+// traced wraps an RDM operation handler with the request-manager
+// instrumentation: per-op request/error counters and a latency histogram,
+// all on the site's registry. The server-side span opened by the transport
+// middleware is passed through so handlers can fan out under it.
+func (s *Service) traced(op string, h transport.TracedHandler) transport.TracedHandler {
+	reqs := s.tel.Counter("glare_rdm_requests_total", telemetry.L("op", op))
+	errs := s.tel.Counter("glare_rdm_errors_total", telemetry.L("op", op))
+	lat := s.tel.Histogram("glare_rdm_latency", telemetry.L("op", op))
+	return func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		start := time.Now()
+		resp, err := h(sp, body)
+		lat.Observe(time.Since(start))
+		reqs.Inc()
+		if err != nil {
+			errs.Inc()
+		}
+		return resp, err
+	}
+}
+
+// tracedTable instruments a whole operation table.
+func (s *Service) tracedTable(ops map[string]transport.TracedHandler) map[string]transport.TracedHandler {
+	out := make(map[string]transport.TracedHandler, len(ops))
+	for op, h := range ops {
+		out[op] = s.traced(op, h)
+	}
+	return out
+}
+
 // Mount exposes the RDM service (and the site's registries) on a transport
 // server. The RDM operation table is the protocol the distributed GLARE
-// framework speaks between sites.
+// framework speaks between sites. The server also gets the site's
+// telemetry bundle, which enables its /metrics, /healthz and /tracez
+// admin endpoints.
 func (s *Service) Mount(srv *transport.Server) {
+	srv.SetTelemetry(s.tel)
 	s.ATR.Mount(srv)
 	s.ADR.Mount(srv)
 	if s.agent != nil {
@@ -24,22 +57,22 @@ func (s *Service) Mount(srv *transport.Server) {
 	if s.localIndex != nil {
 		s.localIndex.Mount(srv)
 	}
-	srv.RegisterService(ServiceName, map[string]transport.Handler{
+	srv.RegisterTracedService(ServiceName, s.tracedTable(map[string]transport.TracedHandler{
 		// --- client entry points -------------------------------------
-		"GetDeployments": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"GetDeployments": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("GetDeployments: missing request")
 			}
 			typeName := body.AttrOr("type", body.Text)
 			method := Method(body.AttrOr("method", string(MethodExpect)))
 			allow := body.AttrOr("deploy", "auto") != "never"
-			deps, err := s.GetDeployments(typeName, method, allow)
+			deps, err := s.GetDeploymentsSpan(sp, typeName, method, allow)
 			if err != nil {
 				return nil, err
 			}
 			return deploymentList(deps), nil
 		},
-		"RegisterType": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"RegisterType": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			t, err := activity.TypeFromXML(body)
 			if err != nil {
 				return nil, err
@@ -50,7 +83,7 @@ func (s *Service) Mount(srv *transport.Server) {
 			}
 			return e.ToXML("TypeEPR"), nil
 		},
-		"RegisterDeployment": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"RegisterDeployment": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			d, err := activity.DeploymentFromXML(body)
 			if err != nil {
 				return nil, err
@@ -61,13 +94,13 @@ func (s *Service) Mount(srv *transport.Server) {
 			}
 			return e.ToXML("DeploymentEPR"), nil
 		},
-		"Undeploy": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"Undeploy": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if err := s.Undeploy(textOf(body)); err != nil {
 				return nil, err
 			}
 			return xmlutil.NewNode("Undeployed"), nil
 		},
-		"Instantiate": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"Instantiate": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("Instantiate: missing request")
 			}
@@ -81,25 +114,25 @@ func (s *Service) Mount(srv *transport.Server) {
 		},
 
 		// --- overlay resolution protocol -----------------------------
-		"ConcreteOf": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"ConcreteOf": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			types, err := s.ATR.ConcreteOf(textOf(body))
 			if err != nil {
 				return nil, err
 			}
 			return typeList(types), nil
 		},
-		"GroupConcreteOf": func(body *xmlutil.Node) (*xmlutil.Node, error) {
-			return typeList(s.groupConcreteOf(textOf(body))), nil
+		"GroupConcreteOf": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			return typeList(s.groupConcreteOf(sp, textOf(body))), nil
 		},
-		"ForwardConcreteOf": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"ForwardConcreteOf": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			name := textOf(body)
 			// Answer from our group first, then the other super-peers.
-			if types := s.groupConcreteOf(name); len(types) > 0 {
+			if types := s.groupConcreteOf(sp, name); len(types) > 0 {
 				return typeList(types), nil
 			}
-			return typeList(s.superFanOut(name)), nil
+			return typeList(s.superFanOut(sp, name)), nil
 		},
-		"LocalDeployments": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"LocalDeployments": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			ds := s.ADR.ByType(textOf(body))
 			if s.scanDelay > 0 {
 				// Modeled container processing: proportional to the size
@@ -108,23 +141,23 @@ func (s *Service) Mount(srv *transport.Server) {
 			}
 			return deploymentList(ds), nil
 		},
-		"GroupDeployments": func(body *xmlutil.Node) (*xmlutil.Node, error) {
-			return deploymentList(s.groupDeployments(textOf(body))), nil
+		"GroupDeployments": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			return deploymentList(s.groupDeployments(sp, textOf(body))), nil
 		},
-		"ForwardDeployments": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"ForwardDeployments": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			name := textOf(body)
 			merged := map[string]*activity.Deployment{}
-			for _, d := range s.groupDeployments(name) {
+			for _, d := range s.groupDeployments(sp, name) {
 				merged[d.Name] = d
 			}
-			for _, d := range s.forwardDeployments(name) {
+			for _, d := range s.forwardDeployments(sp, name) {
 				if _, dup := merged[d.Name]; !dup {
 					merged[d.Name] = d
 				}
 			}
 			return deploymentList(sortedDeployments(merged)), nil
 		},
-		"SiteAttrs": func(*xmlutil.Node) (*xmlutil.Node, error) {
+		"SiteAttrs": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
 			a := s.site.Attrs
 			n := xmlutil.NewNode("Attrs")
 			n.SetAttr("name", a.Name)
@@ -136,7 +169,7 @@ func (s *Service) Mount(srv *transport.Server) {
 			n.SetAttr("memoryMB", strconv.Itoa(a.MemoryMB))
 			return n, nil
 		},
-		"DeployLocal": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"DeployLocal": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("DeployLocal: missing request")
 			}
@@ -151,13 +184,13 @@ func (s *Service) Mount(srv *transport.Server) {
 				t = parsed
 			} else {
 				name := body.AttrOr("type", "")
-				found, ok := s.LookupType(name)
+				found, ok := s.lookupType(sp, name)
 				if !ok {
 					return nil, fmt.Errorf("DeployLocal: unknown type %q", name)
 				}
 				t = found
 			}
-			report, err := s.DeployLocal(t, method)
+			report, err := s.deployLocal(sp, t, method, true)
 			if err != nil {
 				return nil, err
 			}
@@ -167,7 +200,7 @@ func (s *Service) Mount(srv *transport.Server) {
 		},
 
 		// --- leasing --------------------------------------------------
-		"AcquireLease": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"AcquireLease": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("AcquireLease: missing request")
 			}
@@ -185,7 +218,7 @@ func (s *Service) Mount(srv *transport.Server) {
 			n.SetAttr("kind", string(t.Kind))
 			return n, nil
 		},
-		"ReleaseLease": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"ReleaseLease": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			id, _ := strconv.ParseUint(textOf(body), 10, 64)
 			if err := s.Leases.Release(id); err != nil {
 				return nil, err
@@ -194,7 +227,7 @@ func (s *Service) Mount(srv *transport.Server) {
 		},
 
 		// --- notification ---------------------------------------------
-		"Subscribe": func(body *xmlutil.Node) (*xmlutil.Node, error) {
+		"Subscribe": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("Subscribe: missing request")
 			}
@@ -220,7 +253,7 @@ func (s *Service) Mount(srv *transport.Server) {
 			n.SetAttr("topic", topic)
 			return n, nil
 		},
-	})
+	}))
 }
 
 func textOf(body *xmlutil.Node) string {

@@ -29,6 +29,7 @@ import (
 	"glare/internal/simclock"
 	"glare/internal/site"
 	"glare/internal/superpeer"
+	"glare/internal/telemetry"
 	"glare/internal/transport"
 	"glare/internal/wsrf"
 )
@@ -98,6 +99,9 @@ type Config struct {
 	TransferCost gridftp.CostModel
 	// CoG configures the JavaCoG deployment path.
 	CoG cog.Config
+	// Telemetry is the site's observability bundle. Nil creates a private
+	// bundle named after the site, so the RDM is always instrumented.
+	Telemetry *telemetry.Telemetry
 }
 
 // Service is one site's GLARE RDM.
@@ -126,8 +130,11 @@ type Service struct {
 	costs       DeployCosts
 	cogCfg      cog.Config
 
-	// Load is the request-manager run-queue tracker (Fig. 13).
+	// Load is the request-manager run-queue tracker (Fig. 13); its queue
+	// depth doubles as the glare_rdm_run_queue gauge on /metrics.
 	Load *metrics.LoadTracker
+
+	tel *telemetry.Telemetry
 
 	mu             sync.Mutex
 	deploying      map[string]chan struct{} // in-flight deployments by type
@@ -160,6 +167,10 @@ func New(cfg Config) (*Service, error) {
 	depsReg := adr.New(adrURL, typesReg, clock, broker)
 	ftp := gridftp.NewClient(clock, cfg.Site.Repo, cfg.TransferCost)
 	ftp.Attach(cfg.Site)
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New(cfg.Site.Attrs.Name)
+	}
 	s := &Service{
 		site:        cfg.Site,
 		clock:       clock,
@@ -180,10 +191,29 @@ func New(cfg Config) (*Service, error) {
 		deployFiles: cfg.DeployFiles,
 		costs:       cfg.Costs,
 		cogCfg:      cfg.CoG,
-		Load:        metrics.NewLoadTracker(),
-		deploying:   make(map[string]chan struct{}),
-		stop:        make(chan struct{}),
+		Load: metrics.NewLoadTrackerOn(tel.Gauge("glare_rdm_run_queue"),
+			5*time.Second, time.Minute),
+		tel:       tel,
+		deploying: make(map[string]chan struct{}),
+		stop:      make(chan struct{}),
 	}
+	// Wire the site's observability bundle through every component the RDM
+	// assembles, so one /metrics page covers the whole stack.
+	s.ATR.SetTelemetry(tel)
+	s.ADR.SetTelemetry(tel)
+	if cfg.Agent != nil {
+		cfg.Agent.SetTelemetry(tel)
+	}
+	s.typeCache.Instrument(
+		tel.Counter("glare_rdm_cache_hits_total", telemetry.L("cache", "types")),
+		tel.Counter("glare_rdm_cache_misses_total", telemetry.L("cache", "types")),
+		tel.Counter("glare_rdm_cache_revived_total", telemetry.L("cache", "types")),
+		tel.Counter("glare_rdm_cache_discarded_total", telemetry.L("cache", "types")))
+	s.depCache.Instrument(
+		tel.Counter("glare_rdm_cache_hits_total", telemetry.L("cache", "deps")),
+		tel.Counter("glare_rdm_cache_misses_total", telemetry.L("cache", "deps")),
+		tel.Counter("glare_rdm_cache_revived_total", telemetry.L("cache", "deps")),
+		tel.Counter("glare_rdm_cache_discarded_total", telemetry.L("cache", "deps")))
 	// Expiry cascade: destroying a type expires its deployments (§3.3).
 	s.ATR.OnRemove(func(typeName string) {
 		s.ADR.ExpireByType(typeName)
@@ -193,6 +223,9 @@ func New(cfg Config) (*Service, error) {
 
 // Site returns the underlying grid site.
 func (s *Service) Site() *site.Site { return s.site }
+
+// Telemetry returns the site's observability bundle (never nil).
+func (s *Service) Telemetry() *telemetry.Telemetry { return s.tel }
 
 // Broker returns the notification broker shared by the registries.
 func (s *Service) Broker() *wsrf.Broker { return s.broker }

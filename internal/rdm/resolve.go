@@ -10,8 +10,25 @@ import (
 	"glare/internal/atr"
 	"glare/internal/epr"
 	"glare/internal/superpeer"
+	"glare/internal/telemetry"
 	"glare/internal/xmlutil"
 )
+
+// call issues a traced RPC to a remote site: the span's correlation ID
+// rides the envelope's Trace header, so the remote server's spans link
+// back to this request. A nil span degrades to a plain call.
+func (s *Service) call(sp *telemetry.Span, address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
+	if s.client == nil {
+		return nil, fmt.Errorf("rdm: no transport client configured")
+	}
+	return s.client.CallSpan(sp, address, operation, body)
+}
+
+// resolveSrc counts which tier of the resolution ladder answered a lookup:
+// local registry, cache, peer group, or super-peer overlay.
+func (s *Service) resolveSrc(source string) *telemetry.Counter {
+	return s.tel.Counter("glare_rdm_resolve_total", telemetry.L("source", source))
+}
 
 // RegisterType registers an activity type with the local GLARE service and
 // aggregates it into the site's index. "Notice that the registration of an
@@ -43,10 +60,25 @@ func (s *Service) RegisterDeployment(d *activity.Deployment) (epr.EPR, error) {
 // it — deploy on demand. The returned deployments are ready for selection
 // by a scheduler.
 func (s *Service) GetDeployments(typeName string, method Method, allowDeploy bool) ([]*activity.Deployment, error) {
+	return s.GetDeploymentsSpan(nil, typeName, method, allowDeploy)
+}
+
+// GetDeploymentsSpan is GetDeployments running under an existing trace
+// span; the transport layer passes the server-side span of the incoming
+// call here so the whole VO-wide resolution shares one correlation ID.
+// A nil parent starts a fresh trace.
+func (s *Service) GetDeploymentsSpan(parent *telemetry.Span, typeName string, method Method, allowDeploy bool) ([]*activity.Deployment, error) {
+	sp := s.tel.StartSpan("rdm.GetDeployments", parent)
+	sp.SetNote(typeName)
 	s.Load.Enter()
 	defer s.Load.Exit()
+	out, err := s.getDeployments(sp, typeName, method, allowDeploy)
+	sp.End(err)
+	return out, err
+}
 
-	concrete, err := s.ResolveConcrete(typeName)
+func (s *Service) getDeployments(sp *telemetry.Span, typeName string, method Method, allowDeploy bool) ([]*activity.Deployment, error) {
+	concrete, err := s.resolveConcrete(sp, typeName)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +87,7 @@ func (s *Service) GetDeployments(typeName string, method Method, allowDeploy boo
 	}
 	var out []*activity.Deployment
 	for _, ct := range concrete {
-		out = append(out, s.ResolveDeployments(ct.Name)...)
+		out = append(out, s.resolveDeployments(sp, ct.Name)...)
 	}
 	if len(out) > 0 {
 		return dedupeDeployments(out), nil
@@ -77,7 +109,7 @@ func (s *Service) GetDeployments(typeName string, method Method, allowDeploy boo
 			lastErr = fmt.Errorf("rdm: type %q is manual-install; administrator notified", ct.Name)
 			continue
 		}
-		report, err := s.DeployOnDemand(ct.Name, method)
+		report, err := s.deployOnDemand(sp, ct.Name, method)
 		if err != nil {
 			lastErr = err
 			continue
@@ -94,43 +126,51 @@ func (s *Service) GetDeployments(typeName string, method Method, allowDeploy boo
 // to concrete types, looking successively at the local registry, the local
 // cache, the peer group, and — through the super-peer — the wider VO.
 func (s *Service) ResolveConcrete(typeName string) ([]*activity.Type, error) {
+	return s.resolveConcrete(nil, typeName)
+}
+
+func (s *Service) resolveConcrete(sp *telemetry.Span, typeName string) ([]*activity.Type, error) {
 	// 1. Local hierarchy (hash lookup + subtype closure).
 	local, err := s.ATR.ConcreteOf(typeName)
 	if err != nil {
 		return nil, err
 	}
 	if len(local) > 0 {
+		s.resolveSrc("local").Inc()
 		return local, nil
 	}
 	// 2. Cache.
 	if !s.cacheOff {
 		if e, ok := s.typeCache.Get("concrete:" + typeName); ok {
+			s.resolveSrc("cache").Inc()
 			return typesFromList(e.Doc), nil
 		}
 	}
 	// 3. Peer group (peer-to-peer interaction within the group).
 	view := s.view()
 	for _, peer := range view.Peers(s.selfName()) {
-		if types := s.remoteConcreteOf(peer, typeName); len(types) > 0 {
+		if types := s.remoteConcreteOf(sp, peer, typeName); len(types) > 0 {
 			s.cacheTypes(typeName, peer, types)
+			s.resolveSrc("peer").Inc()
 			return types, nil
 		}
 	}
 	// 4. Super-peer forwarding ("A super-peer is contacted when other
 	// peers could not find information ... It then forwards requests to
 	// other super-peers and caches the results").
-	if types := s.forwardConcreteOf(typeName); len(types) > 0 {
+	if types := s.forwardConcreteOf(sp, typeName); len(types) > 0 {
+		s.resolveSrc("superpeer").Inc()
 		return types, nil
 	}
 	return nil, nil
 }
 
 // remoteConcreteOf asks one remote RDM for its local concrete resolution.
-func (s *Service) remoteConcreteOf(target superpeer.SiteInfo, typeName string) []*activity.Type {
-	if s.client == nil || target.IsZero() {
+func (s *Service) remoteConcreteOf(sp *telemetry.Span, target superpeer.SiteInfo, typeName string) []*activity.Type {
+	if target.IsZero() {
 		return nil
 	}
-	resp, err := s.client.Call(target.ServiceURL(ServiceName), "ConcreteOf",
+	resp, err := s.call(sp, target.ServiceURL(ServiceName), "ConcreteOf",
 		xmlutil.NewNode("Name", typeName))
 	if err != nil || resp == nil {
 		return nil
@@ -139,19 +179,16 @@ func (s *Service) remoteConcreteOf(target superpeer.SiteInfo, typeName string) [
 }
 
 // forwardConcreteOf routes the lookup through the super-peer overlay.
-func (s *Service) forwardConcreteOf(typeName string) []*activity.Type {
+func (s *Service) forwardConcreteOf(sp *telemetry.Span, typeName string) []*activity.Type {
 	view := s.view()
 	if view.SuperPeer.IsZero() {
 		return nil
 	}
 	if view.SuperPeer.Name == s.selfName() {
 		// We are the super-peer: fan out to the other super-peers' groups.
-		return s.superFanOut(typeName)
+		return s.superFanOut(sp, typeName)
 	}
-	if s.client == nil {
-		return nil
-	}
-	resp, err := s.client.Call(view.SuperPeer.ServiceURL(ServiceName), "ForwardConcreteOf",
+	resp, err := s.call(sp, view.SuperPeer.ServiceURL(ServiceName), "ForwardConcreteOf",
 		xmlutil.NewNode("Name", typeName))
 	if err != nil || resp == nil {
 		return nil
@@ -165,19 +202,19 @@ func (s *Service) forwardConcreteOf(typeName string) []*activity.Type {
 
 // superFanOut is the super-peer side of type forwarding: ask every other
 // super-peer to answer from its group, cache what comes back.
-func (s *Service) superFanOut(typeName string) []*activity.Type {
+func (s *Service) superFanOut(sp *telemetry.Span, typeName string) []*activity.Type {
 	view := s.view()
-	for _, sp := range view.SuperPeers {
-		if sp.Name == s.selfName() || s.client == nil {
+	for _, peer := range view.SuperPeers {
+		if peer.Name == s.selfName() {
 			continue
 		}
-		resp, err := s.client.Call(sp.ServiceURL(ServiceName), "GroupConcreteOf",
+		resp, err := s.call(sp, peer.ServiceURL(ServiceName), "GroupConcreteOf",
 			xmlutil.NewNode("Name", typeName))
 		if err != nil || resp == nil {
 			continue
 		}
 		if types := typesFromList(resp); len(types) > 0 {
-			s.cacheTypes(typeName, sp, types)
+			s.cacheTypes(typeName, peer, types)
 			return types
 		}
 	}
@@ -186,14 +223,14 @@ func (s *Service) superFanOut(typeName string) []*activity.Type {
 
 // groupConcreteOf answers a forwarded lookup from this super-peer's group:
 // our own registry plus every group member's.
-func (s *Service) groupConcreteOf(typeName string) []*activity.Type {
+func (s *Service) groupConcreteOf(sp *telemetry.Span, typeName string) []*activity.Type {
 	local, err := s.ATR.ConcreteOf(typeName)
 	if err == nil && len(local) > 0 {
 		return local
 	}
 	view := s.view()
 	for _, peer := range view.Peers(s.selfName()) {
-		if types := s.remoteConcreteOf(peer, typeName); len(types) > 0 {
+		if types := s.remoteConcreteOf(sp, peer, typeName); len(types) > 0 {
 			return types
 		}
 	}
@@ -205,6 +242,10 @@ func (s *Service) groupConcreteOf(typeName string) []*activity.Type {
 // are merged (Fig. 12 spreads deployments across sites and expects the
 // full list back).
 func (s *Service) ResolveDeployments(typeName string) []*activity.Deployment {
+	return s.resolveDeployments(nil, typeName)
+}
+
+func (s *Service) resolveDeployments(sp *telemetry.Span, typeName string) []*activity.Deployment {
 	merged := map[string]*activity.Deployment{}
 	for _, d := range s.ADR.ByType(typeName) {
 		merged[d.Name] = d
@@ -231,7 +272,7 @@ func (s *Service) ResolveDeployments(typeName string) []*activity.Deployment {
 	// sites each registry scans only its share, so the wall-clock cost of
 	// one request drops as k grows (the Fig. 12 effect).
 	view := s.view()
-	for peer, ds := range s.fanOutDeployments(view.Peers(s.selfName()), typeName) {
+	for peer, ds := range s.fanOutDeployments(sp, view.Peers(s.selfName()), typeName) {
 		for _, d := range ds {
 			if _, dup := merged[d.Name]; !dup {
 				merged[d.Name] = d
@@ -243,7 +284,7 @@ func (s *Service) ResolveDeployments(typeName string) []*activity.Deployment {
 	// contacted when other peers could not find information about some
 	// activity types or deployments within the group."
 	if len(merged) == 0 {
-		for _, d := range s.forwardDeployments(typeName) {
+		for _, d := range s.forwardDeployments(sp, typeName) {
 			if _, dup := merged[d.Name]; !dup {
 				merged[d.Name] = d
 			}
@@ -260,11 +301,11 @@ func (s *Service) ResolveDeployments(typeName string) []*activity.Deployment {
 	return out
 }
 
-func (s *Service) remoteDeployments(target superpeer.SiteInfo, typeName string) []*activity.Deployment {
-	if s.client == nil || target.IsZero() {
+func (s *Service) remoteDeployments(sp *telemetry.Span, target superpeer.SiteInfo, typeName string) []*activity.Deployment {
+	if target.IsZero() {
 		return nil
 	}
-	resp, err := s.client.Call(target.ServiceURL(ServiceName), "LocalDeployments",
+	resp, err := s.call(sp, target.ServiceURL(ServiceName), "LocalDeployments",
 		xmlutil.NewNode("Type", typeName))
 	if err != nil || resp == nil {
 		return nil
@@ -272,33 +313,30 @@ func (s *Service) remoteDeployments(target superpeer.SiteInfo, typeName string) 
 	return deploymentsFromList(resp)
 }
 
-func (s *Service) forwardDeployments(typeName string) []*activity.Deployment {
+func (s *Service) forwardDeployments(sp *telemetry.Span, typeName string) []*activity.Deployment {
 	view := s.view()
 	if view.SuperPeer.IsZero() {
 		return nil
 	}
 	if view.SuperPeer.Name == s.selfName() {
 		var out []*activity.Deployment
-		for _, sp := range view.SuperPeers {
-			if sp.Name == s.selfName() || s.client == nil {
+		for _, peer := range view.SuperPeers {
+			if peer.Name == s.selfName() {
 				continue
 			}
-			resp, err := s.client.Call(sp.ServiceURL(ServiceName), "GroupDeployments",
+			resp, err := s.call(sp, peer.ServiceURL(ServiceName), "GroupDeployments",
 				xmlutil.NewNode("Type", typeName))
 			if err != nil || resp == nil {
 				continue
 			}
 			for _, d := range deploymentsFromList(resp) {
 				out = append(out, d)
-				s.cacheDeployment(sp, d)
+				s.cacheDeployment(peer, d)
 			}
 		}
 		return out
 	}
-	if s.client == nil {
-		return nil
-	}
-	resp, err := s.client.Call(view.SuperPeer.ServiceURL(ServiceName), "ForwardDeployments",
+	resp, err := s.call(sp, view.SuperPeer.ServiceURL(ServiceName), "ForwardDeployments",
 		xmlutil.NewNode("Type", typeName))
 	if err != nil || resp == nil {
 		return nil
@@ -312,13 +350,13 @@ func (s *Service) forwardDeployments(typeName string) []*activity.Deployment {
 
 // groupDeployments answers a forwarded deployment lookup from this
 // super-peer's whole group, fanning out to the members concurrently.
-func (s *Service) groupDeployments(typeName string) []*activity.Deployment {
+func (s *Service) groupDeployments(sp *telemetry.Span, typeName string) []*activity.Deployment {
 	merged := map[string]*activity.Deployment{}
 	for _, d := range s.ADR.ByType(typeName) {
 		merged[d.Name] = d
 	}
 	view := s.view()
-	for _, ds := range s.fanOutDeployments(view.Peers(s.selfName()), typeName) {
+	for _, ds := range s.fanOutDeployments(sp, view.Peers(s.selfName()), typeName) {
 		for _, d := range ds {
 			if _, dup := merged[d.Name]; !dup {
 				merged[d.Name] = d
@@ -329,7 +367,7 @@ func (s *Service) groupDeployments(typeName string) []*activity.Deployment {
 }
 
 // fanOutDeployments queries several remote registries concurrently.
-func (s *Service) fanOutDeployments(peers []superpeer.SiteInfo, typeName string) map[superpeer.SiteInfo][]*activity.Deployment {
+func (s *Service) fanOutDeployments(sp *telemetry.Span, peers []superpeer.SiteInfo, typeName string) map[superpeer.SiteInfo][]*activity.Deployment {
 	out := make(map[superpeer.SiteInfo][]*activity.Deployment, len(peers))
 	if len(peers) == 0 {
 		return out
@@ -341,7 +379,7 @@ func (s *Service) fanOutDeployments(peers []superpeer.SiteInfo, typeName string)
 	ch := make(chan answer, len(peers))
 	for _, peer := range peers {
 		go func(p superpeer.SiteInfo) {
-			ch <- answer{peer: p, ds: s.remoteDeployments(p, typeName)}
+			ch <- answer{peer: p, ds: s.remoteDeployments(sp, p, typeName)}
 		}(peer)
 	}
 	for range peers {
@@ -438,6 +476,10 @@ func dedupeDeployments(in []*activity.Deployment) []*activity.Deployment {
 
 // LookupType finds a single named type locally, in cache, or remotely.
 func (s *Service) LookupType(name string) (*activity.Type, bool) {
+	return s.lookupType(nil, name)
+}
+
+func (s *Service) lookupType(sp *telemetry.Span, name string) (*activity.Type, bool) {
 	if t, ok := s.ATR.Lookup(name); ok {
 		return t, true
 	}
@@ -457,7 +499,7 @@ func (s *Service) LookupType(name string) (*activity.Type, bool) {
 		if s.client == nil {
 			break
 		}
-		resp, err := s.client.Call(peer.ServiceURL(atr.ServiceName), "GetType",
+		resp, err := s.call(sp, peer.ServiceURL(atr.ServiceName), "GetType",
 			xmlutil.NewNode("Name", name))
 		if err != nil || resp == nil {
 			continue
@@ -478,11 +520,8 @@ func (s *Service) LookupType(name string) (*activity.Type, bool) {
 
 // probeLUT fetches the current LastUpdateTime of a remote resource for the
 // cache refresher.
-func (s *Service) probeLUT(service string, key string) (time.Time, error) {
-	if s.client == nil {
-		return time.Time{}, fmt.Errorf("rdm: no client")
-	}
-	resp, err := s.client.Call(service, "GetLUT", xmlutil.NewNode("Name", key))
+func (s *Service) probeLUT(sp *telemetry.Span, service string, key string) (time.Time, error) {
+	resp, err := s.call(sp, service, "GetLUT", xmlutil.NewNode("Name", key))
 	if err != nil {
 		return time.Time{}, err
 	}

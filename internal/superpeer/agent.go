@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"glare/internal/telemetry"
 	"glare/internal/transport"
 	"glare/internal/wsrf"
 	"glare/internal/xmlutil"
@@ -42,6 +43,13 @@ type Agent struct {
 	client *transport.Client
 	broker *wsrf.Broker
 
+	// Overlay instrumentation; nil (no-op) until SetTelemetry is called.
+	tel        *telemetry.Telemetry
+	elections  *telemetry.Counter
+	heartbeats *telemetry.Counter
+	recoveries *telemetry.Counter
+	takeovers  *telemetry.Counter
+
 	mu   sync.Mutex
 	role Role
 	view View
@@ -62,6 +70,16 @@ func NewAgent(self SiteInfo, client *transport.Client, broker *wsrf.Broker) *Age
 
 // Self returns this agent's site info.
 func (a *Agent) Self() SiteInfo { return a.self }
+
+// SetTelemetry binds the agent's overlay instrumentation to a site's
+// telemetry bundle. Call during site assembly, before serving traffic.
+func (a *Agent) SetTelemetry(tel *telemetry.Telemetry) {
+	a.tel = tel
+	a.elections = tel.Counter("glare_superpeer_elections_total")
+	a.heartbeats = tel.Counter("glare_superpeer_heartbeats_total")
+	a.recoveries = tel.Counter("glare_superpeer_recoveries_total")
+	a.takeovers = tel.Counter("glare_superpeer_takeovers_total")
+}
 
 // Role returns the current overlay role.
 func (a *Agent) Role() Role {
@@ -163,6 +181,7 @@ func (a *Agent) Ping(target SiteInfo) bool {
 	if a.client == nil {
 		return false
 	}
+	a.heartbeats.Inc()
 	resp, err := a.client.Call(target.PeerURL(), "Ping", nil)
 	return err == nil && resp != nil && resp.Name == "Pong"
 }
@@ -185,13 +204,19 @@ const DefaultGroupSize = 4
 // caller is the GLARE service holding the community index ("A GLARE
 // service on a site with community index becomes super-peer election
 // coordinator"). It returns the assigned views keyed by site name.
-func (a *Agent) Coordinate(sites []SiteInfo, cfg CoordinatorConfig) (map[string]View, error) {
+func (a *Agent) Coordinate(sites []SiteInfo, cfg CoordinatorConfig) (views map[string]View, err error) {
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("superpeer: empty community")
 	}
 	if cfg.GroupSize <= 0 {
 		cfg.GroupSize = DefaultGroupSize
 	}
+	a.elections.Inc()
+	// One span covers the whole election round; its correlation ID rides
+	// every notification, so /tracez on the member sites links back here.
+	sp := a.tel.StartSpan("superpeer.Coordinate", nil)
+	sp.SetNote(fmt.Sprintf("community=%d", len(sites)))
+	defer func() { sp.End(err) }()
 	// Round 1: informational notification carrying community strength.
 	note := xmlutil.NewNode("Election")
 	note.SetAttr("round", "1")
@@ -201,7 +226,7 @@ func (a *Agent) Coordinate(sites []SiteInfo, cfg CoordinatorConfig) (map[string]
 		if s.Name == a.self.Name {
 			continue
 		}
-		_, _ = a.client.Call(s.PeerURL(), "ElectNotify", note.Clone())
+		_, _ = a.client.CallSpan(sp, s.PeerURL(), "ElectNotify", note.Clone())
 	}
 	if cfg.NotifyDelay > 0 {
 		time.Sleep(cfg.NotifyDelay)
@@ -214,14 +239,14 @@ func (a *Agent) Coordinate(sites []SiteInfo, cfg CoordinatorConfig) (map[string]
 			responding = append(responding, s)
 			continue
 		}
-		if resp, err := a.client.Call(s.PeerURL(), "ElectNotify", note.Clone()); err == nil && resp != nil {
+		if resp, err := a.client.CallSpan(sp, s.PeerURL(), "ElectNotify", note.Clone()); err == nil && resp != nil {
 			responding = append(responding, s)
 		}
 	}
 	if len(responding) == 0 {
 		return nil, fmt.Errorf("superpeer: no site acknowledged the election")
 	}
-	views := PartitionGroups(responding, cfg.GroupSize)
+	views = PartitionGroups(responding, cfg.GroupSize)
 	// Distribute assignments; the coordinator applies its own locally.
 	for name, v := range views {
 		if name == a.self.Name {
@@ -234,7 +259,7 @@ func (a *Agent) Coordinate(sites []SiteInfo, cfg CoordinatorConfig) (map[string]
 				target = s
 			}
 		}
-		if _, err := a.client.Call(target.PeerURL(), "GroupAssign", v.ToXML()); err != nil {
+		if _, err := a.client.CallSpan(sp, target.PeerURL(), "GroupAssign", v.ToXML()); err != nil {
 			return views, fmt.Errorf("superpeer: assigning %s: %w", name, err)
 		}
 	}
@@ -356,6 +381,7 @@ func (a *Agent) DetectAndRecover() (bool, error) {
 	if len(ranked) == 0 {
 		return false, fmt.Errorf("superpeer: no survivors in group")
 	}
+	a.recoveries.Inc()
 	highest := ranked[0]
 	if highest.Name == a.self.Name {
 		return true, a.RunTakeover(view.SuperPeer.Name)
@@ -418,6 +444,7 @@ func (a *Agent) RunTakeover(downName string) error {
 		}
 	}
 	newView := View{Group: survivors, SuperPeer: a.self, SuperPeers: newSupers}
+	a.takeovers.Inc()
 	a.setView(newView)
 	for _, s := range survivors {
 		if s.Name == a.self.Name {

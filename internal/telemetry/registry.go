@@ -1,0 +1,435 @@
+// Package telemetry is GLARE's grid-wide observability subsystem: a
+// lock-cheap metrics registry (counters, gauges, latency histograms), a
+// lightweight tracer whose correlation IDs propagate across service hops
+// through the transport envelope, and the writers behind each site's
+// admin endpoints (/metrics, /healthz, /tracez).
+//
+// The paper evaluates GLARE through black-box measurements only; this
+// package gives a live grid white-box visibility into the same hot paths
+// (RDM request handling, registry lookups, cache revival, super-peer
+// elections) without perturbing them: every instrument is a few atomic
+// operations on the fast path, and all types are nil-safe so call sites
+// need no "is telemetry on?" guards.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name dimension of an instrument (rendered Prometheus-style
+// as name{key="value",...} in the text exposition).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// DecFloor subtracts one but never below zero. It reports whether the
+// decrement was applied (false means the gauge was already at or below
+// zero and was left untouched — the clamp case).
+func (g *Gauge) DecFloor() bool {
+	if g == nil {
+		return false
+	}
+	for {
+		cur := g.v.Load()
+		if cur <= 0 {
+			return false
+		}
+		if g.v.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histogram bucket upper bounds (inclusive), chosen for service latencies:
+// sub-millisecond loopback RPCs up to multi-second on-demand deployments.
+var bucketBounds = [...]time.Duration{
+	500 * time.Microsecond,
+	time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// Histogram accumulates duration observations into fixed exponential
+// buckets plus exact count/sum/min/max. The zero value is ready to use; a
+// nil *Histogram is a no-op. All operations are atomic — no locks on the
+// observation path.
+type Histogram struct {
+	counts [len(bucketBounds) + 1]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; 0 means "no observation yet"
+	max    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for ; i < len(bucketBounds); i++ {
+		if d <= bucketBounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= int64(d) {
+			break
+		}
+		v := int64(d)
+		if v == 0 {
+			v = 1 // preserve the "unset" sentinel for real zero observations
+		}
+		if h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= int64(d) {
+			break
+		}
+		if h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation inside
+// the owning bucket. Estimates are capped at Max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if seen+c > rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBounds[i-1]
+			}
+			hi := h.Max()
+			if i < len(bucketBounds) {
+				hi = bucketBounds[i]
+			}
+			if c == 0 {
+				return hi
+			}
+			frac := float64(rank-seen+1) / float64(c)
+			est := lo + time.Duration(frac*float64(hi-lo))
+			if m := h.Max(); est > m {
+				est = m
+			}
+			return est
+		}
+		seen += c
+	}
+	return h.Max()
+}
+
+// series is one named instrument registered in a Registry.
+type series struct {
+	name   string
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a named instrument registry. Instrument lookup takes a
+// short read lock; the returned instruments are lock-free, so hot paths
+// should hold on to the pointer. A nil *Registry hands out nil
+// instruments, which are no-ops.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func (r *Registry) lookup(name string, labels []Label) *series {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	s := r.series[key]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.series[key]; s == nil {
+		s = &series{name: name, labels: append([]Label(nil), labels...)}
+		r.series[key] = s
+	}
+	return s
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.c == nil {
+		s.c = new(Counter)
+	}
+	return s.c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.g == nil {
+		s.g = new(Gauge)
+	}
+	return s.g
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.h == nil {
+		s.h = new(Histogram)
+	}
+	return s.h
+}
+
+func renderName(name string, labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders every registered instrument in a Prometheus-style
+// text exposition, sorted by series name for stable scraping. Histograms
+// are rendered as summary series: _count, _sum_ms, and quantile lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	all := make(map[string]*series, len(r.series))
+	for k, s := range r.series {
+		all[k] = s
+	}
+	r.mu.RUnlock()
+	sort.Strings(keys)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, k := range keys {
+		s := all[k]
+		if s.c != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", renderName(s.name, s.labels), s.c.Value()); err != nil {
+				return err
+			}
+		}
+		if s.g != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", renderName(s.name, s.labels), s.g.Value()); err != nil {
+				return err
+			}
+		}
+		if s.h != nil {
+			h := s.h
+			fmt.Fprintf(w, "%s %d\n", renderName(s.name+"_count", s.labels), h.Count())
+			fmt.Fprintf(w, "%s %.3f\n", renderName(s.name+"_sum_ms", s.labels), ms(h.Sum()))
+			for _, q := range []struct {
+				tag string
+				v   float64
+			}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+				fmt.Fprintf(w, "%s %.3f\n",
+					renderName(s.name+"_ms", s.labels, L("quantile", q.tag)), ms(h.Quantile(q.v)))
+			}
+			if _, err := fmt.Fprintf(w, "%s %.3f\n",
+				renderName(s.name+"_ms", s.labels, L("quantile", "max")), ms(h.Max())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

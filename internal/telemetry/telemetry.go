@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Telemetry bundles one site's metrics registry and tracer. Every method
+// is safe on a nil receiver (no-op or zero result), so components accept
+// a *Telemetry without caring whether observability is enabled.
+type Telemetry struct {
+	site     string
+	start    time.Time
+	registry *Registry
+	tracer   *Tracer
+}
+
+// New creates a telemetry bundle for a site.
+func New(site string) *Telemetry {
+	return &Telemetry{
+		site:     site,
+		start:    time.Now(),
+		registry: NewRegistry(),
+		tracer:   NewTracer(),
+	}
+}
+
+// Site returns the owning site's name.
+func (t *Telemetry) Site() string {
+	if t == nil {
+		return ""
+	}
+	return t.site
+}
+
+// Uptime reports how long this bundle has existed.
+func (t *Telemetry) Uptime() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Registry returns the metrics registry (nil when t is nil).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.registry
+}
+
+// Tracer returns the tracer (nil when t is nil).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Counter is shorthand for Registry().Counter.
+func (t *Telemetry) Counter(name string, labels ...Label) *Counter {
+	return t.Registry().Counter(name, labels...)
+}
+
+// Gauge is shorthand for Registry().Gauge.
+func (t *Telemetry) Gauge(name string, labels ...Label) *Gauge {
+	return t.Registry().Gauge(name, labels...)
+}
+
+// Histogram is shorthand for Registry().Histogram.
+func (t *Telemetry) Histogram(name string, labels ...Label) *Histogram {
+	return t.Registry().Histogram(name, labels...)
+}
+
+// StartSpan is shorthand for Tracer().StartSpan.
+func (t *Telemetry) StartSpan(name string, parent *Span) *Span {
+	return t.Tracer().StartSpan(name, parent)
+}
+
+// StartRemote is shorthand for Tracer().StartRemote.
+func (t *Telemetry) StartRemote(name, traceID, parentSpanID string) *Span {
+	return t.Tracer().StartRemote(name, traceID, parentSpanID)
+}
+
+// WriteMetrics renders the /metrics exposition.
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "")
+		return err
+	}
+	return t.registry.WriteText(w)
+}
+
+// WriteHealth renders the /healthz body.
+func (t *Telemetry) WriteHealth(w io.Writer, services int) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"status":"ok"}`+"\n")
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		`{"status":"ok","site":%q,"uptime_seconds":%.1f,"services":%d,"spans":%d}`+"\n",
+		t.site, t.Uptime().Seconds(), services, t.Tracer().Total())
+	return err
+}
+
+// WriteTraces renders the /tracez body.
+func (t *Telemetry) WriteTraces(w io.Writer, n int) error {
+	if t == nil {
+		_, err := io.WriteString(w, "tracez spans=0 retained=0\n")
+		return err
+	}
+	return t.tracer.WriteText(w, n)
+}

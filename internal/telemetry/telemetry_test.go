@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", L("op", "Get"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+	if c2 := r.Counter("reqs_total", L("op", "Get")); c2 != c {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if c3 := r.Counter("reqs_total", L("op", "Put")); c3 == c {
+		t.Fatal("different labels must return a different counter")
+	}
+
+	g := r.Gauge("queue")
+	g.Set(3)
+	g.Dec()
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestGaugeDecFloorClampsAtZero(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	if !g.DecFloor() {
+		t.Fatal("first DecFloor must apply")
+	}
+	if g.DecFloor() {
+		t.Fatal("DecFloor at zero must clamp")
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d after clamp", g.Value())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var (
+		r  *Registry
+		tl *Telemetry
+		tr *Tracer
+	)
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(time.Second)
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	sp := tl.StartSpan("op", nil)
+	sp.SetNote("n")
+	sp.End(nil)
+	if id, _ := sp.Context(); id != "" {
+		t.Fatal("nil span context must be empty")
+	}
+	if tr.StartSpan("op", nil) != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	tl.Counter("c").Add(3)
+	if tl.Counter("c").Value() != 0 {
+		t.Fatal("nil telemetry counter must read zero")
+	}
+}
+
+func TestHistogramStatsAndQuantiles(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 100 * time.Millisecond,
+	} {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 110*time.Millisecond {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if h.Mean() != 22*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q < time.Millisecond || q > 10*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0.99); q > h.Max() {
+		t.Fatalf("p99 %v exceeds max %v", q, h.Max())
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Fatal("p100 must not exceed max")
+	}
+}
+
+func TestConcurrentInstrumentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Inc()
+				r.Histogram("h").Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 4000 {
+		t.Fatalf("counter = %d", r.Counter("c").Value())
+	}
+	if r.Gauge("g").Value() != 4000 {
+		t.Fatalf("gauge = %d", r.Gauge("g").Value())
+	}
+	if r.Histogram("h").Count() != 4000 {
+		t.Fatalf("histogram = %d", r.Histogram("h").Count())
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("glare_reqs_total", L("service", "GLARE"), L("op", "GetDeployments")).Add(7)
+	r.Gauge("glare_run_queue").Set(2)
+	r.Histogram("glare_latency", L("op", "Get")).Observe(3 * time.Millisecond)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`glare_reqs_total{service="GLARE",op="GetDeployments"} 7`,
+		"glare_run_queue 2",
+		`glare_latency_count{op="Get"} 1`,
+		`glare_latency_sum_ms{op="Get"} 3.000`,
+		`glare_latency_ms{op="Get",quantile="max"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanParentChildAndRemoteLinkage(t *testing.T) {
+	tel := New("site-a")
+	root := tel.StartSpan("rdm.GetDeployments", nil)
+	child := tel.StartSpan("rdm.resolveConcrete", root)
+	if child.TraceID != root.TraceID {
+		t.Fatal("child must join the parent's trace")
+	}
+	if child.ParentID != root.SpanID {
+		t.Fatal("child must link to the parent span")
+	}
+	// Remote hop: a second site extracts the propagated context.
+	remote := New("site-b")
+	traceID, spanID := child.Context()
+	srv := remote.StartRemote("srv:GLARE.ConcreteOf", traceID, spanID)
+	if srv.TraceID != root.TraceID || srv.ParentID != child.SpanID {
+		t.Fatalf("remote span not linked: %+v", srv)
+	}
+	srv.End(nil)
+	child.End(nil)
+	root.End(nil)
+	recent := tel.Tracer().Recent(0)
+	if len(recent) != 2 {
+		t.Fatalf("site-a retained %d spans", len(recent))
+	}
+	if recent[0].Name != "rdm.GetDeployments" {
+		t.Fatalf("newest first, got %s", recent[0].Name)
+	}
+	var b strings.Builder
+	if err := remote.WriteTraces(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "trace="+root.TraceID) {
+		t.Fatalf("tracez missing propagated trace id:\n%s", b.String())
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < DefaultSpanRing+10; i++ {
+		tr.StartSpan("s", nil).End(nil)
+	}
+	if got := len(tr.Recent(0)); got != DefaultSpanRing {
+		t.Fatalf("retained %d spans", got)
+	}
+	if tr.Total() != DefaultSpanRing+10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	tel := New("agrid01")
+	var b strings.Builder
+	if err := tel.WriteHealth(&b, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"status":"ok"`) || !strings.Contains(out, `"site":"agrid01"`) {
+		t.Fatalf("healthz = %s", out)
+	}
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed unit of work inside a trace. Spans on the same site
+// link to their in-process parent; spans created for an incoming remote
+// call link to the caller's span through the envelope trace header, so a
+// single correlation (trace) ID spans every site a request touches.
+//
+// A nil *Span is a valid no-op, so instrumented code never needs to check
+// whether tracing is enabled.
+type Span struct {
+	tracer   *Tracer
+	Name     string
+	TraceID  string
+	SpanID   string
+	ParentID string
+	Note     string
+	start    time.Time
+}
+
+// SetNote attaches a short free-form annotation (e.g. the activity type
+// being resolved) shown in the /tracez dump. Call before sharing the span
+// across goroutines.
+func (sp *Span) SetNote(note string) {
+	if sp != nil {
+		sp.Note = note
+	}
+}
+
+// Context returns the propagation fields (trace ID, span ID); empty for a
+// nil span.
+func (sp *Span) Context() (traceID, spanID string) {
+	if sp == nil {
+		return "", ""
+	}
+	return sp.TraceID, sp.SpanID
+}
+
+// End finishes the span, recording it (with err, if any) into the
+// tracer's recent-span ring.
+func (sp *Span) End(err error) {
+	if sp == nil || sp.tracer == nil {
+		return
+	}
+	rec := SpanRecord{
+		Name:     sp.Name,
+		TraceID:  sp.TraceID,
+		SpanID:   sp.SpanID,
+		ParentID: sp.ParentID,
+		Note:     sp.Note,
+		Start:    sp.start,
+		Duration: time.Since(sp.start),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	sp.tracer.record(rec)
+}
+
+// SpanRecord is one finished span as kept by the tracer.
+type SpanRecord struct {
+	Name     string
+	TraceID  string
+	SpanID   string
+	ParentID string
+	Note     string
+	Err      string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// DefaultSpanRing bounds how many finished spans a tracer retains.
+const DefaultSpanRing = 512
+
+// Tracer creates spans and retains a bounded ring of recently finished
+// ones for the /tracez endpoint. A nil *Tracer hands out nil spans.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	total uint64
+}
+
+// NewTracer creates a tracer retaining up to DefaultSpanRing spans.
+func NewTracer() *Tracer {
+	return &Tracer{ring: make([]SpanRecord, 0, DefaultSpanRing)}
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: time-derived, still unique enough for correlation.
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// StartSpan opens a span. With a non-nil parent the span joins the
+// parent's trace; otherwise it starts a new trace with a fresh
+// correlation ID.
+func (t *Tracer) StartSpan(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tracer: t, Name: name, SpanID: newID(), start: time.Now()}
+	if parent != nil {
+		sp.TraceID = parent.TraceID
+		sp.ParentID = parent.SpanID
+	} else {
+		sp.TraceID = newID()
+	}
+	return sp
+}
+
+// StartRemote opens a server-side span for an incoming call carrying the
+// given propagated trace context. Empty traceID starts a fresh trace (the
+// caller did not propagate one).
+func (t *Tracer) StartRemote(name, traceID, parentSpanID string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tracer: t, Name: name, SpanID: newID(), start: time.Now()}
+	if traceID != "" {
+		sp.TraceID = traceID
+		sp.ParentID = parentSpanID
+	} else {
+		sp.TraceID = newID()
+	}
+	return sp
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+		return
+	}
+	if cap(t.ring) == 0 {
+		return
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// Recent returns up to n finished spans, newest first. n <= 0 returns
+// everything retained.
+func (t *Tracer) Recent(n int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := len(t.ring)
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]SpanRecord, 0, n)
+	// Newest entry is just before t.next once the ring has wrapped,
+	// otherwise it is the last appended element.
+	for i := 0; i < n; i++ {
+		var idx int
+		if size < cap(t.ring) {
+			idx = size - 1 - i
+		} else {
+			idx = ((t.next-1-i)%size + size) % size
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Total returns how many spans have finished since start.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// WriteText dumps the recent spans, newest first, one line per span.
+func (t *Tracer) WriteText(w io.Writer, n int) error {
+	if t == nil {
+		return nil
+	}
+	recent := t.Recent(n)
+	if _, err := fmt.Fprintf(w, "tracez spans=%d retained=%d\n", t.Total(), len(recent)); err != nil {
+		return err
+	}
+	for _, r := range recent {
+		parent := r.ParentID
+		if parent == "" {
+			parent = "-"
+		}
+		note := r.Note
+		if note == "" {
+			note = "-"
+		}
+		errStr := r.Err
+		if errStr == "" {
+			errStr = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%s %10.3fms %-34s trace=%s span=%s parent=%s note=%s err=%s\n",
+			r.Start.Format(time.RFC3339Nano),
+			float64(r.Duration)/float64(time.Millisecond),
+			r.Name, r.TraceID, r.SpanID, parent, note, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

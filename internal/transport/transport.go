@@ -14,10 +14,22 @@
 // <Envelope><Fault>message</Fault></Envelope>. This stands in for the
 // paper's SOAP/WSRF stack while keeping real network and (optionally) real
 // TLS cost in the measured path.
+//
+// Requests may additionally carry a trace header element,
+//
+//	<Trace trace="<correlation-id>" span="<caller-span-id>"/>
+//
+// injected by Client.CallSpan and extracted by the server, which opens a
+// child span in the site's telemetry tracer so one correlation ID follows
+// a request across every site it touches. A server with telemetry
+// attached (SetTelemetry) also records per-service/operation request
+// counters and latency histograms, and serves the per-site admin
+// endpoints /metrics, /healthz and /tracez next to the service tree.
 package transport
 
 import (
 	"bytes"
+	"context"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -28,16 +40,30 @@ import (
 	"sync"
 	"time"
 
+	"glare/internal/telemetry"
 	"glare/internal/xmlutil"
 )
 
 // ServicePrefix is the URL prefix under which services are mounted.
 const ServicePrefix = "/wsrf/services/"
 
+// Admin endpoint paths served by a telemetry-enabled server.
+const (
+	MetricsPath = "/metrics"
+	HealthPath  = "/healthz"
+	TracesPath  = "/tracez"
+)
+
 // Handler processes one operation invocation. The body may be nil for
 // operations without arguments; a nil response body is rendered as an empty
 // <Body/>.
 type Handler func(body *xmlutil.Node) (*xmlutil.Node, error)
+
+// TracedHandler is a Handler that additionally receives the server span
+// opened for the incoming call (nil when the server has no telemetry).
+// Handlers that make further service calls pass the span down so child
+// spans on other sites link into the same trace.
+type TracedHandler func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error)
 
 // Fault is an application-level error returned by a remote service.
 type Fault struct {
@@ -61,7 +87,8 @@ func IsFault(err error) bool {
 // (the GT4 analogue) into which registries and grid services deploy.
 type Server struct {
 	mu       sync.RWMutex
-	services map[string]map[string]Handler // service -> operation -> handler
+	services map[string]map[string]TracedHandler // service -> operation -> handler
+	tel      *telemetry.Telemetry
 	listener net.Listener
 	http     *http.Server
 	secure   bool
@@ -72,19 +99,42 @@ type Server struct {
 // NewServer creates an unstarted server.
 func NewServer() *Server {
 	return &Server{
-		services: make(map[string]map[string]Handler),
+		services: make(map[string]map[string]TracedHandler),
 		closed:   make(chan struct{}),
 	}
+}
+
+// SetTelemetry attaches the site's telemetry bundle: incoming calls are
+// measured and traced, and the admin endpoints are served. Call before
+// Start (or at least before traffic arrives).
+func (s *Server) SetTelemetry(tel *telemetry.Telemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = tel
+}
+
+// Telemetry returns the attached telemetry bundle (may be nil).
+func (s *Server) Telemetry() *telemetry.Telemetry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tel
 }
 
 // Register mounts an operation handler on a service. Registering the same
 // service/operation twice replaces the handler.
 func (s *Server) Register(service, operation string, h Handler) {
+	s.RegisterTraced(service, operation, func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		return h(body)
+	})
+}
+
+// RegisterTraced mounts a span-aware operation handler on a service.
+func (s *Server) RegisterTraced(service, operation string, h TracedHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ops := s.services[service]
 	if ops == nil {
-		ops = make(map[string]Handler)
+		ops = make(map[string]TracedHandler)
 		s.services[service] = ops
 	}
 	ops[operation] = h
@@ -94,6 +144,13 @@ func (s *Server) Register(service, operation string, h Handler) {
 func (s *Server) RegisterService(service string, ops map[string]Handler) {
 	for op, h := range ops {
 		s.Register(service, op, h)
+	}
+}
+
+// RegisterTracedService mounts a whole span-aware operation table at once.
+func (s *Server) RegisterTracedService(service string, ops map[string]TracedHandler) {
+	for op, h := range ops {
+		s.RegisterTraced(service, op, h)
 	}
 }
 
@@ -165,12 +222,13 @@ func (s *Server) Close() error {
 
 func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	if !strings.HasPrefix(r.URL.Path, ServicePrefix) {
-		http.NotFound(w, r)
+		s.serveAdmin(w, r)
 		return
 	}
 	service := strings.TrimPrefix(r.URL.Path, ServicePrefix)
 	s.mu.RLock()
 	ops := s.services[service]
+	tel := s.tel
 	s.mu.RUnlock()
 	if ops == nil {
 		writeFault(w, http.StatusNotFound, fmt.Sprintf("no such service %q", service))
@@ -191,7 +249,29 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	if b := env.First("Body"); b != nil && len(b.Children) > 0 {
 		body = b.Children[0]
 	}
-	resp, err := h(body)
+	// Instrumentation middleware: open a server span linked to the
+	// caller's propagated trace context (if any) and measure the call.
+	var sp *telemetry.Span
+	var start time.Time
+	svcLabels := []telemetry.Label{telemetry.L("service", service), telemetry.L("op", opName)}
+	if tel != nil {
+		var traceID, parentSpan string
+		if tn := env.First("Trace"); tn != nil {
+			traceID = tn.AttrOr("trace", "")
+			parentSpan = tn.AttrOr("span", "")
+		}
+		sp = tel.StartRemote("srv:"+service+"."+opName, traceID, parentSpan)
+		start = time.Now()
+	}
+	resp, err := h(sp, body)
+	if tel != nil {
+		tel.Counter("glare_rpc_server_requests_total", svcLabels...).Inc()
+		tel.Histogram("glare_rpc_server_latency", svcLabels...).Observe(time.Since(start))
+		if err != nil {
+			tel.Counter("glare_rpc_server_faults_total", svcLabels...).Inc()
+		}
+		sp.End(err)
+	}
 	if err != nil {
 		writeFault(w, http.StatusOK, err.Error())
 		return
@@ -205,6 +285,31 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.WriteString(w, out.String())
 }
 
+// serveAdmin answers the per-site observability endpoints.
+func (s *Server) serveAdmin(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	tel := s.tel
+	nServices := len(s.services)
+	s.mu.RUnlock()
+	if tel == nil {
+		http.NotFound(w, r)
+		return
+	}
+	switch r.URL.Path {
+	case MetricsPath:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = tel.WriteMetrics(w)
+	case HealthPath:
+		w.Header().Set("Content-Type", "application/json")
+		_ = tel.WriteHealth(w, nServices)
+	case TracesPath:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = tel.WriteTraces(w, 0)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
 func writeFault(w http.ResponseWriter, status int, msg string) {
 	out := xmlutil.NewNode("Envelope")
 	out.Elem("Fault", msg)
@@ -213,41 +318,93 @@ func writeFault(w http.ResponseWriter, status int, msg string) {
 	_, _ = io.WriteString(w, out.String())
 }
 
+// DefaultCallTimeout bounds one Call when the client was not configured
+// otherwise, so a hung site cannot stall discovery forever. On-demand
+// deployments held open across a call can legitimately take seconds;
+// callers driving those paths in real time should raise the timeout.
+const DefaultCallTimeout = 10 * time.Second
+
 // Client invokes operations on remote services. The zero value is not
 // usable; construct with NewClient.
 type Client struct {
-	http *http.Client
+	http    *http.Client
+	timeout time.Duration
+	tel     *telemetry.Telemetry
 }
 
-// NewClient builds a client. tlsConf may be nil for plain HTTP; when
-// non-nil it is used for HTTPS addresses.
+// NewClient builds a client with the default per-request timeout. tlsConf
+// may be nil for plain HTTP; when non-nil it is used for HTTPS addresses.
 func NewClient(tlsConf *tls.Config) *Client {
+	return NewClientTimeout(tlsConf, DefaultCallTimeout)
+}
+
+// NewClientTimeout builds a client with an explicit per-request timeout;
+// timeout <= 0 selects DefaultCallTimeout.
+func NewClientTimeout(tlsConf *tls.Config, timeout time.Duration) *Client {
 	tr := &http.Transport{
 		TLSClientConfig:     tlsConf,
 		MaxIdleConns:        512,
 		MaxIdleConnsPerHost: 256,
 		IdleConnTimeout:     30 * time.Second,
 	}
-	return &Client{http: &http.Client{Transport: tr, Timeout: 30 * time.Second}}
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
+	return &Client{http: &http.Client{Transport: tr}, timeout: timeout}
 }
+
+// SetTimeout changes the per-request timeout; d <= 0 restores the default.
+// Not safe to call concurrently with Call.
+func (c *Client) SetTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultCallTimeout
+	}
+	c.timeout = d
+}
+
+// Timeout returns the per-request timeout.
+func (c *Client) Timeout() time.Duration { return c.timeout }
+
+// SetTelemetry attaches a telemetry bundle: outgoing calls are counted
+// and timed into its registry. Not safe to call concurrently with Call.
+func (c *Client) SetTelemetry(tel *telemetry.Telemetry) { c.tel = tel }
 
 // Call invokes operation on the service at address (a full service URL as
 // returned by Server.ServiceURL) with an optional body node.
 func (c *Client) Call(address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
+	return c.CallSpan(nil, address, operation, body)
+}
+
+// CallSpan is Call with trace propagation: when sp is non-nil its trace
+// context rides in the request envelope's Trace header, so the server's
+// span (and everything below it) joins the caller's trace.
+func (c *Client) CallSpan(sp *telemetry.Span, address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
 	env := xmlutil.NewNode("Envelope")
 	env.Elem("Operation", operation)
+	if traceID, spanID := sp.Context(); traceID != "" {
+		tn := env.Elem("Trace")
+		tn.SetAttr("trace", traceID)
+		tn.SetAttr("span", spanID)
+	}
 	b := env.Elem("Body")
 	if body != nil {
 		b.Add(body)
 	}
-	resp, err := c.http.Post(address, "application/xml", bytes.NewReader([]byte(env.String())))
-	if err != nil {
-		return nil, fmt.Errorf("transport: call %s %s: %w", address, operation, err)
+	var start time.Time
+	if c.tel != nil {
+		start = time.Now()
 	}
-	defer resp.Body.Close()
-	out, err := xmlutil.Parse(io.LimitReader(resp.Body, 16<<20))
+	out, err := c.post(address, env)
+	if c.tel != nil {
+		labels := []telemetry.Label{telemetry.L("op", operation)}
+		c.tel.Counter("glare_rpc_client_requests_total", labels...).Inc()
+		c.tel.Histogram("glare_rpc_client_latency", labels...).Observe(time.Since(start))
+		if err != nil {
+			c.tel.Counter("glare_rpc_client_errors_total", labels...).Inc()
+		}
+	}
 	if err != nil {
-		return nil, fmt.Errorf("transport: call %s %s: bad response: %w", address, operation, err)
+		return nil, err
 	}
 	if f := out.First("Fault"); f != nil {
 		return nil, &Fault{Service: serviceOf(address), Operation: operation, Message: f.Text}
@@ -256,6 +413,63 @@ func (c *Client) Call(address, operation string, body *xmlutil.Node) (*xmlutil.N
 		return b.Children[0], nil
 	}
 	return nil, nil
+}
+
+// post sends one envelope under the per-request timeout and parses the
+// response envelope.
+func (c *Client) post(address string, env *xmlutil.Node) (*xmlutil.Node, error) {
+	ctx := context.Background()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, address,
+		bytes.NewReader([]byte(env.String())))
+	if err != nil {
+		return nil, fmt.Errorf("transport: call %s: %w", address, err)
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	operation := env.ChildText("Operation")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: call %s %s: %w", address, operation, err)
+	}
+	defer resp.Body.Close()
+	out, err := xmlutil.Parse(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("transport: call %s %s: bad response: %w", address, operation, err)
+	}
+	return out, nil
+}
+
+// Get fetches a plain (non-envelope) resource — the admin endpoints a
+// Server exposes beside its services (/metrics, /healthz, /tracez) —
+// using the client's TLS configuration and per-request timeout.
+func (c *Client) Get(url string) (string, error) {
+	ctx := context.Background()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", fmt.Errorf("transport: get %s: %w", url, err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("transport: get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", fmt.Errorf("transport: get %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("transport: get %s: %s", url, resp.Status)
+	}
+	return string(data), nil
 }
 
 // CloseIdle releases pooled connections.

@@ -22,6 +22,7 @@ import (
 	"glare/internal/simclock"
 	"glare/internal/site"
 	"glare/internal/superpeer"
+	"glare/internal/telemetry"
 	"glare/internal/transport"
 	"glare/internal/workload"
 )
@@ -62,6 +63,7 @@ type Node struct {
 	Agent  *superpeer.Agent
 	Index  *mds.Index
 	Info   superpeer.SiteInfo
+	Tel    *telemetry.Telemetry
 }
 
 // VO is a running virtual organization.
@@ -156,6 +158,7 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 	}
 	info := superpeer.SiteInfo{Name: attrs.Name, Rank: attrs.Rank(), BaseURL: srv.BaseURL()}
 	agent := superpeer.NewAgent(info, v.Client, nil)
+	tel := telemetry.New(attrs.Name)
 
 	kind := mds.DefaultIndex
 	if i == 0 {
@@ -180,6 +183,7 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 		CacheDisabled:     opts.CacheDisabled,
 		TransferCost:      opts.TransferCost,
 		CoG:               opts.CoG,
+		Telemetry:         tel,
 	})
 	if err != nil {
 		srv.Close()
@@ -187,7 +191,7 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 	}
 	svc.Mount(srv)
 	svc.MountExtensions(srv)
-	return &Node{Site: st, Server: srv, RDM: svc, Agent: agent, Index: index, Info: info}, nil
+	return &Node{Site: st, Server: srv, RDM: svc, Agent: agent, Index: index, Info: info, Tel: tel}, nil
 }
 
 // ElectSuperPeers runs the initial election from the community-index

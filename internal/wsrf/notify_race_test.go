@@ -1,0 +1,75 @@
+package wsrf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBrokerConcurrentChurn hammers one broker with parallel subscribers,
+// unsubscribers and publishers (run under -race in CI). Afterwards the
+// broker must still be consistent: a final publish on each topic reaches
+// exactly the surviving sinks, and Delivered advances by that amount.
+func TestBrokerConcurrentChurn(t *testing.T) {
+	b := NewBroker(nil)
+	const (
+		topics     = 3
+		goroutines = 8
+		rounds     = 200
+	)
+	topicName := func(j int) string { return fmt.Sprintf("churn-%d", j%topics) }
+
+	var hits atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				topic := topicName(j)
+				id, err := b.Subscribe(topic, SinkFunc(func(Notification) { hits.Add(1) }))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if j%2 == 0 {
+					b.Unsubscribe(topic, id)
+				}
+			}
+		}()
+	}
+	for i := 0; i < goroutines/2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				b.Publish(topicName(j), "churn-test", nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := 0
+	for j := 0; j < topics; j++ {
+		want += b.Subscribers(topicName(j))
+	}
+	if want == 0 {
+		t.Fatal("no subscriptions survived the churn")
+	}
+	before := b.Delivered()
+	hitsBefore := hits.Load()
+	got := 0
+	for j := 0; j < topics; j++ {
+		got += b.Publish(topicName(j), "churn-test", nil)
+	}
+	if got != want {
+		t.Fatalf("final publish reached %d sinks, want %d", got, want)
+	}
+	if d := b.Delivered() - before; d != uint64(want) {
+		t.Fatalf("Delivered advanced by %d, want %d", d, want)
+	}
+	if h := hits.Load() - hitsBefore; h != uint64(want) {
+		t.Fatalf("sinks fired %d times, want %d", h, want)
+	}
+}
