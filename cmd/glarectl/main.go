@@ -45,6 +45,9 @@ func main() {
 	}
 	siteBase := rdmURL[:strings.Index(rdmURL, transport.ServicePrefix)]
 	cli := transport.NewClient(nil)
+	// One-shot admin calls ride the same transport robustness as the
+	// daemons: transient connection failures are retried with backoff.
+	cli.SetRetryPolicy(transport.DefaultRetryPolicy())
 
 	args := flag.Args()
 	var err error

@@ -66,6 +66,9 @@ func main() {
 	tel := telemetry.New(attrs.Name)
 	client := transport.NewClient(nil)
 	client.SetTelemetry(tel)
+	client.SetRetryPolicy(transport.DefaultRetryPolicy())
+	client.SetRetryBudget(transport.NewRetryBudget(0, 0))
+	client.SetBreaker(transport.DefaultBreakerConfig())
 	agent := superpeer.NewAgent(info, client, nil)
 
 	kind := mds.DefaultIndex

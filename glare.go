@@ -32,6 +32,7 @@ package glare
 
 import (
 	"fmt"
+	"net/url"
 	"time"
 
 	"glare/internal/activity"
@@ -117,6 +118,16 @@ type GridOptions struct {
 	// RealTime uses the wall clock instead of the default virtual clock
 	// (deployment cost models then sleep for real).
 	RealTime bool
+	// CallTimeout overrides the per-request transport timeout (zero keeps
+	// the transport default). Retries happen within each operation, so an
+	// operation against an unresponsive site can take a few multiples of
+	// this before it is classified unavailable.
+	CallTimeout time.Duration
+	// ChaosSeed, when nonzero, arms a deterministic fault injector on every
+	// site's outbound client; the *Site fault methods (BlackHoleSite,
+	// DropSite, DelaySite, RestoreSite) then steer it. The seed makes any
+	// probabilistic fault pattern reproducible run after run.
+	ChaosSeed int64
 }
 
 // Grid is a running Virtual Organization.
@@ -136,6 +147,8 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 		GroupSize:     opts.GroupSize,
 		CacheDisabled: opts.DisableCache,
 		Clock:         clock,
+		CallTimeout:   opts.CallTimeout,
+		ChaosSeed:     opts.ChaosSeed,
 	})
 	if err != nil {
 		return nil, err
@@ -181,6 +194,67 @@ func (g *Grid) Telemetry(i int) *Telemetry {
 // StopSite simulates a site failure (its container stops answering).
 // Super-peer failures trigger re-election among the survivors.
 func (g *Grid) StopSite(i int) { g.vo.StopSite(i) }
+
+// siteDest maps a site index to the host:port key the fault injector
+// matches requests on.
+func (g *Grid) siteDest(i int) (string, error) {
+	if g.vo.Chaos == nil {
+		return "", fmt.Errorf("glare: fault injection disarmed; set GridOptions.ChaosSeed")
+	}
+	if i < 0 || i >= len(g.vo.Nodes) {
+		return "", fmt.Errorf("glare: no site %d", i)
+	}
+	u, err := url.Parse(g.vo.Nodes[i].Info.BaseURL)
+	if err != nil {
+		return "", err
+	}
+	return u.Host, nil
+}
+
+// BlackHoleSite makes every request to site i hang until the caller's
+// timeout — the network-partition failure mode. The site itself keeps
+// running; only traffic towards it is swallowed. Requires ChaosSeed.
+func (g *Grid) BlackHoleSite(i int) error {
+	dest, err := g.siteDest(i)
+	if err != nil {
+		return err
+	}
+	g.vo.Chaos.BlackHole(dest)
+	return nil
+}
+
+// DropSite makes every request to site i fail immediately, like a
+// refused connection. Requires ChaosSeed.
+func (g *Grid) DropSite(i int) error {
+	dest, err := g.siteDest(i)
+	if err != nil {
+		return err
+	}
+	g.vo.Chaos.Drop(dest)
+	return nil
+}
+
+// DelaySite holds every request to site i for d before delivering it.
+// Requires ChaosSeed.
+func (g *Grid) DelaySite(i int, d time.Duration) error {
+	dest, err := g.siteDest(i)
+	if err != nil {
+		return err
+	}
+	g.vo.Chaos.Delay(dest, d)
+	return nil
+}
+
+// RestoreSite removes site i's fault rule; traffic flows normally again.
+// Requires ChaosSeed.
+func (g *Grid) RestoreSite(i int) error {
+	dest, err := g.siteDest(i)
+	if err != nil {
+		return err
+	}
+	g.vo.Chaos.Restore(dest)
+	return nil
+}
 
 // SuperPeerOf returns the current super-peer site name seen by site i.
 func (g *Grid) SuperPeerOf(i int) string {

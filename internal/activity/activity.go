@@ -265,6 +265,11 @@ type Deployment struct {
 	Env map[string]string
 	// Metrics holds monitoring data.
 	Metrics Metrics
+	// Degraded marks a result served from a stale cache entry because the
+	// source site was unreachable: it may describe a deployment that has
+	// since changed or vanished. Schedulers should prefer non-degraded
+	// alternatives.
+	Degraded bool
 }
 
 // Validate checks structural invariants.
@@ -296,6 +301,9 @@ func (d *Deployment) ToXML() *xmlutil.Node {
 	n.SetAttr("name", d.Name)
 	n.SetAttr("type", d.Type)
 	n.SetAttr("category", string(d.Kind))
+	if d.Degraded {
+		n.SetAttr("degraded", "true")
+	}
 	if d.Site != "" {
 		n.Elem("Site", d.Site)
 	}
@@ -337,13 +345,14 @@ func DeploymentFromXML(n *xmlutil.Node) (*Deployment, error) {
 		return nil, fmt.Errorf("activity: expected <ActivityDeployment>")
 	}
 	d := &Deployment{
-		Name:    n.AttrOr("name", ""),
-		Type:    n.AttrOr("type", ""),
-		Kind:    DeploymentKind(n.AttrOr("category", string(KindExecutable))),
-		Site:    n.ChildText("Site"),
-		Path:    n.ChildText("Path"),
-		Home:    n.ChildText("Home"),
-		Address: n.ChildText("Address"),
+		Name:     n.AttrOr("name", ""),
+		Type:     n.AttrOr("type", ""),
+		Kind:     DeploymentKind(n.AttrOr("category", string(KindExecutable))),
+		Site:     n.ChildText("Site"),
+		Path:     n.ChildText("Path"),
+		Home:     n.ChildText("Home"),
+		Address:  n.ChildText("Address"),
+		Degraded: n.AttrOr("degraded", "") == "true",
 	}
 	if envN := n.First("Environment"); envN != nil {
 		d.Env = map[string]string{}

@@ -35,19 +35,23 @@ type Stats struct {
 	Misses    uint64
 	Revived   uint64
 	Discarded uint64
+	// Stale counts entries served past their TTL through GetStale while
+	// the network could not refresh them (degraded resolution).
+	Stale uint64
 }
 
 // Cache is a keyed resource cache with TTL and LUT-based revival.
 type Cache struct {
-	mu      sync.Mutex
-	clock   simclock.Clock
-	ttl     time.Duration
-	entries map[string]*Entry
-	stats   Stats
+	mu       sync.Mutex
+	clock    simclock.Clock
+	ttl      time.Duration
+	staleFor time.Duration
+	entries  map[string]*Entry
+	stats    Stats
 
 	// Telemetry mirrors of the stats counters; nil until Instrument is
 	// called (a nil counter is a no-op).
-	hits, misses, revived, discarded *telemetry.Counter
+	hits, misses, revived, discarded, staleSrv *telemetry.Counter
 }
 
 // DefaultTTL bounds how long an entry may serve without refresh.
@@ -73,6 +77,25 @@ func (c *Cache) Instrument(hits, misses, revived, discarded *telemetry.Counter) 
 	c.hits, c.misses, c.revived, c.discarded = hits, misses, revived, discarded
 }
 
+// SetStaleFor retains expired entries for d past their TTL so degraded
+// resolution can fall back on them: Get still misses on an expired entry
+// (it will not silently serve stale data), but GetStale serves it while
+// the source site is unreachable. d <= 0 (the default) disables retention
+// and restores eager eviction on expiry.
+func (c *Cache) SetStaleFor(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.staleFor = d
+}
+
+// InstrumentStale mirrors the stale-served counter onto a telemetry
+// instrument. Call before the cache is shared across goroutines.
+func (c *Cache) InstrumentStale(stale *telemetry.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.staleSrv = stale
+}
+
 // Put stores (or replaces) a cached resource.
 func (c *Cache) Put(key string, source epr.EPR, doc *xmlutil.Node) {
 	c.mu.Lock()
@@ -80,7 +103,9 @@ func (c *Cache) Put(key string, source epr.EPR, doc *xmlutil.Node) {
 	c.entries[key] = &Entry{Key: key, Source: source, Doc: doc, Fetched: c.clock.Now()}
 }
 
-// Get returns the cached document for key if present and fresh.
+// Get returns the cached document for key if present and fresh. Expired
+// entries miss; they are evicted immediately unless a stale-retention
+// window (SetStaleFor) keeps them reachable through GetStale.
 func (c *Cache) Get(key string) (*Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -90,17 +115,51 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 		c.misses.Inc()
 		return nil, false
 	}
-	if c.clock.Now().Sub(e.Fetched) > c.ttl {
-		delete(c.entries, key)
+	if age := c.clock.Now().Sub(e.Fetched); age > c.ttl {
+		if c.staleFor <= 0 || age > c.ttl+c.staleFor {
+			delete(c.entries, key)
+			c.stats.Discarded++
+			c.discarded.Inc()
+		}
 		c.stats.Misses++
-		c.stats.Discarded++
 		c.misses.Inc()
-		c.discarded.Inc()
 		return nil, false
 	}
 	c.stats.Hits++
 	c.hits.Inc()
 	return e, true
+}
+
+// GetStale returns the cached entry even past its TTL, as long as it is
+// within the stale-retention window. It is the degraded-resolution path:
+// when the source site is unreachable, an outdated answer marked as such
+// beats no answer. Fresh entries count as hits; stale ones as Stale.
+func (c *Cache) GetStale(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		c.misses.Inc()
+		return nil, false
+	}
+	age := c.clock.Now().Sub(e.Fetched)
+	if age <= c.ttl {
+		c.stats.Hits++
+		c.hits.Inc()
+		return e, true
+	}
+	if c.staleFor > 0 && age <= c.ttl+c.staleFor {
+		c.stats.Stale++
+		c.staleSrv.Inc()
+		return e, true
+	}
+	delete(c.entries, key)
+	c.stats.Misses++
+	c.stats.Discarded++
+	c.misses.Inc()
+	c.discarded.Inc()
+	return nil, false
 }
 
 // Peek is Get without statistics or TTL eviction; used by the refresher.

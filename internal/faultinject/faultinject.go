@@ -1,0 +1,227 @@
+// Package faultinject is a deterministic chaos harness for the transport
+// layer. An Injector wraps an http.RoundTripper and, per destination
+// (host:port), drops requests with a synthetic connection error, delays
+// them, or black-holes them until the caller's timeout fires — so every
+// robustness behavior (retries, circuit breakers, stale-cache
+// degradation, takeover) is testable in-process without real network
+// flakiness.
+//
+// Decisions are driven by a seeded RNG taken under the injector's lock,
+// so a fixed seed and a fixed request sequence reproduce the same fault
+// pattern run after run. Rules with Prob 0 (always fire) are fully
+// deterministic regardless of request ordering.
+//
+// Install on a client with:
+//
+//	inj := faultinject.New(42)
+//	client.WrapTransport(inj.Wrap)
+//	inj.BlackHole("127.0.0.1:45123")
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Mode is what happens to a matched request.
+type Mode int
+
+const (
+	// Pass lets the request through untouched.
+	Pass Mode = iota
+	// Drop fails the request immediately, like a refused connection.
+	Drop
+	// Delay holds the request for Rule.Delay, then passes it through.
+	Delay
+	// BlackHole never answers; the request hangs until its context
+	// (the caller's timeout) expires.
+	BlackHole
+)
+
+// String renders the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case BlackHole:
+		return "blackhole"
+	}
+	return "pass"
+}
+
+// Rule describes the fault applied to one destination. The zero Rule
+// passes everything.
+type Rule struct {
+	Mode Mode
+	// Delay is how long Mode Delay holds a request.
+	Delay time.Duration
+	// Prob is the per-request probability the rule fires; 0 means always.
+	Prob float64
+	// Remaining, when > 0, disarms the rule after that many injections
+	// (so "fail the first N requests" scenarios are expressible).
+	Remaining int
+}
+
+// Stats counts one destination's outcomes.
+type Stats struct {
+	Passed     uint64
+	Dropped    uint64
+	Delayed    uint64
+	BlackHoled uint64
+}
+
+// Error is the synthetic transport error returned for injected failures.
+type Error struct {
+	Dest string
+	Mode Mode
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("faultinject: %s %s", e.Mode, e.Dest) }
+
+// Wildcard matches any destination without its own rule.
+const Wildcard = "*"
+
+// Injector decides per request whether to inject a fault.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string]*Rule
+	stats map[string]*Stats
+}
+
+// New creates an injector whose probabilistic decisions derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string]*Rule),
+		stats: make(map[string]*Stats),
+	}
+}
+
+// Set installs (or replaces) the rule for dest (host:port, or Wildcard).
+func (in *Injector) Set(dest string, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[dest] = &r
+}
+
+// Drop makes every request to dest fail immediately.
+func (in *Injector) Drop(dest string) { in.Set(dest, Rule{Mode: Drop}) }
+
+// BlackHole makes every request to dest hang until the caller's timeout.
+func (in *Injector) BlackHole(dest string) { in.Set(dest, Rule{Mode: BlackHole}) }
+
+// Delay holds every request to dest for d before passing it through.
+func (in *Injector) Delay(dest string, d time.Duration) { in.Set(dest, Rule{Mode: Delay, Delay: d}) }
+
+// Restore removes dest's rule; traffic flows normally again.
+func (in *Injector) Restore(dest string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rules, dest)
+}
+
+// Clear removes every rule.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = make(map[string]*Rule)
+}
+
+// Stats returns a snapshot of dest's outcome counters.
+func (in *Injector) Stats(dest string) Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s := in.stats[dest]; s != nil {
+		return *s
+	}
+	return Stats{}
+}
+
+// decide resolves one request's fate, consuming an RNG draw only for
+// probabilistic rules and counting down Remaining.
+func (in *Injector) decide(dest string) (Mode, time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.stats[dest]
+	if st == nil {
+		st = &Stats{}
+		in.stats[dest] = st
+	}
+	key := dest
+	r := in.rules[key]
+	if r == nil {
+		key = Wildcard
+		r = in.rules[key]
+	}
+	if r == nil || r.Mode == Pass {
+		st.Passed++
+		return Pass, 0
+	}
+	if r.Prob > 0 && r.Prob < 1 && in.rng.Float64() >= r.Prob {
+		st.Passed++
+		return Pass, 0
+	}
+	if r.Remaining > 0 {
+		r.Remaining--
+		if r.Remaining == 0 {
+			delete(in.rules, key)
+		}
+	}
+	switch r.Mode {
+	case Drop:
+		st.Dropped++
+	case Delay:
+		st.Delayed++
+	case BlackHole:
+		st.BlackHoled++
+	}
+	return r.Mode, r.Delay
+}
+
+// Wrap layers the injector over an http.RoundTripper; pass the result to
+// the transport client's WrapTransport.
+func (in *Injector) Wrap(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{in: in, base: base}
+}
+
+type roundTripper struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+// RoundTrip applies the destination's rule before (or instead of) the
+// real exchange.
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	dest := req.URL.Host
+	mode, delay := rt.in.decide(dest)
+	switch mode {
+	case Drop:
+		return nil, &Error{Dest: dest, Mode: Drop}
+	case BlackHole:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case Delay:
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	return rt.base.RoundTrip(req)
+}
+
+// ChaosEnabled reports whether heavyweight randomized chaos tests should
+// run (GLARE_CHAOS=1 in the environment, as set by the CI chaos job).
+// Cheap deterministic fault-injection tests run unconditionally.
+func ChaosEnabled() bool { return os.Getenv("GLARE_CHAOS") != "" }

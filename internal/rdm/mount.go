@@ -130,7 +130,11 @@ func (s *Service) Mount(srv *transport.Server) {
 			if types := s.groupConcreteOf(sp, name); len(types) > 0 {
 				return typeList(types), nil
 			}
-			return typeList(s.superFanOut(sp, name)), nil
+			// Best effort: peers this super-peer cannot reach are simply
+			// absent from the answer; the querying site tracks its own
+			// unavailability.
+			types, _ := s.superFanOut(sp, name)
+			return typeList(types), nil
 		},
 		"LocalDeployments": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			ds := s.ADR.ByType(textOf(body))
@@ -150,7 +154,8 @@ func (s *Service) Mount(srv *transport.Server) {
 			for _, d := range s.groupDeployments(sp, name) {
 				merged[d.Name] = d
 			}
-			for _, d := range s.forwardDeployments(sp, name) {
+			forwarded, _ := s.forwardDeployments(sp, name)
+			for _, d := range forwarded {
 				if _, dup := merged[d.Name]; !dup {
 					merged[d.Name] = d
 				}

@@ -87,6 +87,11 @@ type Config struct {
 	Costs DeployCosts
 	// CacheTTL bounds cached remote resources; zero = cache.DefaultTTL.
 	CacheTTL time.Duration
+	// StaleFor retains expired cache entries beyond their TTL so
+	// resolution can degrade to them when peers are unreachable (breaker
+	// open or retries exhausted) instead of failing. Zero uses
+	// DefaultStaleFor; negative disables degraded serving.
+	StaleFor time.Duration
 	// CacheDisabled turns local caching off (the Fig. 12 "without cache"
 	// configuration).
 	CacheDisabled bool
@@ -126,6 +131,10 @@ type Service struct {
 	depCache  *cache.Cache
 	cacheOff  bool
 
+	// degraded counts resolutions that ran with part of the VO
+	// unreachable (the result set may be incomplete or stale).
+	degraded *telemetry.Counter
+
 	deployFiles func(url string) (*deployfile.Build, error)
 	costs       DeployCosts
 	cogCfg      cog.Config
@@ -142,6 +151,10 @@ type Service struct {
 	stop           chan struct{}
 	stopOnce       sync.Once
 }
+
+// DefaultStaleFor is how long expired cache entries stay reachable for
+// degraded resolution after their TTL.
+const DefaultStaleFor = 30 * time.Minute
 
 // New assembles the service (does not start background monitors; call
 // StartMonitors for that).
@@ -214,6 +227,20 @@ func New(cfg Config) (*Service, error) {
 		tel.Counter("glare_rdm_cache_misses_total", telemetry.L("cache", "deps")),
 		tel.Counter("glare_rdm_cache_revived_total", telemetry.L("cache", "deps")),
 		tel.Counter("glare_rdm_cache_discarded_total", telemetry.L("cache", "deps")))
+	// Stale retention backs graceful degradation: when a peer is down,
+	// resolution serves expired entries (marked degraded) instead of
+	// failing.
+	staleFor := cfg.StaleFor
+	if staleFor == 0 {
+		staleFor = DefaultStaleFor
+	}
+	if staleFor > 0 {
+		s.typeCache.SetStaleFor(staleFor)
+		s.depCache.SetStaleFor(staleFor)
+		s.typeCache.InstrumentStale(tel.Counter("glare_rdm_cache_stale_served_total", telemetry.L("cache", "types")))
+		s.depCache.InstrumentStale(tel.Counter("glare_rdm_cache_stale_served_total", telemetry.L("cache", "deps")))
+	}
+	s.degraded = tel.Counter("glare_rdm_resolve_degraded_total")
 	// Expiry cascade: destroying a type expires its deployments (§3.3).
 	s.ATR.OnRemove(func(typeName string) {
 		s.ADR.ExpireByType(typeName)

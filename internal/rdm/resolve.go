@@ -11,6 +11,7 @@ import (
 	"glare/internal/epr"
 	"glare/internal/superpeer"
 	"glare/internal/telemetry"
+	"glare/internal/transport"
 	"glare/internal/xmlutil"
 )
 
@@ -148,8 +149,13 @@ func (s *Service) resolveConcrete(sp *telemetry.Span, typeName string) ([]*activ
 	}
 	// 3. Peer group (peer-to-peer interaction within the group).
 	view := s.view()
+	unreachable := false
 	for _, peer := range view.Peers(s.selfName()) {
-		if types := s.remoteConcreteOf(sp, peer, typeName); len(types) > 0 {
+		types, err := s.remoteConcreteOf(sp, peer, typeName)
+		if transport.IsUnavailable(err) {
+			unreachable = true
+		}
+		if len(types) > 0 {
 			s.cacheTypes(typeName, peer, types)
 			s.resolveSrc("peer").Inc()
 			return types, nil
@@ -158,31 +164,53 @@ func (s *Service) resolveConcrete(sp *telemetry.Span, typeName string) ([]*activ
 	// 4. Super-peer forwarding ("A super-peer is contacted when other
 	// peers could not find information ... It then forwards requests to
 	// other super-peers and caches the results").
-	if types := s.forwardConcreteOf(sp, typeName); len(types) > 0 {
+	types, err := s.forwardConcreteOf(sp, typeName)
+	if transport.IsUnavailable(err) {
+		unreachable = true
+	}
+	if len(types) > 0 {
 		s.resolveSrc("superpeer").Inc()
 		return types, nil
+	}
+	// 5. Degraded: part of the VO was unreachable, so "not found" is not
+	// trustworthy — an expired cache entry beats an error. The revival
+	// window (SetStaleFor) bounds how old an answer we are willing to
+	// serve.
+	if unreachable {
+		s.degraded.Inc()
+		if !s.cacheOff {
+			if e, ok := s.typeCache.GetStale("concrete:" + typeName); ok {
+				s.resolveSrc("stale").Inc()
+				return typesFromList(e.Doc), nil
+			}
+		}
 	}
 	return nil, nil
 }
 
 // remoteConcreteOf asks one remote RDM for its local concrete resolution.
-func (s *Service) remoteConcreteOf(sp *telemetry.Span, target superpeer.SiteInfo, typeName string) []*activity.Type {
+// An Unavailable error means the peer could not be reached (as opposed to
+// not knowing the type) and feeds the caller's degradation decision.
+func (s *Service) remoteConcreteOf(sp *telemetry.Span, target superpeer.SiteInfo, typeName string) ([]*activity.Type, error) {
 	if target.IsZero() {
-		return nil
+		return nil, nil
 	}
 	resp, err := s.call(sp, target.ServiceURL(ServiceName), "ConcreteOf",
 		xmlutil.NewNode("Name", typeName))
-	if err != nil || resp == nil {
-		return nil
+	if err != nil {
+		return nil, err
 	}
-	return typesFromList(resp)
+	if resp == nil {
+		return nil, nil
+	}
+	return typesFromList(resp), nil
 }
 
 // forwardConcreteOf routes the lookup through the super-peer overlay.
-func (s *Service) forwardConcreteOf(sp *telemetry.Span, typeName string) []*activity.Type {
+func (s *Service) forwardConcreteOf(sp *telemetry.Span, typeName string) ([]*activity.Type, error) {
 	view := s.view()
 	if view.SuperPeer.IsZero() {
-		return nil
+		return nil, nil
 	}
 	if view.SuperPeer.Name == s.selfName() {
 		// We are the super-peer: fan out to the other super-peers' groups.
@@ -190,35 +218,47 @@ func (s *Service) forwardConcreteOf(sp *telemetry.Span, typeName string) []*acti
 	}
 	resp, err := s.call(sp, view.SuperPeer.ServiceURL(ServiceName), "ForwardConcreteOf",
 		xmlutil.NewNode("Name", typeName))
-	if err != nil || resp == nil {
-		return nil
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		return nil, nil
 	}
 	types := typesFromList(resp)
 	if len(types) > 0 {
 		s.cacheTypes(typeName, view.SuperPeer, types)
 	}
-	return types
+	return types, nil
 }
 
 // superFanOut is the super-peer side of type forwarding: ask every other
-// super-peer to answer from its group, cache what comes back.
-func (s *Service) superFanOut(sp *telemetry.Span, typeName string) []*activity.Type {
+// super-peer to answer from its group, cache what comes back. When no
+// answer is found and at least one super-peer was unreachable, the
+// returned error reports that the miss is untrustworthy.
+func (s *Service) superFanOut(sp *telemetry.Span, typeName string) ([]*activity.Type, error) {
 	view := s.view()
+	var lastUnavailable error
 	for _, peer := range view.SuperPeers {
 		if peer.Name == s.selfName() {
 			continue
 		}
 		resp, err := s.call(sp, peer.ServiceURL(ServiceName), "GroupConcreteOf",
 			xmlutil.NewNode("Name", typeName))
-		if err != nil || resp == nil {
+		if err != nil {
+			if transport.IsUnavailable(err) {
+				lastUnavailable = err
+			}
+			continue
+		}
+		if resp == nil {
 			continue
 		}
 		if types := typesFromList(resp); len(types) > 0 {
 			s.cacheTypes(typeName, peer, types)
-			return types
+			return types, nil
 		}
 	}
-	return nil
+	return nil, lastUnavailable
 }
 
 // groupConcreteOf answers a forwarded lookup from this super-peer's group:
@@ -230,7 +270,7 @@ func (s *Service) groupConcreteOf(sp *telemetry.Span, typeName string) []*activi
 	}
 	view := s.view()
 	for _, peer := range view.Peers(s.selfName()) {
-		if types := s.remoteConcreteOf(sp, peer, typeName); len(types) > 0 {
+		if types, _ := s.remoteConcreteOf(sp, peer, typeName); len(types) > 0 {
 			return types
 		}
 	}
@@ -272,7 +312,8 @@ func (s *Service) resolveDeployments(sp *telemetry.Span, typeName string) []*act
 	// sites each registry scans only its share, so the wall-clock cost of
 	// one request drops as k grows (the Fig. 12 effect).
 	view := s.view()
-	for peer, ds := range s.fanOutDeployments(sp, view.Peers(s.selfName()), typeName) {
+	answers, unreachable := s.fanOutDeployments(sp, view.Peers(s.selfName()), typeName)
+	for peer, ds := range answers {
 		for _, d := range ds {
 			if _, dup := merged[d.Name]; !dup {
 				merged[d.Name] = d
@@ -284,14 +325,49 @@ func (s *Service) resolveDeployments(sp *telemetry.Span, typeName string) []*act
 	// contacted when other peers could not find information about some
 	// activity types or deployments within the group."
 	if len(merged) == 0 {
-		for _, d := range s.forwardDeployments(sp, typeName) {
+		ds, err := s.forwardDeployments(sp, typeName)
+		if transport.IsUnavailable(err) {
+			unreachable = true
+		}
+		for _, d := range ds {
 			if _, dup := merged[d.Name]; !dup {
 				merged[d.Name] = d
 			}
 		}
 	}
+	staleServed := false
+	if unreachable {
+		// Part of the VO did not answer: the merged set may be missing
+		// that part's deployments. Count the degraded resolution and, when
+		// we would otherwise return nothing, fall back to stale cache
+		// entries past their revival window, marked so schedulers can
+		// prefer fresh alternatives.
+		s.degraded.Inc()
+		if len(merged) == 0 && !s.cacheOff {
+			if idx, ok := s.depCache.GetStale("index:" + typeName); ok {
+				for _, n := range idx.Doc.All("Name") {
+					e, ok := s.depCache.GetStale("dep:" + n.Text)
+					if !ok {
+						continue
+					}
+					if d, err := activity.DeploymentFromXML(e.Doc); err == nil {
+						d.Degraded = true
+						if _, dup := merged[d.Name]; !dup {
+							merged[d.Name] = d
+						}
+					}
+				}
+			}
+			if len(merged) > 0 {
+				s.resolveSrc("stale").Inc()
+				staleServed = true
+			}
+		}
+	}
 	out := sortedDeployments(merged)
-	if !s.cacheOff && len(out) > 0 {
+	// Do not re-index a stale-served result: that would stamp outdated
+	// data as fresh and hide the degradation from the next resolution.
+	if !s.cacheOff && len(out) > 0 && !staleServed {
 		idx := xmlutil.NewNode("Index")
 		for _, d := range out {
 			idx.Elem("Name", d.Name)
@@ -301,32 +377,45 @@ func (s *Service) resolveDeployments(sp *telemetry.Span, typeName string) []*act
 	return out
 }
 
-func (s *Service) remoteDeployments(sp *telemetry.Span, target superpeer.SiteInfo, typeName string) []*activity.Deployment {
+// remoteDeployments asks one peer for its local deployments. An
+// Unavailable error distinguishes a dead peer from one with nothing to
+// offer.
+func (s *Service) remoteDeployments(sp *telemetry.Span, target superpeer.SiteInfo, typeName string) ([]*activity.Deployment, error) {
 	if target.IsZero() {
-		return nil
+		return nil, nil
 	}
 	resp, err := s.call(sp, target.ServiceURL(ServiceName), "LocalDeployments",
 		xmlutil.NewNode("Type", typeName))
-	if err != nil || resp == nil {
-		return nil
+	if err != nil {
+		return nil, err
 	}
-	return deploymentsFromList(resp)
+	if resp == nil {
+		return nil, nil
+	}
+	return deploymentsFromList(resp), nil
 }
 
-func (s *Service) forwardDeployments(sp *telemetry.Span, typeName string) []*activity.Deployment {
+func (s *Service) forwardDeployments(sp *telemetry.Span, typeName string) ([]*activity.Deployment, error) {
 	view := s.view()
 	if view.SuperPeer.IsZero() {
-		return nil
+		return nil, nil
 	}
 	if view.SuperPeer.Name == s.selfName() {
 		var out []*activity.Deployment
+		var lastUnavailable error
 		for _, peer := range view.SuperPeers {
 			if peer.Name == s.selfName() {
 				continue
 			}
 			resp, err := s.call(sp, peer.ServiceURL(ServiceName), "GroupDeployments",
 				xmlutil.NewNode("Type", typeName))
-			if err != nil || resp == nil {
+			if err != nil {
+				if transport.IsUnavailable(err) {
+					lastUnavailable = err
+				}
+				continue
+			}
+			if resp == nil {
 				continue
 			}
 			for _, d := range deploymentsFromList(resp) {
@@ -334,18 +423,24 @@ func (s *Service) forwardDeployments(sp *telemetry.Span, typeName string) []*act
 				s.cacheDeployment(peer, d)
 			}
 		}
-		return out
+		if len(out) > 0 {
+			return out, nil
+		}
+		return nil, lastUnavailable
 	}
 	resp, err := s.call(sp, view.SuperPeer.ServiceURL(ServiceName), "ForwardDeployments",
 		xmlutil.NewNode("Type", typeName))
-	if err != nil || resp == nil {
-		return nil
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		return nil, nil
 	}
 	out := deploymentsFromList(resp)
 	for _, d := range out {
 		s.cacheDeployment(view.SuperPeer, d)
 	}
-	return out
+	return out, nil
 }
 
 // groupDeployments answers a forwarded deployment lookup from this
@@ -356,7 +451,8 @@ func (s *Service) groupDeployments(sp *telemetry.Span, typeName string) []*activ
 		merged[d.Name] = d
 	}
 	view := s.view()
-	for _, ds := range s.fanOutDeployments(sp, view.Peers(s.selfName()), typeName) {
+	answers, _ := s.fanOutDeployments(sp, view.Peers(s.selfName()), typeName)
+	for _, ds := range answers {
 		for _, d := range ds {
 			if _, dup := merged[d.Name]; !dup {
 				merged[d.Name] = d
@@ -366,29 +462,37 @@ func (s *Service) groupDeployments(sp *telemetry.Span, typeName string) []*activ
 	return sortedDeployments(merged)
 }
 
-// fanOutDeployments queries several remote registries concurrently.
-func (s *Service) fanOutDeployments(sp *telemetry.Span, peers []superpeer.SiteInfo, typeName string) map[superpeer.SiteInfo][]*activity.Deployment {
+// fanOutDeployments queries several remote registries concurrently. It
+// additionally reports whether any peer was unreachable, so the caller
+// knows the merged answer may be incomplete.
+func (s *Service) fanOutDeployments(sp *telemetry.Span, peers []superpeer.SiteInfo, typeName string) (map[superpeer.SiteInfo][]*activity.Deployment, bool) {
 	out := make(map[superpeer.SiteInfo][]*activity.Deployment, len(peers))
 	if len(peers) == 0 {
-		return out
+		return out, false
 	}
 	type answer struct {
 		peer superpeer.SiteInfo
 		ds   []*activity.Deployment
+		err  error
 	}
 	ch := make(chan answer, len(peers))
 	for _, peer := range peers {
 		go func(p superpeer.SiteInfo) {
-			ch <- answer{peer: p, ds: s.remoteDeployments(sp, p, typeName)}
+			ds, err := s.remoteDeployments(sp, p, typeName)
+			ch <- answer{peer: p, ds: ds, err: err}
 		}(peer)
 	}
+	unreachable := false
 	for range peers {
 		a := <-ch
+		if transport.IsUnavailable(a.err) {
+			unreachable = true
+		}
 		if len(a.ds) > 0 {
 			out[a.peer] = a.ds
 		}
 	}
-	return out
+	return out, unreachable
 }
 
 // ----------------------------------------------------------- cache plumbing

@@ -39,9 +39,10 @@ func (r Role) String() string {
 // operations and runs the election-coordinator and failure-recovery
 // protocols.
 type Agent struct {
-	self   SiteInfo
-	client *transport.Client
-	broker *wsrf.Broker
+	self        SiteInfo
+	client      *transport.Client
+	broker      *wsrf.Broker
+	pingTimeout time.Duration
 
 	// Overlay instrumentation; nil (no-op) until SetTelemetry is called.
 	tel        *telemetry.Telemetry
@@ -60,12 +61,27 @@ type Agent struct {
 	onViewChange  []func(View)
 }
 
+// DefaultPingTimeout bounds one liveness probe. Failure detection must be
+// far snappier than a regular operation: a hung site should be declared
+// dead well before the transport's DefaultCallTimeout would give up on a
+// normal call.
+const DefaultPingTimeout = 1 * time.Second
+
 // NewAgent creates an overlay agent for a site.
 func NewAgent(self SiteInfo, client *transport.Client, broker *wsrf.Broker) *Agent {
 	if broker == nil {
 		broker = wsrf.NewBroker(nil)
 	}
-	return &Agent{self: self, client: client, broker: broker}
+	return &Agent{self: self, client: client, broker: broker, pingTimeout: DefaultPingTimeout}
+}
+
+// SetPingTimeout overrides the liveness-probe timeout (d <= 0 restores
+// the default). Call during site assembly, before monitors start.
+func (a *Agent) SetPingTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultPingTimeout
+	}
+	a.pingTimeout = d
 }
 
 // Self returns this agent's site info.
@@ -176,13 +192,17 @@ func (a *Agent) handleGroupAssign(body *xmlutil.Node) (*xmlutil.Node, error) {
 	return xmlutil.NewNode("Assigned"), nil
 }
 
-// Ping checks whether a remote site's agent answers.
+// Ping checks whether a remote site's agent answers. It probes under its
+// own short timeout (SetPingTimeout) with no retries, and shares the
+// client's circuit-breaker state: a destination whose breaker is already
+// open fails instantly, so heartbeat, takeover verification and
+// resolution do not each re-probe a site the client knows is dead.
 func (a *Agent) Ping(target SiteInfo) bool {
 	if a.client == nil {
 		return false
 	}
 	a.heartbeats.Inc()
-	resp, err := a.client.Call(target.PeerURL(), "Ping", nil)
+	resp, err := a.client.Probe(target.PeerURL(), "Ping", nil, a.pingTimeout)
 	return err == nil && resp != nil && resp.Name == "Pong"
 }
 

@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Unavailable is a transport-level failure: the remote site could not be
+// reached at all — connection refused, request timeout, or a circuit
+// breaker rejecting the destination — as opposed to a Fault, which means
+// the site answered and rejected the operation. The distinction drives
+// the whole robustness layer: the retry policy only ever retries
+// Unavailable errors, and resolution layers use it to decide when serving
+// stale cache entries beats surfacing an error.
+type Unavailable struct {
+	// Address is the service URL of the failed call.
+	Address string
+	// Operation is the invoked operation name.
+	Operation string
+	// Reason classifies the failure: "connection", "timeout",
+	// "breaker-open" or "retry-budget".
+	Reason string
+	// Err is the underlying error (nil for breaker rejections that never
+	// touched the network).
+	Err error
+}
+
+// Error implements the error interface.
+func (u *Unavailable) Error() string {
+	if u.Err != nil {
+		return fmt.Sprintf("transport: %s %s unavailable (%s): %v",
+			u.Address, u.Operation, u.Reason, u.Err)
+	}
+	return fmt.Sprintf("transport: %s %s unavailable (%s)", u.Address, u.Operation, u.Reason)
+}
+
+// Unwrap exposes the underlying transport error.
+func (u *Unavailable) Unwrap() error { return u.Err }
+
+// IsUnavailable reports whether err is (or wraps) an Unavailable, i.e. the
+// destination site is down or unreachable rather than rejecting the
+// operation.
+func IsUnavailable(err error) bool {
+	var u *Unavailable
+	return errors.As(err, &u)
+}
+
+// unavailableReason classifies a raw transport error for Unavailable.Reason.
+func unavailableReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	return "connection"
+}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strings"
@@ -326,10 +327,24 @@ const DefaultCallTimeout = 10 * time.Second
 
 // Client invokes operations on remote services. The zero value is not
 // usable; construct with NewClient.
+//
+// A client optionally layers fault tolerance over its calls: a RetryPolicy
+// re-issues calls that failed at the transport level (never application
+// Faults), a RetryBudget bounds the extra traffic those retries generate,
+// and per-destination circuit breakers (SetBreaker) stop hammering a site
+// that keeps failing, re-probing it after a cooldown. All three are off by
+// default and configured at assembly time.
 type Client struct {
 	http    *http.Client
 	timeout time.Duration
 	tel     *telemetry.Telemetry
+
+	retry    RetryPolicy
+	budget   *RetryBudget
+	breakers *breakerSet
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewClient builds a client with the default per-request timeout. tlsConf
@@ -369,6 +384,42 @@ func (c *Client) Timeout() time.Duration { return c.timeout }
 // and timed into its registry. Not safe to call concurrently with Call.
 func (c *Client) SetTelemetry(tel *telemetry.Telemetry) { c.tel = tel }
 
+// SetRetryPolicy enables transport-level retries. Only Unavailable errors
+// are ever retried; a Fault means the site answered and is final. Not
+// safe to call concurrently with Call.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.retry = p
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetRetryBudget bounds the global retry volume; nil restores the
+// unlimited default. Not safe to call concurrently with Call.
+func (c *Client) SetRetryBudget(b *RetryBudget) { c.budget = b }
+
+// SetBreaker enables per-destination circuit breakers. Not safe to call
+// concurrently with Call.
+func (c *Client) SetBreaker(cfg BreakerConfig) { c.breakers = newBreakerSet(cfg) }
+
+// BreakerState reports the breaker position for the site hosting address
+// (BreakerClosed when breakers are disabled or the site was never called).
+func (c *Client) BreakerState(address string) BreakerState {
+	if c.breakers == nil {
+		return BreakerClosed
+	}
+	return c.breakers.get(destOf(address)).current()
+}
+
+// WrapTransport wraps the client's underlying HTTP round-tripper, e.g.
+// with a faultinject.Injector for chaos testing. Call during assembly,
+// before issuing requests.
+func (c *Client) WrapTransport(wrap func(http.RoundTripper) http.RoundTripper) {
+	c.http.Transport = wrap(c.http.Transport)
+}
+
 // Call invokes operation on the service at address (a full service URL as
 // returned by Server.ServiceURL) with an optional body node.
 func (c *Client) Call(address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
@@ -379,6 +430,23 @@ func (c *Client) Call(address, operation string, body *xmlutil.Node) (*xmlutil.N
 // context rides in the request envelope's Trace header, so the server's
 // span (and everything below it) joins the caller's trace.
 func (c *Client) CallSpan(sp *telemetry.Span, address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
+	return c.call(sp, address, operation, body, c.timeout, true)
+}
+
+// Probe issues a single-attempt call under its own (typically short)
+// timeout, bypassing the retry policy but not the circuit breaker: an
+// open breaker fails the probe immediately. Liveness checks use this so
+// (a) failure detection is not slowed by the regular per-request timeout
+// and (b) a site the client already knows is dead is not re-probed by
+// every subsystem.
+func (c *Client) Probe(address, operation string, body *xmlutil.Node, timeout time.Duration) (*xmlutil.Node, error) {
+	if timeout <= 0 {
+		timeout = c.timeout
+	}
+	return c.call(nil, address, operation, body, timeout, false)
+}
+
+func (c *Client) call(sp *telemetry.Span, address, operation string, body *xmlutil.Node, timeout time.Duration, retryable bool) (*xmlutil.Node, error) {
 	env := xmlutil.NewNode("Envelope")
 	env.Elem("Operation", operation)
 	if traceID, spanID := sp.Context(); traceID != "" {
@@ -394,7 +462,7 @@ func (c *Client) CallSpan(sp *telemetry.Span, address, operation string, body *x
 	if c.tel != nil {
 		start = time.Now()
 	}
-	out, err := c.post(address, env)
+	out, err := c.exchange(address, operation, env, timeout, retryable)
 	if c.tel != nil {
 		labels := []telemetry.Label{telemetry.L("op", operation)}
 		c.tel.Counter("glare_rpc_client_requests_total", labels...).Inc()
@@ -415,13 +483,73 @@ func (c *Client) CallSpan(sp *telemetry.Span, address, operation string, body *x
 	return nil, nil
 }
 
-// post sends one envelope under the per-request timeout and parses the
-// response envelope.
-func (c *Client) post(address string, env *xmlutil.Node) (*xmlutil.Node, error) {
+// exchange runs the attempt loop for one logical call: breaker admission,
+// the POST itself, failure classification, and backoff between retries.
+// Errors escaping here are always *Unavailable; Faults surface later from
+// the parsed envelope (and count as transport successes — the site is up).
+func (c *Client) exchange(address, operation string, env *xmlutil.Node, timeout time.Duration, retryable bool) (*xmlutil.Node, error) {
+	maxAttempts := 1
+	if retryable && c.retry.MaxAttempts > 1 {
+		maxAttempts = c.retry.MaxAttempts
+	}
+	dest := destOf(address)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var br *breaker
+		probe := false
+		if c.breakers != nil {
+			br = c.breakers.get(dest)
+			ok, p := br.admit()
+			if !ok {
+				c.tel.Counter("glare_transport_breaker_rejected_total", telemetry.L("dest", dest)).Inc()
+				return nil, &Unavailable{Address: address, Operation: operation, Reason: "breaker-open", Err: lastErr}
+			}
+			probe = p
+		}
+		out, err := c.post(address, env, timeout)
+		if err == nil {
+			if br != nil {
+				br.onSuccess(probe)
+				c.tel.Gauge("glare_transport_breaker_state", telemetry.L("dest", dest)).Set(int64(br.current()))
+			}
+			c.budget.Deposit()
+			return out, nil
+		}
+		lastErr = err
+		if br != nil {
+			if br.onFailure(probe) {
+				c.tel.Counter("glare_transport_breaker_open_total", telemetry.L("dest", dest)).Inc()
+			}
+			c.tel.Gauge("glare_transport_breaker_state", telemetry.L("dest", dest)).Set(int64(br.current()))
+		}
+		if attempt >= maxAttempts {
+			c.tel.Counter("glare_transport_unavailable_total", telemetry.L("op", operation)).Inc()
+			return nil, &Unavailable{Address: address, Operation: operation, Reason: unavailableReason(err), Err: err}
+		}
+		if !c.budget.Withdraw() {
+			c.tel.Counter("glare_transport_retry_budget_exhausted_total").Inc()
+			c.tel.Counter("glare_transport_unavailable_total", telemetry.L("op", operation)).Inc()
+			return nil, &Unavailable{Address: address, Operation: operation, Reason: "retry-budget", Err: err}
+		}
+		c.tel.Counter("glare_transport_retries_total", telemetry.L("op", operation)).Inc()
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// backoff computes the jittered delay after the attempt-th failed try.
+func (c *Client) backoff(attempt int) time.Duration {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.retry.delay(attempt, c.rng)
+}
+
+// post sends one envelope under the given timeout and parses the response
+// envelope.
+func (c *Client) post(address string, env *xmlutil.Node, timeout time.Duration) (*xmlutil.Node, error) {
 	ctx := context.Background()
-	if c.timeout > 0 {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, address,

@@ -10,11 +10,13 @@
 package vo
 
 import (
+	"crypto/tls"
 	"fmt"
 	"time"
 
 	"glare/internal/cog"
 	"glare/internal/epr"
+	"glare/internal/faultinject"
 	"glare/internal/gridftp"
 	"glare/internal/gsi"
 	"glare/internal/mds"
@@ -53,6 +55,19 @@ type Options struct {
 	// IndexCollapse configures the community index's overload behaviour;
 	// zero disables it (keep it disabled unless reproducing Fig. 11).
 	IndexCollapse mds.CollapseConfig
+	// CallTimeout overrides the transport per-request timeout (zero uses
+	// transport.DefaultCallTimeout).
+	CallTimeout time.Duration
+	// Retry overrides the per-site clients' retry policy; nil uses
+	// transport.DefaultRetryPolicy.
+	Retry *transport.RetryPolicy
+	// Breaker overrides the per-site clients' circuit-breaker config; nil
+	// uses transport.DefaultBreakerConfig.
+	Breaker *transport.BreakerConfig
+	// ChaosSeed, when nonzero, installs a deterministic fault injector on
+	// every client so tests can drop, delay or black-hole traffic per
+	// destination (see VO.Chaos).
+	ChaosSeed int64
 }
 
 // Node is one Grid site's full stack.
@@ -64,17 +79,28 @@ type Node struct {
 	Index  *mds.Index
 	Info   superpeer.SiteInfo
 	Tel    *telemetry.Telemetry
+	// Client is the site's own outbound transport client: its retry,
+	// circuit-breaker and telemetry state belong to this caller, so a
+	// destination one site has learned is dead is fast-failed by every
+	// subsystem on that site (RDM resolution, heartbeats, takeover) while
+	// other sites form their own opinion.
+	Client *transport.Client
 }
 
 // VO is a running virtual organization.
 type VO struct {
-	Clock     simclock.Clock
-	Repo      *site.Repo
-	Resolver  *workload.Resolver
-	CA        *gsi.Authority
+	Clock    simclock.Clock
+	Repo     *site.Repo
+	Resolver *workload.Resolver
+	CA       *gsi.Authority
+	// Client is the VO-wide admin client (protocol tests, glarectl-style
+	// scrapes); each Node additionally owns a per-site client.
 	Client    *transport.Client
 	Nodes     []*Node
 	Community *mds.Index
+	// Chaos is the fault injector shared by every client; nil unless
+	// Options.ChaosSeed was set.
+	Chaos *faultinject.Injector
 
 	stopped map[int]bool
 }
@@ -106,16 +132,17 @@ func Build(opts Options) (*VO, error) {
 	resolver := workload.NewResolver(repo)
 
 	v := &VO{Clock: clock, Repo: repo, Resolver: resolver, stopped: map[int]bool{}}
-	var err error
+	if opts.ChaosSeed != 0 {
+		v.Chaos = faultinject.New(opts.ChaosSeed)
+	}
 	if opts.Secure {
-		v.CA, err = gsi.NewAuthority("glare-vo-ca")
+		ca, err := gsi.NewAuthority("glare-vo-ca")
 		if err != nil {
 			return nil, err
 		}
-		v.Client = transport.NewClient(v.CA.ClientConfig())
-	} else {
-		v.Client = transport.NewClient(nil)
+		v.CA = ca
 	}
+	v.Client = v.newClient(opts, nil)
 
 	for i := 0; i < opts.Sites; i++ {
 		node, err := v.buildNode(i, opts)
@@ -139,6 +166,36 @@ func Build(opts Options) (*VO, error) {
 	return v, nil
 }
 
+// newClient assembles one fault-tolerant transport client: retries with
+// backoff, a shared retry budget, per-destination circuit breakers, and
+// — when chaos is armed — the VO's fault injector. tel may be nil for
+// the VO-wide admin client.
+func (v *VO) newClient(opts Options, tel *telemetry.Telemetry) *transport.Client {
+	var tlsConf *tls.Config
+	if v.CA != nil {
+		tlsConf = v.CA.ClientConfig()
+	}
+	c := transport.NewClientTimeout(tlsConf, opts.CallTimeout)
+	retry := transport.DefaultRetryPolicy()
+	if opts.Retry != nil {
+		retry = *opts.Retry
+	}
+	c.SetRetryPolicy(retry)
+	c.SetRetryBudget(transport.NewRetryBudget(0, 0))
+	breaker := transport.DefaultBreakerConfig()
+	if opts.Breaker != nil {
+		breaker = *opts.Breaker
+	}
+	c.SetBreaker(breaker)
+	if tel != nil {
+		c.SetTelemetry(tel)
+	}
+	if v.Chaos != nil {
+		c.WrapTransport(v.Chaos.Wrap)
+	}
+	return c
+}
+
 func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 	attrs := siteAttrs(i)
 	st := site.New(attrs, v.Clock, v.Repo)
@@ -157,8 +214,9 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 		}
 	}
 	info := superpeer.SiteInfo{Name: attrs.Name, Rank: attrs.Rank(), BaseURL: srv.BaseURL()}
-	agent := superpeer.NewAgent(info, v.Client, nil)
 	tel := telemetry.New(attrs.Name)
+	cli := v.newClient(opts, tel)
+	agent := superpeer.NewAgent(info, cli, nil)
 
 	kind := mds.DefaultIndex
 	if i == 0 {
@@ -172,7 +230,7 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 	svc, err := rdm.New(rdm.Config{
 		Site:              st,
 		Clock:             v.Clock,
-		Client:            v.Client,
+		Client:            cli,
 		Agent:             agent,
 		LocalIndex:        index,
 		DeployFiles:       v.Resolver.Fetch,
@@ -191,7 +249,7 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 	}
 	svc.Mount(srv)
 	svc.MountExtensions(srv)
-	return &Node{Site: st, Server: srv, RDM: svc, Agent: agent, Index: index, Info: info, Tel: tel}, nil
+	return &Node{Site: st, Server: srv, RDM: svc, Agent: agent, Index: index, Info: info, Tel: tel, Client: cli}, nil
 }
 
 // ElectSuperPeers runs the initial election from the community-index
@@ -241,6 +299,11 @@ func (v *VO) RegisterEvaluationApps(i int) error {
 func (v *VO) Close() {
 	for i := range v.Nodes {
 		v.StopSite(i)
+	}
+	for _, n := range v.Nodes {
+		if n.Client != nil {
+			n.Client.CloseIdle()
+		}
 	}
 	if v.Client != nil {
 		v.Client.CloseIdle()
