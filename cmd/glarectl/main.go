@@ -86,6 +86,8 @@ func main() {
 		err = search(cli, rdmURL, args[1:])
 	case "metrics":
 		err = metricsCmd(cli, siteBase, args[1:])
+	case "status":
+		err = statusCmd(cli, siteBase)
 	default:
 		usage()
 	}
@@ -118,7 +120,11 @@ commands:
   search <function> [input...]       semantic type search by capability
   metrics [prefix]                   scrape /metrics from every community
                                      site into one table (prefix filters
-                                     metric names; default glare_)`)
+                                     metric names; default glare_)
+  status                             probe every community site's overlay
+                                     view: role, epoch and super-peer per
+                                     site (split brains show up as rows
+                                     disagreeing on the super-peer)`)
 	os.Exit(2)
 }
 
@@ -311,6 +317,38 @@ func metricsCmd(cli *transport.Client, siteBase string, args []string) error {
 			fmt.Printf("  %*s", len(s.Name), v)
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// statusCmd probes the overlay view of every site registered in the
+// community index and prints one row per site: its role, its view's epoch
+// and the super-peer it follows. During a partition the rows disagree on
+// the super-peer column; after a heal they converge back to one reign.
+func statusCmd(cli *transport.Client, siteBase string) error {
+	sites := communitySites(cli, siteBase)
+	if len(sites) == 0 {
+		sites = []superpeer.SiteInfo{{Name: siteBase, BaseURL: siteBase}}
+	}
+	wide := len("SITE")
+	for _, s := range sites {
+		if len(s.Name) > wide {
+			wide = len(s.Name)
+		}
+	}
+	fmt.Printf("%-*s  %-10s  %5s  %s\n", wide, "SITE", "ROLE", "EPOCH", "SUPER-PEER")
+	for _, s := range sites {
+		resp, err := cli.Call(s.PeerURL(), "ViewStatus", nil)
+		if err != nil {
+			fmt.Printf("%-*s  %-10s  %5s  %s\n", wide, s.Name, "-", "-", "- ("+err.Error()+")")
+			continue
+		}
+		superPeer := resp.AttrOr("superPeer", "")
+		if superPeer == "" {
+			superPeer = "(unassigned)"
+		}
+		fmt.Printf("%-*s  %-10s  %5s  %s\n", wide, s.Name,
+			resp.AttrOr("role", "?"), resp.AttrOr("epoch", "?"), superPeer)
 	}
 	return nil
 }

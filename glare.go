@@ -42,6 +42,7 @@ import (
 	"glare/internal/simclock"
 	"glare/internal/site"
 	"glare/internal/telemetry"
+	"glare/internal/transport"
 	"glare/internal/vo"
 	"glare/internal/workload"
 	"glare/internal/wsrf"
@@ -125,9 +126,14 @@ type GridOptions struct {
 	CallTimeout time.Duration
 	// ChaosSeed, when nonzero, arms a deterministic fault injector on every
 	// site's outbound client; the *Site fault methods (BlackHoleSite,
-	// DropSite, DelaySite, RestoreSite) then steer it. The seed makes any
+	// DropSite, DelaySite, RestoreSite) and the partition methods
+	// (PartitionSites, HealPartition) then steer it. The seed makes any
 	// probabilistic fault pattern reproducible run after run.
 	ChaosSeed int64
+	// BreakerCooldown overrides how long an open circuit breaker waits
+	// before its half-open probe (zero keeps the transport default of 5s).
+	// Partition tests shorten it so healed links are re-tried quickly.
+	BreakerCooldown time.Duration
 }
 
 // Grid is a running Virtual Organization.
@@ -141,6 +147,12 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 	if opts.RealTime {
 		clock = simclock.Real
 	}
+	var breaker *transport.BreakerConfig
+	if opts.BreakerCooldown > 0 {
+		bc := transport.DefaultBreakerConfig()
+		bc.Cooldown = opts.BreakerCooldown
+		breaker = &bc
+	}
 	v, err := vo.Build(vo.Options{
 		Sites:         opts.Sites,
 		Secure:        opts.Secure,
@@ -149,6 +161,7 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 		Clock:         clock,
 		CallTimeout:   opts.CallTimeout,
 		ChaosSeed:     opts.ChaosSeed,
+		Breaker:       breaker,
 	})
 	if err != nil {
 		return nil, err
@@ -256,9 +269,57 @@ func (g *Grid) RestoreSite(i int) error {
 	return nil
 }
 
+// PartitionSites severs the network between two halves of the grid: every
+// request from a site in a to a site in b (and vice versa) is dropped,
+// while traffic within each half flows normally — the classic split-brain
+// scenario. A site listed in neither half can talk to both. Requires
+// ChaosSeed. Replaces any previous partition.
+func (g *Grid) PartitionSites(a, b []int) error {
+	hostsOf := func(idx []int) ([]string, error) {
+		out := make([]string, 0, len(idx))
+		for _, i := range idx {
+			dest, err := g.siteDest(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, dest)
+		}
+		return out, nil
+	}
+	hostsA, err := hostsOf(a)
+	if err != nil {
+		return err
+	}
+	hostsB, err := hostsOf(b)
+	if err != nil {
+		return err
+	}
+	g.vo.Chaos.Partition(hostsA, hostsB)
+	return nil
+}
+
+// HealPartition reconnects the halves split by PartitionSites. The overlay
+// does not converge by itself at that instant: the super-peers' rival
+// probes (CheckRivals, run by StartMonitors) detect the double reign and
+// merge the views, and registry sync reconciles what diverged.
+func (g *Grid) HealPartition() error {
+	if g.vo.Chaos == nil {
+		return fmt.Errorf("glare: fault injection disarmed; set GridOptions.ChaosSeed")
+	}
+	g.vo.Chaos.Heal()
+	return nil
+}
+
 // SuperPeerOf returns the current super-peer site name seen by site i.
 func (g *Grid) SuperPeerOf(i int) string {
 	return g.vo.Nodes[i].Agent.View().SuperPeer.Name
+}
+
+// EpochOf returns the view epoch site i currently holds — the overlay's
+// fencing token, which every election, takeover or split-brain merge
+// advances.
+func (g *Grid) EpochOf(i int) uint64 {
+	return g.vo.Nodes[i].Agent.View().Epoch
 }
 
 // IsSuperPeer reports whether site i currently acts as a super-peer.

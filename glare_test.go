@@ -127,10 +127,13 @@ func TestFailoverThroughFacade(t *testing.T) {
 	}
 	g.StopSite(spIdx)
 	survivor := (spIdx + 1) % g.Sites()
-	// Trigger detection directly (monitors would do this periodically).
+	// Trigger detection directly (monitors would do this periodically);
+	// the suspicion counter needs two consecutive missed probes.
 	gvo := g.vo
-	if _, err := gvo.Nodes[survivor].Agent.DetectAndRecover(); err != nil {
-		t.Fatal(err)
+	for i := 0; i < 2; i++ {
+		if _, err := gvo.Nodes[survivor].Agent.DetectAndRecover(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	deadline := time.After(5 * time.Second)
 	for g.SuperPeerOf(survivor) == spName {

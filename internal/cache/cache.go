@@ -103,6 +103,21 @@ func (c *Cache) Put(key string, source epr.EPR, doc *xmlutil.Node) {
 	c.entries[key] = &Entry{Key: key, Source: source, Doc: doc, Fetched: c.clock.Now()}
 }
 
+// PutIfNewer stores the resource only when no entry exists for key or the
+// offered source LastUpdateTime is strictly newer than the cached one. It
+// is the anti-entropy write path: concurrent syncs against several peers
+// may offer the same resource, and only the freshest copy must win.
+// Reports whether the entry was written.
+func (c *Cache) PutIfNewer(key string, source epr.EPR, doc *xmlutil.Node) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && !source.LastUpdateTime.After(e.Source.LastUpdateTime) {
+		return false
+	}
+	c.entries[key] = &Entry{Key: key, Source: source, Doc: doc, Fetched: c.clock.Now()}
+	return true
+}
+
 // Get returns the cached document for key if present and fresh. Expired
 // entries miss; they are evicted immediately unless a stale-retention
 // window (SetStaleFor) keeps them reachable through GetStale.

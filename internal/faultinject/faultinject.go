@@ -94,6 +94,12 @@ type Injector struct {
 	rng   *rand.Rand
 	rules map[string]*Rule
 	stats map[string]*Stats
+	// partA/partB hold the two halves of an active network partition
+	// (host:port sets); nil when the network is whole. Partition decisions
+	// need the request's SOURCE as well as its destination, which is why
+	// per-site clients wrap with WrapSource.
+	partA map[string]bool
+	partB map[string]bool
 }
 
 // New creates an injector whose probabilistic decisions derive from seed.
@@ -135,6 +141,50 @@ func (in *Injector) Clear() {
 	in.rules = make(map[string]*Rule)
 }
 
+// Partition splits the network into two halves: every request whose source
+// is in one half and whose destination is in the other is dropped, in both
+// directions, while traffic within a half flows normally. groupA and
+// groupB are host:port sets; a source not in either half (e.g. an
+// out-of-band admin client wrapped without a source) is unaffected.
+// Partition replaces any previous partition; it composes with per-dest
+// rules, which still apply to traffic the partition lets through.
+func (in *Injector) Partition(groupA, groupB []string) {
+	a := make(map[string]bool, len(groupA))
+	for _, h := range groupA {
+		a[h] = true
+	}
+	b := make(map[string]bool, len(groupB))
+	for _, h := range groupB {
+		b[h] = true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.partA, in.partB = a, b
+}
+
+// Heal removes the active partition; cross-half traffic flows again.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.partA, in.partB = nil, nil
+}
+
+// Partitioned reports whether a source→dest request would currently be
+// severed by the active partition.
+func (in *Injector) Partitioned(source, dest string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.severed(source, dest)
+}
+
+// severed is Partitioned without locking; callers hold in.mu.
+func (in *Injector) severed(source, dest string) bool {
+	if in.partA == nil || source == "" {
+		return false
+	}
+	return (in.partA[source] && in.partB[dest]) || (in.partB[source] && in.partA[dest])
+}
+
 // Stats returns a snapshot of dest's outcome counters.
 func (in *Injector) Stats(dest string) Stats {
 	in.mu.Lock()
@@ -146,14 +196,20 @@ func (in *Injector) Stats(dest string) Stats {
 }
 
 // decide resolves one request's fate, consuming an RNG draw only for
-// probabilistic rules and counting down Remaining.
-func (in *Injector) decide(dest string) (Mode, time.Duration) {
+// probabilistic rules and counting down Remaining. source is the caller's
+// own host:port ("" for clients wrapped without a source identity) and
+// matters only to partitions.
+func (in *Injector) decide(source, dest string) (Mode, time.Duration) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	st := in.stats[dest]
 	if st == nil {
 		st = &Stats{}
 		in.stats[dest] = st
+	}
+	if in.severed(source, dest) {
+		st.Dropped++
+		return Drop, 0
 	}
 	key := dest
 	r := in.rules[key]
@@ -187,24 +243,41 @@ func (in *Injector) decide(dest string) (Mode, time.Duration) {
 }
 
 // Wrap layers the injector over an http.RoundTripper; pass the result to
-// the transport client's WrapTransport.
+// the transport client's WrapTransport. Requests wrapped this way have no
+// source identity, so partitions never sever them (admin clients see the
+// whole VO); use WrapSource for clients that live on a site.
 func (in *Injector) Wrap(base http.RoundTripper) http.RoundTripper {
+	return in.wrap("", base)
+}
+
+// WrapSource returns a WrapTransport-compatible wrapper whose requests
+// carry the given source host:port, so symmetric Partition rules can
+// decide based on which side of the split the CALLER is on, not only the
+// destination.
+func (in *Injector) WrapSource(source string) func(http.RoundTripper) http.RoundTripper {
+	return func(base http.RoundTripper) http.RoundTripper {
+		return in.wrap(source, base)
+	}
+}
+
+func (in *Injector) wrap(source string, base http.RoundTripper) http.RoundTripper {
 	if base == nil {
 		base = http.DefaultTransport
 	}
-	return &roundTripper{in: in, base: base}
+	return &roundTripper{in: in, source: source, base: base}
 }
 
 type roundTripper struct {
-	in   *Injector
-	base http.RoundTripper
+	in     *Injector
+	source string
+	base   http.RoundTripper
 }
 
 // RoundTrip applies the destination's rule before (or instead of) the
 // real exchange.
 func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 	dest := req.URL.Host
-	mode, delay := rt.in.decide(dest)
+	mode, delay := rt.in.decide(rt.source, dest)
 	switch mode {
 	case Drop:
 		return nil, &Error{Dest: dest, Mode: Drop}

@@ -18,6 +18,9 @@ type MonitorIntervals struct {
 	IndexProbe   time.Duration
 	StatusCheck  time.Duration
 	PeerLiveness time.Duration
+	// RegistrySync paces the anti-entropy reconciler (SyncRegistries);
+	// only super-peers act on it.
+	RegistrySync time.Duration
 }
 
 // DefaultIntervals suits interactive use; tests call the single-pass
@@ -28,6 +31,7 @@ func DefaultIntervals() MonitorIntervals {
 		IndexProbe:   3 * time.Second,
 		StatusCheck:  5 * time.Second,
 		PeerLiveness: 2 * time.Second,
+		RegistrySync: 5 * time.Second,
 	}
 }
 
@@ -46,6 +50,13 @@ func (s *Service) StartMonitors(iv MonitorIntervals) {
 	}
 	if iv.PeerLiveness > 0 && s.agent != nil {
 		s.agent.StartMonitor(iv.PeerLiveness, s.stop)
+	}
+	if iv.RegistrySync > 0 && s.agent != nil {
+		go s.loop(iv.RegistrySync, func() {
+			if s.agent.Role() == superpeer.RoleSuperPeer {
+				s.SyncRegistries()
+			}
+		})
 	}
 }
 

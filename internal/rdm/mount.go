@@ -162,6 +162,11 @@ func (s *Service) Mount(srv *transport.Server) {
 			}
 			return deploymentList(sortedDeployments(merged)), nil
 		},
+		"RegistryDigest": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
+			// Anti-entropy: the caller reconciles against this site's
+			// (name → LastUpdateTime) registry summary.
+			return s.RegistryDigest(), nil
+		},
 		"SiteAttrs": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
 			a := s.site.Attrs
 			n := xmlutil.NewNode("Attrs")

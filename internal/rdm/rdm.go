@@ -134,6 +134,9 @@ type Service struct {
 	// degraded counts resolutions that ran with part of the VO
 	// unreachable (the result set may be incomplete or stale).
 	degraded *telemetry.Counter
+	// syncPulled counts registry entries pulled by anti-entropy passes
+	// (glare_sync_entries_pulled_total).
+	syncPulled *telemetry.Counter
 
 	deployFiles func(url string) (*deployfile.Build, error)
 	costs       DeployCosts
@@ -241,6 +244,7 @@ func New(cfg Config) (*Service, error) {
 		s.depCache.InstrumentStale(tel.Counter("glare_rdm_cache_stale_served_total", telemetry.L("cache", "deps")))
 	}
 	s.degraded = tel.Counter("glare_rdm_resolve_degraded_total")
+	s.syncPulled = tel.Counter("glare_sync_entries_pulled_total")
 	// Expiry cascade: destroying a type expires its deployments (§3.3).
 	s.ATR.OnRemove(func(typeName string) {
 		s.ADR.ExpireByType(typeName)

@@ -45,11 +45,16 @@ type Agent struct {
 	pingTimeout time.Duration
 
 	// Overlay instrumentation; nil (no-op) until SetTelemetry is called.
-	tel        *telemetry.Telemetry
-	elections  *telemetry.Counter
-	heartbeats *telemetry.Counter
-	recoveries *telemetry.Counter
-	takeovers  *telemetry.Counter
+	tel            *telemetry.Telemetry
+	elections      *telemetry.Counter
+	heartbeats     *telemetry.Counter
+	recoveries     *telemetry.Counter
+	takeovers      *telemetry.Counter
+	abdications    *telemetry.Counter
+	propagateFails *telemetry.Counter
+	staleRejects   *telemetry.Counter
+	rivals         *telemetry.Counter
+	epochGauge     *telemetry.Gauge
 
 	mu   sync.Mutex
 	role Role
@@ -59,6 +64,11 @@ type Agent struct {
 	// notifications from multiple indices.
 	bestCommunity int
 	onViewChange  []func(View)
+	// suspicion counts consecutive missed super-peer probes; recovery
+	// starts only once it reaches suspicionK, so one dropped packet under
+	// chaos does not trigger an election storm.
+	suspicion  int
+	suspicionK int
 }
 
 // DefaultPingTimeout bounds one liveness probe. Failure detection must be
@@ -67,12 +77,29 @@ type Agent struct {
 // normal call.
 const DefaultPingTimeout = 1 * time.Second
 
+// DefaultSuspicionThreshold is how many consecutive missed probes declare
+// the super-peer dead.
+const DefaultSuspicionThreshold = 2
+
 // NewAgent creates an overlay agent for a site.
 func NewAgent(self SiteInfo, client *transport.Client, broker *wsrf.Broker) *Agent {
 	if broker == nil {
 		broker = wsrf.NewBroker(nil)
 	}
-	return &Agent{self: self, client: client, broker: broker, pingTimeout: DefaultPingTimeout}
+	return &Agent{self: self, client: client, broker: broker,
+		pingTimeout: DefaultPingTimeout, suspicionK: DefaultSuspicionThreshold}
+}
+
+// SetSuspicionThreshold overrides how many consecutive missed probes
+// DetectAndRecover needs before initiating recovery (k <= 0 restores the
+// default). Call during site assembly, before monitors start.
+func (a *Agent) SetSuspicionThreshold(k int) {
+	if k <= 0 {
+		k = DefaultSuspicionThreshold
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.suspicionK = k
 }
 
 // SetPingTimeout overrides the liveness-probe timeout (d <= 0 restores
@@ -95,6 +122,11 @@ func (a *Agent) SetTelemetry(tel *telemetry.Telemetry) {
 	a.heartbeats = tel.Counter("glare_superpeer_heartbeats_total")
 	a.recoveries = tel.Counter("glare_superpeer_recoveries_total")
 	a.takeovers = tel.Counter("glare_superpeer_takeovers_total")
+	a.abdications = tel.Counter("glare_superpeer_abdications_total")
+	a.propagateFails = tel.Counter("glare_superpeer_view_propagate_failures_total")
+	a.staleRejects = tel.Counter("glare_superpeer_stale_view_rejected_total")
+	a.rivals = tel.Counter("glare_superpeer_rivals_detected_total")
+	a.epochGauge = tel.Gauge("glare_superpeer_epoch")
 }
 
 // Role returns the current overlay role.
@@ -118,20 +150,36 @@ func (a *Agent) OnViewChange(fn func(View)) {
 	a.onViewChange = append(a.onViewChange, fn)
 }
 
-func (a *Agent) setView(v View) {
+// setView installs a view behind the epoch fence: a view that compares
+// strictly older than the current one (by epoch, then super-peer rank and
+// name) is rejected, so a partitioned-away coordinator cannot roll the
+// overlay back. Returns whether the view was installed.
+func (a *Agent) setView(v View) bool {
 	a.mu.Lock()
+	if !a.view.SuperPeer.IsZero() && v.OlderThan(a.view) {
+		a.mu.Unlock()
+		a.staleRejects.Inc()
+		return false
+	}
+	wasSuper := a.role == RoleSuperPeer
 	a.view = v
 	if v.SuperPeer.Name == a.self.Name {
 		a.role = RoleSuperPeer
 	} else {
 		a.role = RoleMember
 	}
+	if wasSuper && a.role != RoleSuperPeer {
+		a.abdications.Inc()
+	}
+	a.suspicion = 0
 	callbacks := append([]func(View){}, a.onViewChange...)
 	a.mu.Unlock()
+	a.epochGauge.Set(int64(v.Epoch))
 	for _, fn := range callbacks {
 		fn(v.Clone())
 	}
 	a.broker.Publish(wsrf.TopicElection, a.self.Name, v.ToXML())
+	return true
 }
 
 // Mount exposes the PeerService operations.
@@ -149,6 +197,8 @@ func (a *Agent) Mount(srv *transport.Server) {
 		"CandidateNotify": a.handleCandidateNotify,
 		"VerifyRequest":   a.handleVerifyRequest,
 		"Takeover":        a.handleTakeover,
+		"ViewStatus":      a.handleViewStatus,
+		"Rejoin":          a.handleRejoin,
 	})
 }
 
@@ -170,7 +220,13 @@ func (a *Agent) handleElectNotify(body *xmlutil.Node) (*xmlutil.Node, error) {
 		}
 		return xmlutil.NewNode("Noted"), nil
 	}
-	// Second round: acknowledge only the chosen community.
+	// Second round: acknowledge only the chosen community, and only a
+	// coordinator whose election would move our view forward — a
+	// coordinator re-emerging from the stale side of a partition carries
+	// an epoch at or below the one we already hold.
+	if ep, err := strconv.ParseUint(body.AttrOr("epoch", "0"), 10, 64); err == nil && ep > 0 && ep <= a.view.Epoch {
+		return nil, fmt.Errorf("ElectNotify: stale election epoch %d (local view at %d)", ep, a.view.Epoch)
+	}
 	if a.bestCommunity != 0 && strength > a.bestCommunity {
 		return nil, fmt.Errorf("ElectNotify: already committed to community of %d sites", a.bestCommunity)
 	}
@@ -188,7 +244,9 @@ func (a *Agent) handleGroupAssign(body *xmlutil.Node) (*xmlutil.Node, error) {
 	if !v.Member(a.self.Name) {
 		return nil, fmt.Errorf("GroupAssign: %s is not in the assigned group", a.self.Name)
 	}
-	a.setView(v)
+	if !a.setView(v) {
+		return nil, fmt.Errorf("GroupAssign: view (epoch %d) is older than the installed one", v.Epoch)
+	}
 	return xmlutil.NewNode("Assigned"), nil
 }
 
@@ -232,16 +290,21 @@ func (a *Agent) Coordinate(sites []SiteInfo, cfg CoordinatorConfig) (views map[s
 		cfg.GroupSize = DefaultGroupSize
 	}
 	a.elections.Inc()
+	// Every election moves the overlay one epoch forward; sites that end
+	// up on the stale side of a partition keep the old epoch and are
+	// fenced out when they try to push their view after the heal.
+	epoch := a.View().Epoch + 1
 	// One span covers the whole election round; its correlation ID rides
 	// every notification, so /tracez on the member sites links back here.
 	sp := a.tel.StartSpan("superpeer.Coordinate", nil)
-	sp.SetNote(fmt.Sprintf("community=%d", len(sites)))
+	sp.SetNote(fmt.Sprintf("community=%d epoch=%d", len(sites), epoch))
 	defer func() { sp.End(err) }()
 	// Round 1: informational notification carrying community strength.
 	note := xmlutil.NewNode("Election")
 	note.SetAttr("round", "1")
 	note.SetAttr("communitySize", strconv.Itoa(len(sites)))
 	note.SetAttr("coordinator", a.self.Name)
+	note.SetAttr("epoch", strconv.FormatUint(epoch, 10))
 	for _, s := range sites {
 		if s.Name == a.self.Name {
 			continue
@@ -267,6 +330,10 @@ func (a *Agent) Coordinate(sites []SiteInfo, cfg CoordinatorConfig) (views map[s
 		return nil, fmt.Errorf("superpeer: no site acknowledged the election")
 	}
 	views = PartitionGroups(responding, cfg.GroupSize)
+	for name, v := range views {
+		v.Epoch = epoch
+		views[name] = v
+	}
 	// Distribute assignments; the coordinator applies its own locally.
 	for name, v := range views {
 		if name == a.self.Name {
@@ -348,6 +415,12 @@ func (a *Agent) handleVerifyRequest(body *xmlutil.Node) (*xmlutil.Node, error) {
 	if body.AttrOr("down", "") != view.SuperPeer.Name {
 		return nil, fmt.Errorf("VerifyRequest: %q is not my super-peer", body.AttrOr("down", ""))
 	}
+	// A candidate arguing from an older view (it missed an election or a
+	// takeover we already installed) must first catch up; acknowledging it
+	// would let the stale side of a partition rebuild itself.
+	if ep, err := strconv.ParseUint(body.AttrOr("epoch", "0"), 10, 64); err == nil && ep < view.Epoch {
+		return nil, fmt.Errorf("VerifyRequest: candidate view epoch %d is behind %d", ep, view.Epoch)
+	}
 	// Verify the super-peer really is unreachable.
 	if a.Ping(view.SuperPeer) {
 		return nil, fmt.Errorf("VerifyRequest: super-peer %s is alive", view.SuperPeer.Name)
@@ -375,20 +448,78 @@ func (a *Agent) handleTakeover(body *xmlutil.Node) (*xmlutil.Node, error) {
 	if !v.Member(a.self.Name) {
 		return nil, fmt.Errorf("Takeover: not my group")
 	}
-	a.setView(v)
+	if !a.setView(v) {
+		return nil, fmt.Errorf("Takeover: view (epoch %d) is older than the installed one", v.Epoch)
+	}
 	return xmlutil.NewNode("Accepted"), nil
 }
 
-// DetectAndRecover is the member-side failure path: if the super-peer does
-// not answer, compute the ranks of the surviving members, notify the
-// highest-ranked one (or run the takeover directly if that is us). It
-// reports whether recovery was initiated.
+// handleViewStatus reports this agent's current view, role and epoch. It
+// is the probe behind split-brain detection (CheckRivals) and the
+// `glarectl status` operator view.
+func (a *Agent) handleViewStatus(*xmlutil.Node) (*xmlutil.Node, error) {
+	a.mu.Lock()
+	v := a.view.Clone()
+	role := a.role
+	a.mu.Unlock()
+	n := v.ToXML()
+	n.SetAttr("role", role.String())
+	n.SetAttr("name", a.self.Name)
+	return n, nil
+}
+
+// handleRejoin is the winning side of a split-brain heal: a rival
+// super-peer discovered us at a higher (epoch, rank) and abdicates,
+// handing over its last view. We merge the two groups, bump the epoch past
+// both sides and broadcast the merged view — which the abdicating
+// super-peer and its members accept because it out-fences theirs.
+func (a *Agent) handleRejoin(body *xmlutil.Node) (*xmlutil.Node, error) {
+	loser, err := ViewFromXML(body)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	role := a.role
+	cur := a.view.Clone()
+	a.mu.Unlock()
+	if role != RoleSuperPeer {
+		return nil, fmt.Errorf("Rejoin: %s is not a super-peer", a.self.Name)
+	}
+	merged := MergeViews(cur, loser)
+	if !a.setView(merged) {
+		return nil, fmt.Errorf("Rejoin: merged view lost against a newer install")
+	}
+	a.broadcastView(merged)
+	resp := xmlutil.NewNode("Merged")
+	resp.SetAttr("epoch", strconv.FormatUint(merged.Epoch, 10))
+	return resp, nil
+}
+
+// DetectAndRecover is the member-side failure path: if the super-peer has
+// missed suspicionK consecutive probes, compute the ranks of the surviving
+// members and notify the highest-ranked *reachable* one (or run the
+// takeover directly if that is us). It reports whether recovery was
+// initiated; below the suspicion threshold a missed probe only raises
+// suspicion.
 func (a *Agent) DetectAndRecover() (bool, error) {
 	view := a.View()
 	if view.SuperPeer.IsZero() || view.SuperPeer.Name == a.self.Name {
 		return false, nil
 	}
 	if a.Ping(view.SuperPeer) {
+		a.mu.Lock()
+		a.suspicion = 0
+		a.mu.Unlock()
+		return false, nil
+	}
+	a.mu.Lock()
+	a.suspicion++
+	tripped := a.suspicion >= a.suspicionK
+	if tripped {
+		a.suspicion = 0
+	}
+	a.mu.Unlock()
+	if !tripped {
 		return false, nil
 	}
 	survivors := make([]SiteInfo, 0, len(view.Group))
@@ -402,16 +533,20 @@ func (a *Agent) DetectAndRecover() (bool, error) {
 		return false, fmt.Errorf("superpeer: no survivors in group")
 	}
 	a.recoveries.Inc()
-	highest := ranked[0]
-	if highest.Name == a.self.Name {
-		return true, a.RunTakeover(view.SuperPeer.Name)
-	}
+	// Walk the ranking and hand the candidacy to the first survivor that
+	// answers: under a partition the globally highest-ranked member may be
+	// on the other side, and recovery must make do with who is reachable.
 	note := xmlutil.NewNode("SuperPeerDown")
 	note.SetAttr("down", view.SuperPeer.Name)
-	if _, err := a.client.Call(highest.PeerURL(), "CandidateNotify", note); err != nil {
-		return false, fmt.Errorf("superpeer: notifying candidate %s: %w", highest.Name, err)
+	for _, s := range ranked {
+		if s.Name == a.self.Name {
+			return true, a.RunTakeover(view.SuperPeer.Name)
+		}
+		if _, err := a.client.Call(s.PeerURL(), "CandidateNotify", note.Clone()); err == nil {
+			return true, nil
+		}
 	}
-	return true, nil
+	return false, fmt.Errorf("superpeer: no reachable takeover candidate in group")
 }
 
 // RunTakeover is the candidate-side protocol: (a) verify the super-peer is
@@ -431,15 +566,30 @@ func (a *Agent) RunTakeover(downName string) error {
 			survivors = append(survivors, s)
 		}
 	}
+	// We may proceed only if every survivor ranked above us is itself
+	// unreachable — the same reachability rule the members apply when
+	// verifying. Under a partition this lets the best-ranked member of
+	// each side stand, and the epoch fence arbitrates after the heal.
 	ranked := RankSites(survivors)
-	if len(ranked) == 0 || ranked[0].Name != a.self.Name {
-		return fmt.Errorf("superpeer: %s is not the highest-ranked survivor", a.self.Name)
+	eligible := false
+	for _, s := range ranked {
+		if s.Name == a.self.Name {
+			eligible = true
+			break
+		}
+		if a.Ping(s) {
+			return fmt.Errorf("superpeer: %s outranks %s and is alive", s.Name, a.self.Name)
+		}
+	}
+	if !eligible {
+		return fmt.Errorf("superpeer: %s is not in the surviving group", a.self.Name)
 	}
 	// Collect verification acks from the other members.
 	req := xmlutil.NewNode("Verify")
 	req.SetAttr("down", downName)
 	req.SetAttr("candidate", a.self.Name)
 	req.SetAttr("rank", strconv.FormatUint(a.self.Rank, 10))
+	req.SetAttr("epoch", strconv.FormatUint(view.Epoch, 10))
 	acks := 1 // our own vote
 	for _, s := range survivors {
 		if s.Name == a.self.Name {
@@ -463,20 +613,98 @@ func (a *Agent) RunTakeover(downName string) error {
 			newSupers = append(newSupers, s)
 		}
 	}
-	newView := View{Group: survivors, SuperPeer: a.self, SuperPeers: newSupers}
+	newView := View{Epoch: view.Epoch + 1, Group: survivors, SuperPeer: a.self, SuperPeers: newSupers}
 	a.takeovers.Inc()
-	a.setView(newView)
-	for _, s := range survivors {
-		if s.Name == a.self.Name {
-			continue
-		}
-		_, _ = a.client.Call(s.PeerURL(), "Takeover", newView.ToXML())
+	if !a.setView(newView) {
+		return fmt.Errorf("superpeer: takeover view lost against a newer install")
 	}
+	a.broadcastView(newView)
 	return nil
 }
 
-// StartMonitor launches periodic super-peer liveness checks until stop is
-// closed. interval is real time.
+// broadcastView pushes an installed view to every other group member,
+// retrying each failed send once. Failures are counted in
+// glare_superpeer_view_propagate_failures_total (per attempt), so members
+// that silently missed a view change are at least observable.
+func (a *Agent) broadcastView(v View) {
+	for _, s := range v.Group {
+		if s.Name == a.self.Name {
+			continue
+		}
+		if _, err := a.client.Call(s.PeerURL(), "Takeover", v.ToXML()); err == nil {
+			continue
+		}
+		a.propagateFails.Inc()
+		if _, err := a.client.Call(s.PeerURL(), "Takeover", v.ToXML()); err != nil {
+			a.propagateFails.Inc()
+		}
+	}
+}
+
+// CheckRivals is the super-peer-side split-brain probe: ask every site in
+// our view (group members and fellow super-peers) for its ViewStatus; if
+// any of them follows a *different* super-peer for an overlapping group,
+// one of the two reigns must end. The loser by (epoch, rank, name)
+// abdicates: if that is us, we hand our view to the winner's Rejoin and
+// step down when its merged broadcast arrives; if that is them, we merge
+// their group into ours and broadcast. Reports whether a heal happened.
+func (a *Agent) CheckRivals() (bool, error) {
+	if a.Role() != RoleSuperPeer || a.client == nil {
+		return false, nil
+	}
+	view := a.View()
+	probed := map[string]bool{a.self.Name: true}
+	for _, s := range append(append([]SiteInfo(nil), view.Group...), view.SuperPeers...) {
+		if probed[s.Name] {
+			continue
+		}
+		probed[s.Name] = true
+		resp, err := a.client.Probe(s.PeerURL(), "ViewStatus", nil, a.pingTimeout)
+		if err != nil || resp == nil || resp.AttrOr("superPeer", "") == "" {
+			continue
+		}
+		rv, err := ViewFromXML(resp)
+		if err != nil || rv.SuperPeer.Name == a.self.Name {
+			continue
+		}
+		// A different super-peer is only a rival if our groups overlap;
+		// disjoint groups are just the normal multi-group overlay.
+		overlap := false
+		for _, m := range rv.Group {
+			if view.Member(m.Name) {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			continue
+		}
+		a.rivals.Inc()
+		if view.OlderThan(rv) {
+			// They out-fence us: abdicate by asking their super-peer to
+			// absorb our group. Our own step-down happens when the merged
+			// view is broadcast back to us.
+			if _, err := a.client.Call(rv.SuperPeer.PeerURL(), "Rejoin", view.ToXML()); err != nil {
+				return false, fmt.Errorf("superpeer: rejoining %s: %w", rv.SuperPeer.Name, err)
+			}
+			return true, nil
+		}
+		// We out-fence them: absorb their group and broadcast, which
+		// forces the rival super-peer down via the epoch fence.
+		merged := MergeViews(view, rv)
+		if !a.setView(merged) {
+			return false, fmt.Errorf("superpeer: merged view lost against a newer install")
+		}
+		a.broadcastView(merged)
+		return true, nil
+	}
+	return false, nil
+}
+
+// StartMonitor launches periodic overlay maintenance until stop is closed:
+// members probe their super-peer's liveness (DetectAndRecover), while
+// super-peers probe for rival reigns left behind by a healed partition
+// (CheckRivals). interval is real time.
 func (a *Agent) StartMonitor(interval time.Duration, stop <-chan struct{}) {
 	go func() {
 		t := time.NewTicker(interval)
@@ -486,7 +714,11 @@ func (a *Agent) StartMonitor(interval time.Duration, stop <-chan struct{}) {
 			case <-stop:
 				return
 			case <-t.C:
-				_, _ = a.DetectAndRecover()
+				if a.Role() == RoleSuperPeer {
+					_, _ = a.CheckRivals()
+				} else {
+					_, _ = a.DetectAndRecover()
+				}
 			}
 		}
 	}()

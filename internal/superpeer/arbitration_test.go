@@ -77,16 +77,23 @@ func TestRepeatedFailover(t *testing.T) {
 		}
 	}
 
-	kill("site04")
-	if _, err := h.agents[survivorIdx].DetectAndRecover(); err != nil {
-		t.Fatal(err)
+	// Each detection needs DefaultSuspicionThreshold consecutive missed
+	// probes before it initiates recovery.
+	detect := func() {
+		t.Helper()
+		for i := 0; i < DefaultSuspicionThreshold; i++ {
+			if _, err := h.agents[survivorIdx].DetectAndRecover(); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
+
+	kill("site04")
+	detect()
 	waitSP("site03")
 
 	kill("site03")
-	if _, err := h.agents[survivorIdx].DetectAndRecover(); err != nil {
-		t.Fatal(err)
-	}
+	detect()
 	waitSP("site02")
 
 	// The twice-rebuilt group no longer contains either corpse.

@@ -62,6 +62,12 @@ func SiteInfoFromXML(n *xmlutil.Node) (SiteInfo, error) {
 
 // View is a site's knowledge of the overlay.
 type View struct {
+	// Epoch is the view's fencing token: every election, takeover or
+	// split-brain merge installs views with a strictly higher epoch, and
+	// agents reject installs that would move their view backwards. A
+	// super-peer that was partitioned away keeps broadcasting its old
+	// epoch and is fenced out instead of overwriting the fresh side.
+	Epoch uint64
 	// Group lists the members of this site's peer group, including the
 	// super-peer and the site itself.
 	Group []SiteInfo
@@ -74,10 +80,75 @@ type View struct {
 // Clone deep-copies the view.
 func (v View) Clone() View {
 	return View{
+		Epoch:      v.Epoch,
 		Group:      append([]SiteInfo(nil), v.Group...),
 		SuperPeer:  v.SuperPeer,
 		SuperPeers: append([]SiteInfo(nil), v.SuperPeers...),
 	}
+}
+
+// Compare totally orders views by (Epoch, SuperPeer.Rank, SuperPeer.Name):
+// a higher epoch always wins; equal epochs (two candidates racing the same
+// takeover) are arbitrated by super-peer rank, then name, so every agent
+// picks the same winner without another message round. Returns -1, 0 or 1.
+func (v View) Compare(o View) int {
+	switch {
+	case v.Epoch != o.Epoch:
+		if v.Epoch < o.Epoch {
+			return -1
+		}
+		return 1
+	case v.SuperPeer.Rank != o.SuperPeer.Rank:
+		if v.SuperPeer.Rank < o.SuperPeer.Rank {
+			return -1
+		}
+		return 1
+	case v.SuperPeer.Name != o.SuperPeer.Name:
+		// Mirror RankSites: on equal rank the smaller name wins.
+		if v.SuperPeer.Name > o.SuperPeer.Name {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// OlderThan reports whether v loses against o under the epoch fence.
+func (v View) OlderThan(o View) bool { return v.Compare(o) < 0 }
+
+// MergeViews folds an abdicating super-peer's view into the winner's: the
+// groups are unioned, the super-group keeps every known super-peer except
+// the loser, and the merged epoch moves past both sides so it installs
+// everywhere. winner.SuperPeer stays in charge.
+func MergeViews(winner, loser View) View {
+	group := append([]SiteInfo(nil), winner.Group...)
+	seen := map[string]bool{}
+	for _, s := range group {
+		seen[s.Name] = true
+	}
+	for _, s := range loser.Group {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			group = append(group, s)
+		}
+	}
+	supers := []SiteInfo{}
+	seenSP := map[string]bool{}
+	for _, s := range append(append([]SiteInfo(nil), winner.SuperPeers...), loser.SuperPeers...) {
+		if s.Name == loser.SuperPeer.Name || seenSP[s.Name] {
+			continue
+		}
+		seenSP[s.Name] = true
+		supers = append(supers, s)
+	}
+	if !seenSP[winner.SuperPeer.Name] {
+		supers = append(supers, winner.SuperPeer)
+	}
+	epoch := winner.Epoch
+	if loser.Epoch > epoch {
+		epoch = loser.Epoch
+	}
+	return View{Epoch: epoch + 1, Group: RankSites(group), SuperPeer: winner.SuperPeer, SuperPeers: RankSites(supers)}
 }
 
 // Peers returns the group members excluding the named site.
@@ -104,6 +175,7 @@ func (v View) Member(name string) bool {
 // ToXML renders a group-assignment message.
 func (v View) ToXML() *xmlutil.Node {
 	n := xmlutil.NewNode("Group")
+	n.SetAttr("epoch", strconv.FormatUint(v.Epoch, 10))
 	n.SetAttr("superPeer", v.SuperPeer.Name)
 	n.SetAttr("superPeerURL", v.SuperPeer.BaseURL)
 	for _, s := range v.Group {
@@ -122,6 +194,7 @@ func ViewFromXML(n *xmlutil.Node) (View, error) {
 		return View{}, fmt.Errorf("superpeer: expected <Group>")
 	}
 	var v View
+	v.Epoch, _ = strconv.ParseUint(n.AttrOr("epoch", "0"), 10, 64)
 	for _, c := range n.All("Site") {
 		s, err := SiteInfoFromXML(c)
 		if err != nil {

@@ -208,8 +208,16 @@ func TestFailureDetectionAndReelection(t *testing.T) {
 	// Kill the super-peer.
 	h.servers[3].Close()
 	// A low-ranked member detects the failure; site02 (next-highest) must
-	// take over after majority verification.
+	// take over after majority verification. The first missed probe only
+	// raises suspicion — recovery waits for the threshold.
 	initiated, err := h.agents[0].DetectAndRecover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initiated {
+		t.Fatal("recovery initiated on a single missed probe")
+	}
+	initiated, err = h.agents[0].DetectAndRecover()
 	if err != nil {
 		t.Fatal(err)
 	}

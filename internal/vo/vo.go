@@ -12,6 +12,7 @@ package vo
 import (
 	"crypto/tls"
 	"fmt"
+	"net/url"
 	"time"
 
 	"glare/internal/cog"
@@ -142,7 +143,7 @@ func Build(opts Options) (*VO, error) {
 		}
 		v.CA = ca
 	}
-	v.Client = v.newClient(opts, nil)
+	v.Client = v.newClient(opts, nil, "")
 
 	for i := 0; i < opts.Sites; i++ {
 		node, err := v.buildNode(i, opts)
@@ -169,8 +170,10 @@ func Build(opts Options) (*VO, error) {
 // newClient assembles one fault-tolerant transport client: retries with
 // backoff, a shared retry budget, per-destination circuit breakers, and
 // — when chaos is armed — the VO's fault injector. tel may be nil for
-// the VO-wide admin client.
-func (v *VO) newClient(opts Options, tel *telemetry.Telemetry) *transport.Client {
+// the VO-wide admin client, whose source is "" so it is never caught in a
+// simulated network partition; per-site clients carry their own host:port
+// as source (see buildNode) and land on one side of the split.
+func (v *VO) newClient(opts Options, tel *telemetry.Telemetry, source string) *transport.Client {
 	var tlsConf *tls.Config
 	if v.CA != nil {
 		tlsConf = v.CA.ClientConfig()
@@ -191,9 +194,18 @@ func (v *VO) newClient(opts Options, tel *telemetry.Telemetry) *transport.Client
 		c.SetTelemetry(tel)
 	}
 	if v.Chaos != nil {
-		c.WrapTransport(v.Chaos.Wrap)
+		c.WrapTransport(v.Chaos.WrapSource(source))
 	}
 	return c
+}
+
+// hostOf extracts the host:port chaos-partition key from a base URL.
+func hostOf(baseURL string) string {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return ""
+	}
+	return u.Host
 }
 
 func (v *VO) buildNode(i int, opts Options) (*Node, error) {
@@ -215,7 +227,7 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 	}
 	info := superpeer.SiteInfo{Name: attrs.Name, Rank: attrs.Rank(), BaseURL: srv.BaseURL()}
 	tel := telemetry.New(attrs.Name)
-	cli := v.newClient(opts, tel)
+	cli := v.newClient(opts, tel, hostOf(srv.BaseURL()))
 	agent := superpeer.NewAgent(info, cli, nil)
 
 	kind := mds.DefaultIndex

@@ -241,8 +241,10 @@ func TestSuperPeerFailover(t *testing.T) {
 			break
 		}
 	}
-	if _, err := member.RDM.Agent().DetectAndRecover(); err != nil {
-		t.Fatal(err)
+	for i := 0; i < superpeer.DefaultSuspicionThreshold; i++ {
+		if _, err := member.RDM.Agent().DetectAndRecover(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	// Eventually a new super-peer reigns.
 	deadline := time.After(5 * time.Second)
