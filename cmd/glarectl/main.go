@@ -88,6 +88,11 @@ func main() {
 		err = metricsCmd(cli, siteBase, args[1:])
 	case "status":
 		err = statusCmd(cli, siteBase)
+	case "store":
+		if arg(args, 1) != "status" {
+			usage()
+		}
+		err = storeStatusCmd(cli, siteBase)
 	default:
 		usage()
 	}
@@ -124,7 +129,10 @@ commands:
   status                             probe every community site's overlay
                                      view: role, epoch and super-peer per
                                      site (split brains show up as rows
-                                     disagreeing on the super-peer)`)
+                                     disagreeing on the super-peer)
+  store status                       probe every community site's durable
+                                     registry store: WAL segments, live and
+                                     snapshot record counts, snapshot age`)
 	os.Exit(2)
 }
 
@@ -349,6 +357,55 @@ func statusCmd(cli *transport.Client, siteBase string) error {
 		}
 		fmt.Printf("%-*s  %-10s  %5s  %s\n", wide, s.Name,
 			resp.AttrOr("role", "?"), resp.AttrOr("epoch", "?"), superPeer)
+	}
+	return nil
+}
+
+// storeStatusCmd probes the durable registry store of every site
+// registered in the community index and prints one row per site: WAL
+// segment count, live and snapshot record counts and the snapshot's age.
+// Memory-only sites show as "off"; unreachable sites as "-".
+func storeStatusCmd(cli *transport.Client, siteBase string) error {
+	sites := communitySites(cli, siteBase)
+	if len(sites) == 0 {
+		sites = []superpeer.SiteInfo{{Name: siteBase, BaseURL: siteBase}}
+	}
+	wide := len("SITE")
+	for _, s := range sites {
+		if len(s.Name) > wide {
+			wide = len(s.Name)
+		}
+	}
+	fmt.Printf("%-*s  %8s  %7s  %9s  %8s  %8s  %s\n", wide,
+		"SITE", "SEGMENTS", "LASTSEQ", "LIVE-RECS", "SNAP-RECS", "SNAP-AGE", "NOTES")
+	for _, s := range sites {
+		resp, err := cli.Call(s.ServiceURL(rdm.ServiceName), "StoreStatus", nil)
+		if err != nil {
+			fmt.Printf("%-*s  %8s  %7s  %9s  %8s  %8s  %s\n", wide, s.Name,
+				"-", "-", "-", "-", "-", err.Error())
+			continue
+		}
+		if resp.AttrOr("enabled", "false") != "true" {
+			fmt.Printf("%-*s  %8s  %7s  %9s  %8s  %8s  %s\n", wide, s.Name,
+				"off", "-", "-", "-", "-", "memory-only")
+			continue
+		}
+		snapRecs, snapAge := "-", "-"
+		if resp.AttrOr("snapshot", "false") == "true" {
+			snapRecs = resp.AttrOr("snapshotRecords", "?")
+			snapAge = resp.AttrOr("snapshotAgeSeconds", "?") + "s"
+		}
+		notes := fmt.Sprintf("replayed %s rec(s) in %sms",
+			resp.AttrOr("replayRecords", "0"), resp.AttrOr("replayMs", "0"))
+		if tb := resp.AttrOr("truncatedBytes", "0"); tb != "0" {
+			notes += ", truncated " + tb + "B"
+		}
+		if e := resp.AttrOr("err", ""); e != "" {
+			notes += ", ERR: " + e
+		}
+		fmt.Printf("%-*s  %8s  %7s  %9s  %8s  %8s  %s\n", wide, s.Name,
+			resp.AttrOr("segments", "?"), resp.AttrOr("lastSeq", "?"),
+			resp.AttrOr("liveRecords", "?"), snapRecs, snapAge, notes)
 	}
 	return nil
 }

@@ -19,12 +19,14 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"glare/internal/epr"
 	"glare/internal/mds"
 	"glare/internal/rdm"
 	"glare/internal/simclock"
 	"glare/internal/site"
+	"glare/internal/store"
 	"glare/internal/superpeer"
 	"glare/internal/telemetry"
 	"glare/internal/transport"
@@ -39,7 +41,14 @@ func main() {
 	community := flag.Bool("community", false, "host the community index (election coordinator)")
 	mhz := flag.Int("mhz", 1500, "site processor speed attribute")
 	memory := flag.Int("memory", 2048, "site memory attribute (MB)")
+	dataDir := flag.String("data", "", "durable store directory (empty = memory-only; registries and leases are then lost on restart)")
+	fsyncMode := flag.String("fsync", "interval", "store fsync policy: always|interval|never")
 	flag.Parse()
+
+	fsync, err := store.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fatal(err)
+	}
 
 	attrs := site.Attributes{
 		Name:         *name,
@@ -77,6 +86,18 @@ func main() {
 	}
 	index := mds.New("index-"+attrs.Name, kind, clock)
 	resolver := workload.NewResolver(st.Repo)
+
+	// Durability: recover the site's journal before assembling the RDM so
+	// registrations, deployment documents and unexpired leases survive a
+	// daemon restart.
+	var durable *store.Store
+	if *dataDir != "" {
+		durable, err = store.Open(store.Options{Dir: *dataDir, Fsync: fsync, Clock: clock})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	svc, err := rdm.New(rdm.Config{
 		Site:        st,
 		Clock:       clock,
@@ -85,9 +106,16 @@ func main() {
 		LocalIndex:  index,
 		DeployFiles: resolver.Fetch,
 		Telemetry:   tel,
+		Store:       durable,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if durable != nil {
+		s := durable.Status()
+		fmt.Printf("glared: store %s recovered %d record(s) in %s (live=%d, truncated=%dB, fsync=%s)\n",
+			s.Dir, s.ReplayRecords, s.ReplayDuration.Round(time.Millisecond),
+			s.LiveRecords, s.TruncatedBytes, fsync)
 	}
 	svc.Mount(srv)
 	svc.MountExtensions(srv)

@@ -1,0 +1,138 @@
+package glare
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSiteRestartRecoversRegistrationsGridWide is the durability
+// acceptance path: a 3-site grid registers types and a deployment and
+// takes a lease on one site; that site's daemon is stopped and restarted
+// against the same data directory; after journal replay every
+// registration resolves grid-wide again and the unexpired lease is still
+// held — with zero re-registration calls on the recovered site.
+func TestSiteRestartRecoversRegistrationsGridWide(t *testing.T) {
+	g := newGrid(t, GridOptions{
+		Sites:   3,
+		DataDir: t.TempDir(),
+		// Caches off so the post-restart resolution provably hits the
+		// recovered registries, not a survivor's cache.
+		DisableCache: true,
+	})
+	if err := g.Elect(); err != nil {
+		t.Fatal(err)
+	}
+
+	provider := g.Client(2)
+	if err := provider.RegisterTypes(ImagingTypes()...); err != nil {
+		t.Fatal(err)
+	}
+	provider.ProvisionExecutable("/opt/jpovray/bin/jpovray")
+	if err := provider.RegisterDeployment(&Deployment{
+		Name: "jpovray", Type: "JPOVray", Kind: KindExecutable,
+		Path: "/opt/jpovray/bin/jpovray",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := provider.Lease("jpovray", "sched-1", LeaseExclusive, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-crash sanity: another site resolves the registration VO-wide.
+	scheduler := g.Client(1)
+	if deps, err := scheduler.DiscoverNoDeploy("ImageConversion"); err != nil || len(deps) == 0 {
+		t.Fatalf("pre-crash resolution: deps=%v err=%v", deps, err)
+	}
+
+	// The provider site dies and comes back on the same address.
+	g.StopSite(2)
+	if err := g.RestartSite(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Elect(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every registration resolves grid-wide after replay…
+	deps, err := scheduler.DiscoverNoDeploy("ImageConversion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range deps {
+		if d.Name == "jpovray" && d.Site == g.SiteName(2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recovered deployment not resolvable from site 1: %v", deps)
+	}
+	recovered := g.Client(2)
+	if got := recovered.Types(); len(got) != len(ImagingTypes()) {
+		t.Fatalf("recovered types = %v", got)
+	}
+
+	// …the store reports the replay…
+	status, ok := recovered.StoreStatus()
+	if !ok {
+		t.Fatal("recovered site has no store")
+	}
+	if status.ReplayRecords == 0 || status.LiveRecords == 0 {
+		t.Fatalf("store status after restart = %+v", status)
+	}
+
+	// …the unexpired lease is still held by its client…
+	if _, err := recovered.Lease("jpovray", "rival", LeaseExclusive, time.Hour); err == nil ||
+		!strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("revived lease not enforced: %v", err)
+	}
+	if err := g.vo.Nodes[2].RDM.Leases.Authorize(tk.ID, "sched-1", "jpovray"); err != nil {
+		t.Fatalf("ticket from before the crash no longer authorizes: %v", err)
+	}
+
+	// …and replay issued zero registration calls: the recovered site's
+	// fresh telemetry shows no registry traffic at all.
+	for _, name := range []string{"glare_atr_registers_total", "glare_adr_registers_total"} {
+		if n := recovered.Telemetry().Counter(name).Value(); n != 0 {
+			t.Fatalf("%s = %d on recovered site, want 0 (replay must not re-register)", name, n)
+		}
+	}
+}
+
+// TestRestartWithoutDataDirLosesState pins the contrast: memory-only
+// sites come back empty, which is exactly what the durable store exists
+// to prevent.
+func TestRestartWithoutDataDirLosesState(t *testing.T) {
+	g := newGrid(t, GridOptions{Sites: 3, DisableCache: true})
+	if err := g.Elect(); err != nil {
+		t.Fatal(err)
+	}
+	provider := g.Client(2)
+	if err := provider.RegisterTypes(ImagingTypes()...); err != nil {
+		t.Fatal(err)
+	}
+	g.StopSite(2)
+	if err := g.RestartSite(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Client(2).Types(); len(got) != 0 {
+		t.Fatalf("memory-only site kept %v across restart", got)
+	}
+	if _, ok := g.Client(2).StoreStatus(); ok {
+		t.Fatal("memory-only site reports a store")
+	}
+}
+
+// TestRestartSiteGuards: site 0 (community-index holder) and running
+// sites are not restartable.
+func TestRestartSiteGuards(t *testing.T) {
+	g := newGrid(t, GridOptions{Sites: 2})
+	if err := g.RestartSite(1); err == nil {
+		t.Fatal("restarted a running site")
+	}
+	if err := g.RestartSite(0); err == nil {
+		t.Fatal("restarted the community-index holder")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"glare/internal/semantic"
 	"glare/internal/simclock"
 	"glare/internal/site"
+	"glare/internal/store"
 	"glare/internal/telemetry"
 	"glare/internal/transport"
 	"glare/internal/vo"
@@ -81,6 +82,12 @@ type (
 	Telemetry = telemetry.Telemetry
 	// TraceSpan is one recorded span of a distributed trace.
 	TraceSpan = telemetry.SpanRecord
+	// FsyncPolicy selects when the durable registry store forces appended
+	// records to stable storage (FsyncInterval, FsyncAlways, FsyncNever).
+	FsyncPolicy = store.FsyncPolicy
+	// StoreStatus summarizes one site's durable store (segments, live and
+	// snapshot record counts, replay and truncation accounting).
+	StoreStatus = store.Status
 )
 
 // Deployment method and mode constants.
@@ -96,6 +103,10 @@ const (
 
 	LeaseExclusive = lease.Exclusive
 	LeaseShared    = lease.Shared
+
+	FsyncInterval = store.FsyncInterval
+	FsyncAlways   = store.FsyncAlways
+	FsyncNever    = store.FsyncNever
 )
 
 // ImagingTypes returns the paper's Section-2 example hierarchy (Imaging →
@@ -134,6 +145,13 @@ type GridOptions struct {
 	// before its half-open probe (zero keeps the transport default of 5s).
 	// Partition tests shorten it so healed links are re-tried quickly.
 	BreakerCooldown time.Duration
+	// DataDir enables durable registry stores: every site journals its
+	// registrations, deployment documents and leases under
+	// DataDir/site-NN, and RestartSite replays the journal instead of
+	// losing the site's state. Empty keeps sites memory-only.
+	DataDir string
+	// StoreFsync is the store's fsync policy (default FsyncInterval).
+	StoreFsync FsyncPolicy
 }
 
 // Grid is a running Virtual Organization.
@@ -162,6 +180,8 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 		CallTimeout:   opts.CallTimeout,
 		ChaosSeed:     opts.ChaosSeed,
 		Breaker:       breaker,
+		DataDir:       opts.DataDir,
+		StoreFsync:    opts.StoreFsync,
 	})
 	if err != nil {
 		return nil, err
@@ -207,6 +227,13 @@ func (g *Grid) Telemetry(i int) *Telemetry {
 // StopSite simulates a site failure (its container stops answering).
 // Super-peer failures trigger re-election among the survivors.
 func (g *Grid) StopSite(i int) { g.vo.StopSite(i) }
+
+// RestartSite brings a stopped site back on its original address — the
+// crash-recovery path. With GridOptions.DataDir set, the restarted site
+// replays its journal and comes back with the registrations, deployment
+// documents and unexpired leases it crashed with; without DataDir it
+// comes back empty. Site 0 (community-index holder) is not restartable.
+func (g *Grid) RestartSite(i int) error { return g.vo.RestartSite(i) }
 
 // siteDest maps a site index to the host:port key the fault injector
 // matches requests on.
@@ -464,6 +491,16 @@ func (c *Client) Types() []string { return c.svc.ATR.Names() }
 
 // Deployments lists the deployments registered on this site.
 func (c *Client) Deployments() []*Deployment { return c.svc.ADR.All() }
+
+// StoreStatus reports the site's durable-store summary; ok is false on
+// memory-only sites (no GridOptions.DataDir).
+func (c *Client) StoreStatus() (StoreStatus, bool) {
+	st := c.svc.Store()
+	if st == nil {
+		return StoreStatus{}, false
+	}
+	return st.Status(), true
+}
 
 // AdminNotices returns the site administrator's mailbox (manual-install
 // requests, failure notifications).

@@ -29,12 +29,21 @@ const KeyName = "ActivityDeploymentKey"
 // ServiceName is the transport mount point.
 const ServiceName = "ActivityDeploymentRegistry"
 
+// Journal receives every registry mutation for durable replay (the
+// write-ahead log of internal/store satisfies it). Implementations must
+// be safe for concurrent use; nil means no persistence.
+type Journal interface {
+	RecordPut(key string, doc *xmlutil.Node, lut, term time.Time)
+	RecordDelete(key string)
+}
+
 // Registry is one site's Activity Deployment Registry.
 type Registry struct {
-	home   *wsrf.Home
-	types  *atr.Registry
-	broker *wsrf.Broker
-	clock  simclock.Clock
+	home    *wsrf.Home
+	types   *atr.Registry
+	broker  *wsrf.Broker
+	clock   simclock.Clock
+	journal Journal
 
 	// Hot-path counters; nil (no-op) until SetTelemetry is called.
 	registers, byType, removes *telemetry.Counter
@@ -66,6 +75,36 @@ func (r *Registry) SetTelemetry(tel *telemetry.Telemetry) {
 	r.registers = tel.Counter("glare_adr_registers_total")
 	r.byType = tel.Counter("glare_adr_bytype_total")
 	r.removes = tel.Counter("glare_adr_removes_total")
+}
+
+// SetJournal binds the durability journal; call during site assembly,
+// before serving traffic.
+func (r *Registry) SetJournal(j Journal) { r.journal = j }
+
+// journalPut journals a deployment's current document and timestamps.
+func (r *Registry) journalPut(name string) {
+	if r.journal == nil {
+		return
+	}
+	res := r.home.Find(name)
+	if res == nil {
+		return
+	}
+	r.journal.RecordPut(name, res.Document(), res.LastUpdate(), res.TerminationTime())
+}
+
+func (r *Registry) journalDelete(name string) {
+	if r.journal != nil {
+		r.journal.RecordDelete(name)
+	}
+}
+
+// Restore re-installs a journaled deployment resource during crash
+// recovery, bypassing validation, dynamic type registration, counters and
+// notifications: the type resource's DeploymentRefs are replayed from the
+// type registry's own journal, so no cross-registry fixup runs here.
+func (r *Registry) Restore(name string, doc *xmlutil.Node, lut, term time.Time) {
+	r.home.Restore(name, doc, lut, term)
 }
 
 // Register records a deployment. If the concrete type is not yet known to
@@ -101,6 +140,7 @@ func (r *Registry) Register(d *activity.Deployment) (epr.EPR, error) {
 		r.home.Destroy(d.Name)
 		return epr.EPR{}, err
 	}
+	r.journalPut(d.Name)
 	r.broker.Publish(wsrf.TopicDeployment, d.Name, d.ToXML())
 	return e, nil
 }
@@ -186,6 +226,7 @@ func (r *Registry) Remove(name string) bool {
 		return false
 	}
 	r.types.RemoveDeploymentRef(d.Type, name)
+	r.journalDelete(name)
 	r.broker.Publish(wsrf.TopicResourceDestroyed, name, nil)
 	return true
 }
@@ -206,6 +247,7 @@ func (r *Registry) UpdateMetrics(name string, m activity.Metrics) error {
 	}
 	d.Metrics = m
 	res.Replace(r.clock.Now(), d.ToXML())
+	r.journalPut(name)
 	// Refresh the EPR registered in the type resource (LUT changed).
 	if err := r.types.AddDeploymentRef(d.Type, r.home.EPR(name)); err != nil {
 		return err
@@ -221,6 +263,7 @@ func (r *Registry) SetTermination(name string, at time.Time) error {
 		return fmt.Errorf("adr: no such deployment %q", name)
 	}
 	res.SetTerminationTime(at)
+	r.journalPut(name)
 	return nil
 }
 
@@ -229,6 +272,7 @@ func (r *Registry) SweepExpired() []string {
 	// Collect types before destroying so refs can be cleaned.
 	gone := r.home.SweepExpired()
 	for _, name := range gone {
+		r.journalDelete(name)
 		r.broker.Publish(wsrf.TopicResourceDestroyed, name, nil)
 	}
 	return gone
@@ -242,6 +286,7 @@ func (r *Registry) ExpireByType(typeName string) []string {
 	for _, d := range r.ByType(typeName) {
 		if r.home.Destroy(d.Name) {
 			gone = append(gone, d.Name)
+			r.journalDelete(d.Name)
 			r.broker.Publish(wsrf.TopicResourceDestroyed, d.Name, nil)
 		}
 	}

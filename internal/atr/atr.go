@@ -33,12 +33,23 @@ const KeyName = "ActivityTypeKey"
 // ServiceName is the transport mount point.
 const ServiceName = "ActivityTypeRegistry"
 
+// Journal receives every registry mutation for durable replay (the
+// write-ahead log of internal/store satisfies it). Implementations must
+// be safe for concurrent use; nil means no persistence.
+type Journal interface {
+	// RecordPut journals the full property document after a mutation.
+	RecordPut(key string, doc *xmlutil.Node, lut, term time.Time)
+	// RecordDelete journals a resource removal.
+	RecordDelete(key string)
+}
+
 // Registry is one site's Activity Type Registry.
 type Registry struct {
-	home   *wsrf.Home
-	group  *wsrf.ServiceGroup
-	broker *wsrf.Broker
-	clock  simclock.Clock
+	home    *wsrf.Home
+	group   *wsrf.ServiceGroup
+	broker  *wsrf.Broker
+	clock   simclock.Clock
+	journal Journal
 
 	// Hot-path counters; nil (no-op) until SetTelemetry is called.
 	lookups, registers, concrete *telemetry.Counter
@@ -75,6 +86,39 @@ func (r *Registry) SetTelemetry(tel *telemetry.Telemetry) {
 	r.concrete = tel.Counter("glare_atr_concrete_queries_total")
 }
 
+// SetJournal binds the durability journal; call during site assembly,
+// before serving traffic. Mutations journal the resulting document so a
+// restarted site replays to exactly this state.
+func (r *Registry) SetJournal(j Journal) { r.journal = j }
+
+// journalPut journals a resource's current document and timestamps.
+func (r *Registry) journalPut(name string) {
+	if r.journal == nil {
+		return
+	}
+	res := r.home.Find(name)
+	if res == nil {
+		return
+	}
+	r.journal.RecordPut(name, res.Document(), res.LastUpdate(), res.TerminationTime())
+}
+
+// journalDelete journals a resource removal.
+func (r *Registry) journalDelete(name string) {
+	if r.journal != nil {
+		r.journal.RecordDelete(name)
+	}
+}
+
+// Restore re-installs a journaled type resource during crash recovery:
+// the document and timestamps land exactly as journaled, and neither
+// counters, notifications, nor the journal itself observe it — replay is
+// not registration traffic.
+func (r *Registry) Restore(name string, doc *xmlutil.Node, lut, term time.Time) {
+	res := r.home.Restore(name, doc, lut, term)
+	r.group.AddEntry(r.home.EPR(name), res.Document())
+}
+
 // Register adds an activity type; duplicate names are rejected.
 func (r *Registry) Register(t *activity.Type) (epr.EPR, error) {
 	r.registers.Inc()
@@ -85,6 +129,7 @@ func (r *Registry) Register(t *activity.Type) (epr.EPR, error) {
 		return epr.EPR{}, err
 	}
 	r.group.AddEntry(r.home.EPR(t.Name), r.home.Find(t.Name).Document())
+	r.journalPut(t.Name)
 	r.broker.Publish(wsrf.TopicResourceCreated, t.Name, t.ToXML())
 	return r.home.EPR(t.Name), nil
 }
@@ -130,6 +175,7 @@ func (r *Registry) Remove(name string) bool {
 		return false
 	}
 	r.group.RemoveEntry(name)
+	r.journalDelete(name)
 	r.broker.Publish(wsrf.TopicResourceDestroyed, name, nil)
 	return true
 }
@@ -214,6 +260,7 @@ func (r *Registry) AddDeploymentRef(typeName string, dep epr.EPR) error {
 		refs.Add(dep.ToXML("DeploymentEPR"))
 	})
 	r.group.AddEntry(r.home.EPR(typeName), res.Document())
+	r.journalPut(typeName)
 	r.broker.Publish(wsrf.TopicResourceUpdated, typeName, nil)
 	return nil
 }
@@ -237,6 +284,7 @@ func (r *Registry) RemoveDeploymentRef(typeName, deploymentKey string) {
 		}
 	})
 	r.group.AddEntry(r.home.EPR(typeName), res.Document())
+	r.journalPut(typeName)
 }
 
 // DeploymentRefs lists the deployment EPRs recorded in a type resource.
@@ -274,6 +322,7 @@ func (r *Registry) MarkDeployed(typeName, siteName string) error {
 		doc.Elem("DeployedOn", siteName)
 	})
 	r.group.AddEntry(r.home.EPR(typeName), res.Document())
+	r.journalPut(typeName)
 	return nil
 }
 
@@ -300,6 +349,7 @@ func (r *Registry) SetTermination(typeName string, at time.Time) error {
 		return fmt.Errorf("atr: no such type %q", typeName)
 	}
 	res.SetTerminationTime(at)
+	r.journalPut(typeName)
 	return nil
 }
 
@@ -308,6 +358,7 @@ func (r *Registry) SweepExpired() []string {
 	gone := r.home.SweepExpired()
 	for _, name := range gone {
 		r.group.RemoveEntry(name)
+		r.journalDelete(name)
 		r.broker.Publish(wsrf.TopicResourceDestroyed, name, nil)
 	}
 	return gone

@@ -52,6 +52,15 @@ var (
 	ErrUnauthorized = errors.New("lease: ticket does not authorize this use")
 )
 
+// Journal receives every lease mutation for durable replay (the
+// write-ahead log of internal/store satisfies it). Implementations must
+// be safe for concurrent use; nil means no persistence.
+type Journal interface {
+	RecordAcquire(t Ticket)
+	RecordRelease(id uint64)
+	RecordLimit(deployment string, max int)
+}
+
 // deploymentState tracks the active leases of one deployment.
 type deploymentState struct {
 	exclusive *Ticket
@@ -62,11 +71,12 @@ type deploymentState struct {
 
 // Service is the reservation service of one GLARE site.
 type Service struct {
-	mu     sync.Mutex
-	clock  simclock.Clock
-	nextID uint64
-	deps   map[string]*deploymentState
-	byID   map[uint64]*Ticket
+	mu      sync.Mutex
+	clock   simclock.Clock
+	nextID  uint64
+	deps    map[string]*deploymentState
+	byID    map[uint64]*Ticket
+	journal Journal
 }
 
 // NewService creates an empty reservation service.
@@ -81,6 +91,14 @@ func NewService(clock simclock.Clock) *Service {
 	}
 }
 
+// SetJournal binds the durability journal; call during site assembly,
+// before serving traffic.
+func (s *Service) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
 // SetSharedLimit bounds the number of concurrent shared lessees of a
 // deployment ("the number of concurrent clients does not exceed the
 // allowed limits"); 0 removes the bound.
@@ -89,6 +107,56 @@ func (s *Service) SetSharedLimit(deployment string, max int) {
 	defer s.mu.Unlock()
 	st := s.stateLocked(deployment)
 	st.maxShared = max
+	if s.journal != nil {
+		s.journal.RecordLimit(deployment, max)
+	}
+}
+
+// Restore re-installs a journaled ticket during crash recovery. The
+// ticket's ID is retired unconditionally — a restarted site must never
+// reissue an ID that was handed to a client before the crash — but the
+// lease itself is only revived if still unexpired: an expired ticket is
+// dropped and its deployment returns to the shared pool rather than being
+// resurrected. Reports whether the ticket was revived. No journal entry
+// is written (replay must not re-journal what it reads).
+func (s *Service) Restore(t Ticket) bool {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.ID > s.nextID {
+		s.nextID = t.ID
+	}
+	if !t.Valid(now) {
+		return false
+	}
+	st := s.stateLocked(t.Deployment)
+	tt := t
+	if t.Kind == Exclusive {
+		st.exclusive = &tt
+	} else {
+		st.shared[t.ID] = &tt
+	}
+	s.byID[t.ID] = &tt
+	return true
+}
+
+// RestoreLimit re-installs a journaled shared-lessee bound during crash
+// recovery, without re-journaling it.
+func (s *Service) RestoreLimit(deployment string, max int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stateLocked(deployment).maxShared = max
+}
+
+// RetireID advances the ID allocator past id without reviving anything;
+// recovery calls it for journaled tickets that no longer exist so released
+// IDs are never reused either.
+func (s *Service) RetireID(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id > s.nextID {
+		s.nextID = id
+	}
 }
 
 func (s *Service) stateLocked(deployment string) *deploymentState {
@@ -155,6 +223,9 @@ func (s *Service) Acquire(deployment, client string, kind Kind, d time.Duration)
 		st.shared[t.ID] = t
 	}
 	s.byID[t.ID] = t
+	if s.journal != nil {
+		s.journal.RecordAcquire(*t)
+	}
 	return *t, nil
 }
 
@@ -173,6 +244,9 @@ func (s *Service) Release(id uint64) error {
 			st.exclusive = nil
 		}
 		delete(st.shared, id)
+	}
+	if s.journal != nil {
+		s.journal.RecordRelease(id)
 	}
 	return nil
 }

@@ -167,6 +167,11 @@ func (s *Service) Mount(srv *transport.Server) {
 			// (name → LastUpdateTime) registry summary.
 			return s.RegistryDigest(), nil
 		},
+		"StoreStatus": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
+			// Durable-store summary for `glarectl store status`; answers
+			// enabled="false" on memory-only sites.
+			return s.StoreStatusXML(), nil
+		},
 		"SiteAttrs": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
 			a := s.site.Attrs
 			n := xmlutil.NewNode("Attrs")

@@ -28,6 +28,7 @@ import (
 	"glare/internal/metrics"
 	"glare/internal/simclock"
 	"glare/internal/site"
+	"glare/internal/store"
 	"glare/internal/superpeer"
 	"glare/internal/telemetry"
 	"glare/internal/transport"
@@ -107,6 +108,11 @@ type Config struct {
 	// Telemetry is the site's observability bundle. Nil creates a private
 	// bundle named after the site, so the RDM is always instrumented.
 	Telemetry *telemetry.Telemetry
+	// Store is the site's durable registry store. When set, its recovered
+	// state is replayed into the registries and lease service during
+	// assembly and every subsequent mutation is journaled through it. Nil
+	// keeps the site memory-only (the pre-durability behaviour).
+	Store *store.Store
 }
 
 // Service is one site's GLARE RDM.
@@ -146,7 +152,8 @@ type Service struct {
 	// depth doubles as the glare_rdm_run_queue gauge on /metrics.
 	Load *metrics.LoadTracker
 
-	tel *telemetry.Telemetry
+	tel   *telemetry.Telemetry
+	store *store.Store
 
 	mu             sync.Mutex
 	deploying      map[string]chan struct{} // in-flight deployments by type
@@ -249,6 +256,11 @@ func New(cfg Config) (*Service, error) {
 	s.ATR.OnRemove(func(typeName string) {
 		s.ADR.ExpireByType(typeName)
 	})
+	// Durability last: replay the journal into the assembled registries,
+	// then bind the journals so new traffic is logged.
+	if cfg.Store != nil {
+		s.attachStore(cfg.Store)
+	}
 	return s, nil
 }
 
@@ -283,5 +295,13 @@ func (s *Service) CacheStats() (types, deps cache.Stats) {
 	return s.typeCache.Stats(), s.depCache.Stats()
 }
 
-// Stop terminates background monitors.
-func (s *Service) Stop() { s.stopOnce.Do(func() { close(s.stop) }) }
+// Stop terminates background monitors and flushes/closes the durable
+// store, so a clean shutdown loses nothing regardless of fsync policy.
+func (s *Service) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		if s.store != nil {
+			_ = s.store.Close()
+		}
+	})
+}

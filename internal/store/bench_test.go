@@ -1,0 +1,104 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func benchRecord(i int) Record {
+	return put(RegADR, fmt.Sprintf("deployment-%04d", i%512),
+		"<Properties><ActivityDeployment name=\"jpovray\" type=\"JPOVray\"/></Properties>",
+		time.Time{})
+}
+
+// BenchmarkStoreAppendNoSync measures the raw journaling path: frame
+// encode + write + in-memory fold, no durability barrier.
+func BenchmarkStoreAppendNoSync(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir(), Fsync: FsyncNever, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreAppendInterval is the default-policy append path.
+func BenchmarkStoreAppendInterval(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir(), Fsync: FsyncInterval, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreAppendAlways pays one fsync per record — the paper-grade
+// durability ceiling.
+func BenchmarkStoreAppendAlways(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir(), Fsync: FsyncAlways, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreReplay measures recovery of a 2048-record WAL — the cost a
+// site pays at boot.
+func BenchmarkStoreReplay(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(Options{Dir: dir, Fsync: FsyncNever, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2048; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := Open(Options{Dir: dir, Fsync: FsyncNever, SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		re.Close()
+	}
+}
+
+// BenchmarkStoreSnapshot measures one compaction of 512 live records.
+func BenchmarkStoreSnapshot(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir(), Fsync: FsyncNever, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 512; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"glare/internal/lease"
+)
+
+// Registry names the store journals under. The store itself is agnostic to
+// what a registry holds; these constants keep the RDM wiring and the
+// recovery path agreeing on the names.
+const (
+	RegATR = "atr"
+	RegADR = "adr"
+)
+
+// Op is the kind of one journaled mutation.
+type Op uint8
+
+const (
+	// OpPut upserts a registry entry (full property document).
+	OpPut Op = iota + 1
+	// OpDelete removes a registry entry.
+	OpDelete
+	// OpLeaseAcquire installs a lease ticket.
+	OpLeaseAcquire
+	// OpLeaseRelease removes a lease ticket by ID.
+	OpLeaseRelease
+	// OpLeaseLimit sets a deployment's shared-lease concurrency bound.
+	OpLeaseLimit
+	// opSnapSeal terminates a snapshot file; a snapshot without its seal
+	// was torn mid-write and is ignored during recovery.
+	opSnapSeal
+)
+
+// String renders the op name.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpLeaseAcquire:
+		return "lease-acquire"
+	case OpLeaseRelease:
+		return "lease-release"
+	case OpLeaseLimit:
+		return "lease-limit"
+	case opSnapSeal:
+		return "snap-seal"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Record is one journaled mutation. Registry puts carry the whole property
+// document: registries mutate documents in place, so re-journaling the
+// full document after each mutation makes every record self-contained and
+// replay a pure last-write-wins fold — no partial-update merge logic can
+// go wrong during recovery.
+type Record struct {
+	Seq uint64 `json:"seq"`
+	Op  Op     `json:"op"`
+	// Reg is the registry name (RegATR, RegADR) for put/delete records;
+	// empty for lease records.
+	Reg string `json:"reg,omitempty"`
+	// Key is the resource key (put/delete) or the deployment name
+	// (lease-limit).
+	Key string `json:"key,omitempty"`
+	// Doc is the XML text of the resource property document (put only).
+	Doc string `json:"doc,omitempty"`
+	// LUT is the resource's LastUpdateTime; preserved across recovery so
+	// cache revival and anti-entropy keep working after a restart.
+	LUT time.Time `json:"lut,omitempty"`
+	// Term is the resource's scheduled termination time (zero = never).
+	Term time.Time `json:"term,omitempty"`
+	// Ticket is the acquired lease (lease-acquire only).
+	Ticket *lease.Ticket `json:"ticket,omitempty"`
+	// ID is the released ticket ID (lease-release only).
+	ID uint64 `json:"id,omitempty"`
+	// Limit is the shared-lease bound (lease-limit only).
+	Limit int `json:"limit,omitempty"`
+}
+
+func (r Record) encode() ([]byte, error) { return json.Marshal(r) }
+
+func decodeRecord(b []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// Entry is one live registry entry in the recovered state.
+type Entry struct {
+	Doc  string
+	LUT  time.Time
+	Term time.Time
+}
+
+// LeaseState is the recovered reservation-service state.
+type LeaseState struct {
+	// Tickets holds every journaled, unreleased ticket — including ones
+	// that have expired by recovery time; the lease service drops those
+	// during Restore so they are never resurrected.
+	Tickets map[uint64]lease.Ticket
+	// Limits holds per-deployment shared-lease bounds.
+	Limits map[string]int
+	// MaxID is the highest ticket ID ever journaled, so recovered services
+	// never reissue an ID a client may still hold.
+	MaxID uint64
+}
+
+// State is the materialized view of the journal: what a site's registries
+// and lease service looked like at the last appended record.
+type State struct {
+	Registries map[string]map[string]Entry
+	Leases     LeaseState
+}
+
+func newState() *State {
+	return &State{
+		Registries: map[string]map[string]Entry{},
+		Leases: LeaseState{
+			Tickets: map[uint64]lease.Ticket{},
+			Limits:  map[string]int{},
+		},
+	}
+}
+
+// apply folds one record into the state.
+func (st *State) apply(r Record) {
+	switch r.Op {
+	case OpPut:
+		reg := st.Registries[r.Reg]
+		if reg == nil {
+			reg = map[string]Entry{}
+			st.Registries[r.Reg] = reg
+		}
+		reg[r.Key] = Entry{Doc: r.Doc, LUT: r.LUT, Term: r.Term}
+	case OpDelete:
+		delete(st.Registries[r.Reg], r.Key)
+	case OpLeaseAcquire:
+		if r.Ticket != nil {
+			st.Leases.Tickets[r.Ticket.ID] = *r.Ticket
+			if r.Ticket.ID > st.Leases.MaxID {
+				st.Leases.MaxID = r.Ticket.ID
+			}
+		}
+	case OpLeaseRelease:
+		delete(st.Leases.Tickets, r.ID)
+	case OpLeaseLimit:
+		if r.Limit <= 0 {
+			delete(st.Leases.Limits, r.Key)
+		} else {
+			st.Leases.Limits[r.Key] = r.Limit
+		}
+	}
+}
+
+// liveRecords counts the records a snapshot of this state would hold.
+func (st *State) liveRecords() int {
+	n := 0
+	for _, reg := range st.Registries {
+		n += len(reg)
+	}
+	n += len(st.Leases.Tickets) + len(st.Leases.Limits)
+	return n
+}
+
+// records flattens the state back into self-contained records, the form
+// snapshots are written in. Iteration order is not significant: replaying
+// a snapshot is a fold over independent keys.
+func (st *State) records() []Record {
+	out := make([]Record, 0, st.liveRecords())
+	for reg, entries := range st.Registries {
+		for key, e := range entries {
+			out = append(out, Record{Op: OpPut, Reg: reg, Key: key, Doc: e.Doc, LUT: e.LUT, Term: e.Term})
+		}
+	}
+	for _, t := range st.Leases.Tickets {
+		t := t
+		out = append(out, Record{Op: OpLeaseAcquire, Ticket: &t})
+	}
+	for dep, max := range st.Leases.Limits {
+		out = append(out, Record{Op: OpLeaseLimit, Key: dep, Limit: max})
+	}
+	return out
+}
+
+// clone deep-copies the state so callers can consume it without racing
+// the store's own apply path.
+func (st *State) clone() *State {
+	out := newState()
+	for reg, entries := range st.Registries {
+		m := make(map[string]Entry, len(entries))
+		for k, e := range entries {
+			m[k] = e
+		}
+		out.Registries[reg] = m
+	}
+	for id, t := range st.Leases.Tickets {
+		out.Leases.Tickets[id] = t
+	}
+	for dep, max := range st.Leases.Limits {
+		out.Leases.Limits[dep] = max
+	}
+	out.Leases.MaxID = st.Leases.MaxID
+	return out
+}

@@ -1,0 +1,260 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"glare/internal/lease"
+	"glare/internal/simclock"
+)
+
+// put builds a registry upsert record with a recognizable document.
+func put(reg, key, doc string, lut time.Time) Record {
+	return Record{Op: OpPut, Reg: reg, Key: key, Doc: doc, LUT: lut}
+}
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func appendAll(t *testing.T, s *Store, recs ...Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clock := simclock.NewVirtual(time.Time{})
+	lut := clock.Now()
+
+	s := mustOpen(t, Options{Dir: dir, Clock: clock})
+	tk := lease.Ticket{ID: 0, Deployment: "jpovray", Client: "c1",
+		Kind: lease.Exclusive, Start: lut, End: lut.Add(time.Hour)}
+	appendAll(t, s,
+		put(RegATR, "POVray", "<Properties>povray</Properties>", lut),
+		put(RegADR, "jpovray", "<Properties>jpovray</Properties>", lut),
+		put(RegATR, "Java", "<Properties>java-old</Properties>", lut),
+		put(RegATR, "Java", "<Properties>java-new</Properties>", lut.Add(time.Minute)),
+		Record{Op: OpLeaseAcquire, Ticket: &tk},
+		Record{Op: OpLeaseLimit, Key: "jpovray", Limit: 3},
+		put(RegATR, "Ant", "<Properties>ant</Properties>", lut),
+		Record{Op: OpDelete, Reg: RegATR, Key: "Ant"},
+	)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, Options{Dir: dir, Clock: clock})
+	st := re.State()
+	atr := st.Registries[RegATR]
+	if len(atr) != 2 {
+		t.Fatalf("atr entries = %d, want 2 (%v)", len(atr), atr)
+	}
+	if _, ok := atr["Ant"]; ok {
+		t.Fatal("deleted entry survived replay")
+	}
+	// Last write wins, and the journaled LUT is preserved exactly.
+	if got := atr["Java"]; got.Doc != "<Properties>java-new</Properties>" ||
+		!got.LUT.Equal(lut.Add(time.Minute)) {
+		t.Fatalf("Java entry = %+v", got)
+	}
+	if got := st.Registries[RegADR]["jpovray"].Doc; got != "<Properties>jpovray</Properties>" {
+		t.Fatalf("adr doc = %q", got)
+	}
+	got, ok := st.Leases.Tickets[tk.ID]
+	if !ok || got.Client != "c1" || got.Kind != lease.Exclusive {
+		t.Fatalf("ticket = %+v ok=%v", got, ok)
+	}
+	if st.Leases.Limits["jpovray"] != 3 {
+		t.Fatalf("limit = %d", st.Leases.Limits["jpovray"])
+	}
+	// Recovery resumes the sequence where the journal left off.
+	if err := re.Append(put(RegATR, "Wien2k", "<Properties/>", lut)); err != nil {
+		t.Fatal(err)
+	}
+	if re.Status().LastSeq != 9 {
+		t.Fatalf("lastSeq = %d, want 9", re.Status().LastSeq)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, SegmentMaxBytes: 256, SnapshotEvery: -1})
+	for i := 0; i < 40; i++ {
+		appendAll(t, s, put(RegATR, key(i), "<Properties>payload-padding-padding</Properties>", time.Time{}))
+	}
+	if segs := s.Status().Segments; segs < 3 {
+		t.Fatalf("segments = %d, want rotation to have produced several", segs)
+	}
+	s.Close()
+
+	re := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	if n := len(re.State().Registries[RegATR]); n != 40 {
+		t.Fatalf("replayed %d entries across segments, want 40", n)
+	}
+}
+
+func key(i int) string { return string(rune('A'+i/26)) + string(rune('a'+i%26)) }
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, SnapshotEvery: 10, SegmentMaxBytes: 1 << 10})
+	for i := 0; i < 25; i++ {
+		appendAll(t, s, put(RegATR, key(i%7), "<Properties>v</Properties>", time.Time{}))
+	}
+	st := s.Status()
+	if !st.HasSnapshot {
+		t.Fatal("no snapshot after 25 appends with SnapshotEvery=10")
+	}
+	// Compaction collapsed 20 journaled records into 7 live ones.
+	if st.SnapshotRecords != 7 {
+		t.Fatalf("snapshot records = %d, want 7", st.SnapshotRecords)
+	}
+	s.Close()
+
+	// Reopen: state comes from the snapshot plus the 5-record WAL tail.
+	re := mustOpen(t, Options{Dir: dir, SnapshotEvery: 10})
+	if n := len(re.State().Registries[RegATR]); n != 7 {
+		t.Fatalf("live entries = %d, want 7", n)
+	}
+	if re.Status().LastSeq != 25 {
+		t.Fatalf("lastSeq = %d, want 25", re.Status().LastSeq)
+	}
+}
+
+// TestSnapshotPreservesMaxLeaseID guards the ID-retirement invariant
+// through compaction: the highest journaled ticket ID must survive a
+// snapshot even when that ticket was released before the snapshot was
+// taken (the flattened state no longer contains it).
+func TestSnapshotPreservesMaxLeaseID(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	tk := lease.Ticket{ID: 41, Deployment: "d", Client: "c", Kind: lease.Shared,
+		End: time.Now().Add(time.Hour)}
+	appendAll(t, s,
+		Record{Op: OpLeaseAcquire, Ticket: &tk},
+		Record{Op: OpLeaseRelease, ID: 41},
+	)
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	if got := re.State().Leases.MaxID; got != 41 {
+		t.Fatalf("MaxID through snapshot = %d, want 41", got)
+	}
+}
+
+func TestSnapshotDeletesCompactedFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, SegmentMaxBytes: 128, SnapshotEvery: -1})
+	for i := 0; i < 20; i++ {
+		appendAll(t, s, put(RegATR, key(i), "<Properties>grow</Properties>", time.Time{}))
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	segments, snapshots, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segments) != 1 {
+		t.Fatalf("segments after compaction = %v, want one fresh segment", segments)
+	}
+	if len(snapshots) != 1 {
+		t.Fatalf("snapshots = %v, want exactly one", snapshots)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		dir := t.TempDir()
+		s := mustOpen(t, Options{Dir: dir, Fsync: policy})
+		appendAll(t, s,
+			put(RegATR, "A", "<Properties/>", time.Time{}),
+			put(RegATR, "B", "<Properties/>", time.Time{}),
+		)
+		s.Close()
+		re := mustOpen(t, Options{Dir: dir, Fsync: policy})
+		if n := len(re.State().Registries[RegATR]); n != 2 {
+			t.Fatalf("%v: replayed %d entries, want 2", policy, n)
+		}
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	cases := map[string]FsyncPolicy{
+		"always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever,
+		"": FsyncInterval,
+	}
+	for in, want := range cases {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// TestCorruptSnapshotFallsBackToWAL: a snapshot without its seal record
+// (crash mid-snapshot) is skipped and the WAL still reproduces the state.
+func TestCorruptSnapshotFallsBackToWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	appendAll(t, s,
+		put(RegATR, "A", "<Properties>a</Properties>", time.Time{}),
+		put(RegATR, "B", "<Properties>b</Properties>", time.Time{}),
+	)
+	s.Sync()
+	// Fabricate a torn snapshot: valid frames but no seal.
+	rec, _ := put(RegATR, "X", "<Properties>ghost</Properties>", time.Time{}).encode()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(99)), encodeFrame(rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	st := re.State()
+	if _, ok := st.Registries[RegATR]["X"]; ok {
+		t.Fatal("unsealed snapshot was trusted")
+	}
+	if len(st.Registries[RegATR]) != 2 {
+		t.Fatalf("WAL fallback lost records: %v", st.Registries[RegATR])
+	}
+}
+
+func TestStatusSurface(t *testing.T) {
+	dir := t.TempDir()
+	clock := simclock.NewVirtual(time.Time{})
+	s := mustOpen(t, Options{Dir: dir, Clock: clock, SnapshotEvery: -1})
+	appendAll(t, s, put(RegADR, "d1", "<Properties/>", clock.Now()))
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(90 * time.Second)
+	st := s.Status()
+	if st.Dir != dir || st.LastSeq != 1 || !st.HasSnapshot || st.LiveRecords != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.SnapshotAge != 90*time.Second {
+		t.Fatalf("snapshot age = %v", st.SnapshotAge)
+	}
+	if st.Appended != 1 {
+		t.Fatalf("appended = %d", st.Appended)
+	}
+}

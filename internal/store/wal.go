@@ -1,0 +1,146 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Frame layout: [4B big-endian payload length][4B CRC32-IEEE of payload][payload].
+const frameHeader = 8
+
+// maxRecordBytes bounds a single record so a corrupt length field cannot
+// make recovery attempt a multi-gigabyte read.
+const maxRecordBytes = 16 << 20
+
+// encodeFrame wraps one encoded record in a checksummed frame.
+func encodeFrame(payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+// scanResult is what scanning one file yields.
+type scanResult struct {
+	records []Record
+	// good is the byte offset of the end of the last intact frame; bytes
+	// past it are torn or corrupt.
+	good int64
+	// torn reports whether the file ended in a damaged frame.
+	torn bool
+}
+
+// scanFrames decodes every intact frame from data, stopping (not failing)
+// at the first torn or checksum-corrupt record. This is the property that
+// makes recovery total: whatever a crash left behind, the longest valid
+// prefix is the state.
+func scanFrames(data []byte) scanResult {
+	var res scanResult
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			res.good = off
+			return res
+		}
+		if len(rest) < frameHeader {
+			res.good, res.torn = off, true
+			return res
+		}
+		n := binary.BigEndian.Uint32(rest[0:4])
+		sum := binary.BigEndian.Uint32(rest[4:8])
+		if n > maxRecordBytes || int(n) > len(rest)-frameHeader {
+			res.good, res.torn = off, true
+			return res
+		}
+		payload := rest[frameHeader : frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			res.good, res.torn = off, true
+			return res
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// A frame that checksums but does not decode is corruption
+			// written before the CRC was computed; treat it as a tear too.
+			res.good, res.torn = off, true
+			return res
+		}
+		res.records = append(res.records, rec)
+		off += frameHeader + int64(n)
+	}
+}
+
+// Segment and snapshot file naming. Zero-padded so lexical order is
+// chronological order.
+func segmentName(index uint64) string { return fmt.Sprintf("wal-%016d.log", index) }
+func snapshotName(seq uint64) string  { return fmt.Sprintf("snap-%020d.snap", seq) }
+func isSegment(name string) bool {
+	return strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log")
+}
+func isSnapshot(name string) bool {
+	return strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap")
+}
+func segmentIndex(name string) uint64 {
+	return parseSeq(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"))
+}
+func snapshotSeq(name string) uint64 {
+	return parseSeq(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"))
+}
+
+func parseSeq(s string) uint64 {
+	var n uint64
+	_, _ = fmt.Sscanf(s, "%d", &n)
+	return n
+}
+
+// listDir returns the sorted segment and snapshot file names in dir.
+func listDir(dir string) (segments, snapshots []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch {
+		case isSegment(e.Name()):
+			segments = append(segments, e.Name())
+		case isSnapshot(e.Name()):
+			snapshots = append(snapshots, e.Name())
+		}
+	}
+	sort.Strings(segments)
+	sort.Strings(snapshots)
+	return segments, snapshots, nil
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it are durable.
+// Best effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// truncateFile cuts a file back to size, discarding a torn tail.
+func truncateFile(path string, size int64) error {
+	return os.Truncate(path, size)
+}
+
+// removeFiles deletes the named files from dir, ignoring individual
+// failures (a leftover file is re-collected by the next compaction).
+func removeFiles(dir string, names []string) {
+	for _, n := range names {
+		_ = os.Remove(filepath.Join(dir, n))
+	}
+}

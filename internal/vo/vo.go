@@ -13,6 +13,7 @@ import (
 	"crypto/tls"
 	"fmt"
 	"net/url"
+	"path/filepath"
 	"time"
 
 	"glare/internal/cog"
@@ -24,6 +25,7 @@ import (
 	"glare/internal/rdm"
 	"glare/internal/simclock"
 	"glare/internal/site"
+	"glare/internal/store"
 	"glare/internal/superpeer"
 	"glare/internal/telemetry"
 	"glare/internal/transport"
@@ -69,6 +71,12 @@ type Options struct {
 	// every client so tests can drop, delay or black-hole traffic per
 	// destination (see VO.Chaos).
 	ChaosSeed int64
+	// DataDir enables durable registry stores: each site journals its ATR,
+	// ADR and lease mutations under DataDir/site-NN and replays them on
+	// restart (see RestartSite). Empty keeps every site memory-only.
+	DataDir string
+	// StoreFsync is the durability fsync policy (default store.FsyncInterval).
+	StoreFsync store.FsyncPolicy
 }
 
 // Node is one Grid site's full stack.
@@ -103,6 +111,9 @@ type VO struct {
 	// Options.ChaosSeed was set.
 	Chaos *faultinject.Injector
 
+	// opts is the (defaults-filled) build configuration, retained so
+	// RestartSite can rebuild a site exactly as Build did.
+	opts    Options
 	stopped map[int]bool
 }
 
@@ -132,7 +143,8 @@ func Build(opts Options) (*VO, error) {
 	repo := site.StandardUniverse()
 	resolver := workload.NewResolver(repo)
 
-	v := &VO{Clock: clock, Repo: repo, Resolver: resolver, stopped: map[int]bool{}}
+	opts.Clock = clock
+	v := &VO{Clock: clock, Repo: repo, Resolver: resolver, opts: opts, stopped: map[int]bool{}}
 	if opts.ChaosSeed != 0 {
 		v.Chaos = faultinject.New(opts.ChaosSeed)
 	}
@@ -146,7 +158,7 @@ func Build(opts Options) (*VO, error) {
 	v.Client = v.newClient(opts, nil, "")
 
 	for i := 0; i < opts.Sites; i++ {
-		node, err := v.buildNode(i, opts)
+		node, err := v.buildNode(i, opts, "127.0.0.1:0")
 		if err != nil {
 			v.Close()
 			return nil, err
@@ -208,7 +220,10 @@ func hostOf(baseURL string) string {
 	return u.Host
 }
 
-func (v *VO) buildNode(i int, opts Options) (*Node, error) {
+// buildNode assembles one site's stack listening on addr ("127.0.0.1:0"
+// for a fresh ephemeral port; RestartSite passes the site's original
+// host:port so EPRs minted before a crash stay routable).
+func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 	attrs := siteAttrs(i)
 	st := site.New(attrs, v.Clock, v.Repo)
 	srv := transport.NewServer()
@@ -217,11 +232,11 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := srv.Start("127.0.0.1:0", conf); err != nil {
+		if err := srv.Start(addr, conf); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := srv.Start("127.0.0.1:0", nil); err != nil {
+		if err := srv.Start(addr, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -239,6 +254,22 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 		index.SetCollapse(opts.IndexCollapse)
 	}
 
+	// Durability: open (and recover) the site's journal before the RDM is
+	// assembled, so rdm.New replays it into the fresh registries.
+	var durable *store.Store
+	if opts.DataDir != "" {
+		var err error
+		durable, err = store.Open(store.Options{
+			Dir:   filepath.Join(opts.DataDir, fmt.Sprintf("site-%02d", i+1)),
+			Fsync: opts.StoreFsync,
+			Clock: v.Clock,
+		})
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+
 	svc, err := rdm.New(rdm.Config{
 		Site:              st,
 		Clock:             v.Clock,
@@ -254,8 +285,12 @@ func (v *VO) buildNode(i int, opts Options) (*Node, error) {
 		TransferCost:      opts.TransferCost,
 		CoG:               opts.CoG,
 		Telemetry:         tel,
+		Store:             durable,
 	})
 	if err != nil {
+		if durable != nil {
+			durable.Close()
+		}
 		srv.Close()
 		return nil, err
 	}
@@ -285,6 +320,39 @@ func (v *VO) StopSite(i int) {
 
 // Stopped reports whether a site was stopped.
 func (v *VO) Stopped(i int) bool { return v.stopped[i] }
+
+// RestartSite rebuilds a stopped site's full stack on its original
+// host:port — the glared-crashed-and-came-back path. With Options.DataDir
+// set, the rebuilt RDM recovers the site's journal, so its registrations,
+// deployment documents and unexpired leases survive without any
+// re-registration traffic; reusing the address keeps EPRs minted before
+// the crash routable. Site 0 cannot be restarted: it holds the community
+// index, whose aggregated entries are rebuilt by anti-entropy rather than
+// journaled.
+func (v *VO) RestartSite(i int) error {
+	if i <= 0 || i >= len(v.Nodes) {
+		return fmt.Errorf("vo: cannot restart site %d (site 0 holds the community index)", i)
+	}
+	if !v.stopped[i] {
+		return fmt.Errorf("vo: site %d is not stopped", i)
+	}
+	old := v.Nodes[i]
+	if old.Client != nil {
+		old.Client.CloseIdle()
+	}
+	node, err := v.buildNode(i, v.opts, hostOf(old.Info.BaseURL))
+	if err != nil {
+		return err
+	}
+	v.Nodes[i] = node
+	delete(v.stopped, i)
+	// Re-join the aggregation hierarchy exactly as Build wired it.
+	node.Index.AddUpstream(v.Community)
+	siteEPR := epr.New(node.Info.ServiceURL(rdm.ServiceName), "SiteKey", node.Info.Name)
+	siteEPR.LastUpdateTime = v.Clock.Now()
+	node.Index.Register(siteEPR, node.Info.ToXML())
+	return nil
+}
 
 // RegisterImagingStack registers the Section-2 type hierarchy on one site.
 func (v *VO) RegisterImagingStack(i int) error {

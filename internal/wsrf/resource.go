@@ -168,6 +168,20 @@ func (h *Home) CreateOrReplace(key string, doc *xmlutil.Node) *Resource {
 	return r
 }
 
+// Restore installs a resource with explicit timestamps, replacing any
+// existing resource with the key. It is the crash-recovery path: replay
+// must reproduce the journaled LastUpdate exactly (cache revival and
+// anti-entropy order on it) instead of stamping "now", and it fires no
+// listeners — recovery is not observable as resource churn.
+func (h *Home) Restore(key string, doc *xmlutil.Node, lastUpdate, termination time.Time) *Resource {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := &Resource{key: key, doc: doc, created: lastUpdate,
+		lastUpdate: lastUpdate, termination: termination}
+	h.resources[key] = r
+	return r
+}
+
 // Find returns the resource for key, or nil. This is the O(1) hash-table
 // named lookup the paper credits for the ATR's flat throughput curve.
 func (h *Home) Find(key string) *Resource {
