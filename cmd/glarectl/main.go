@@ -93,6 +93,8 @@ func main() {
 			usage()
 		}
 		err = storeStatusCmd(cli, siteBase)
+	case "builds":
+		err = buildsCmd(cli, siteBase)
 	default:
 		usage()
 	}
@@ -132,7 +134,10 @@ commands:
                                      disagreeing on the super-peer)
   store status                       probe every community site's durable
                                      registry store: WAL segments, live and
-                                     snapshot record counts, snapshot age`)
+                                     snapshot record counts, snapshot age
+  builds                             probe every community site's deployment
+                                     engine: in-flight builds, queue depth,
+                                     quarantined types, resumable builds`)
 	os.Exit(2)
 }
 
@@ -406,6 +411,55 @@ func storeStatusCmd(cli *transport.Client, siteBase string) error {
 		fmt.Printf("%-*s  %8s  %7s  %9s  %8s  %8s  %s\n", wide, s.Name,
 			resp.AttrOr("segments", "?"), resp.AttrOr("lastSeq", "?"),
 			resp.AttrOr("liveRecords", "?"), snapRecs, snapAge, notes)
+	}
+	return nil
+}
+
+// buildsCmd probes the deployment execution engine of every site registered
+// in the community index: what is building now, how deep the admission
+// queue is, which types are quarantined after repeated failures and which
+// interrupted builds hold checkpoints awaiting resume.
+func buildsCmd(cli *transport.Client, siteBase string) error {
+	sites := communitySites(cli, siteBase)
+	if len(sites) == 0 {
+		sites = []superpeer.SiteInfo{{Name: siteBase, BaseURL: siteBase}}
+	}
+	wide := len("SITE")
+	for _, s := range sites {
+		if len(s.Name) > wide {
+			wide = len(s.Name)
+		}
+	}
+	fmt.Printf("%-*s  %5s  %6s  %-24s  %-28s  %s\n", wide,
+		"SITE", "SLOTS", "QUEUED", "BUILDING", "QUARANTINED", "RESUMABLE")
+	for _, s := range sites {
+		resp, err := cli.Call(s.ServiceURL(rdm.ServiceName), "DeployStatus", nil)
+		if err != nil {
+			fmt.Printf("%-*s  %5s  %6s  %-24s  %-28s  %s\n", wide, s.Name,
+				"-", "-", "-", "-", err.Error())
+			continue
+		}
+		var building, quarantined, resumable []string
+		for _, n := range resp.All("Building") {
+			building = append(building, n.AttrOr("type", "?"))
+		}
+		for _, n := range resp.All("Quarantined") {
+			quarantined = append(quarantined, fmt.Sprintf("%s(%s fails, %sms left)",
+				n.AttrOr("type", "?"), n.AttrOr("failures", "?"), n.AttrOr("remainingMS", "?")))
+		}
+		for _, n := range resp.All("Resumable") {
+			resumable = append(resumable, fmt.Sprintf("%s(%s steps)",
+				n.AttrOr("type", "?"), n.AttrOr("steps", "?")))
+		}
+		dash := func(v []string) string {
+			if len(v) == 0 {
+				return "-"
+			}
+			return strings.Join(v, ",")
+		}
+		fmt.Printf("%-*s  %5s  %6s  %-24s  %-28s  %s\n", wide, s.Name,
+			resp.AttrOr("maxBuilds", "?"), resp.AttrOr("queued", "?"),
+			dash(building), dash(quarantined), dash(resumable))
 	}
 	return nil
 }

@@ -43,6 +43,8 @@ func main() {
 	memory := flag.Int("memory", 2048, "site memory attribute (MB)")
 	dataDir := flag.String("data", "", "durable store directory (empty = memory-only; registries and leases are then lost on restart)")
 	fsyncMode := flag.String("fsync", "interval", "store fsync policy: always|interval|never")
+	maxBuilds := flag.Int("max-builds", 0, "concurrent on-demand builds this site runs (0 = engine default)")
+	buildQueue := flag.Int("build-queue", 0, "builds waiting for a slot before new ones are shed (0 = engine default, negative = no queue)")
 	flag.Parse()
 
 	fsync, err := store.ParseFsyncPolicy(*fsyncMode)
@@ -107,6 +109,10 @@ func main() {
 		DeployFiles: resolver.Fetch,
 		Telemetry:   tel,
 		Store:       durable,
+		Deploy: rdm.DeployLimits{
+			MaxConcurrent: *maxBuilds,
+			QueueDepth:    *buildQueue,
+		},
 	})
 	if err != nil {
 		fatal(err)

@@ -88,6 +88,13 @@ type (
 	// StoreStatus summarizes one site's durable store (segments, live and
 	// snapshot record counts, replay and truncation accounting).
 	StoreStatus = store.Status
+	// DeployStatus summarizes one site's deployment execution engine:
+	// in-flight builds, queue pressure, quarantined types and interrupted
+	// builds with journaled checkpoints awaiting resume.
+	DeployStatus = rdm.DeployRunStatus
+	// DeployLimits tunes a site's deployment execution engine (concurrent
+	// builds, queue depth, transfer retry, quarantine policy).
+	DeployLimits = rdm.DeployLimits
 )
 
 // Deployment method and mode constants.
@@ -152,6 +159,10 @@ type GridOptions struct {
 	DataDir string
 	// StoreFsync is the store's fsync policy (default FsyncInterval).
 	StoreFsync FsyncPolicy
+	// Deploy tunes every site's deployment execution engine — concurrent
+	// build slots, queue depth, follower deadline, transfer retry and
+	// quarantine policy. Zero values use the engine defaults.
+	Deploy DeployLimits
 }
 
 // Grid is a running Virtual Organization.
@@ -182,6 +193,7 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 		Breaker:       breaker,
 		DataDir:       opts.DataDir,
 		StoreFsync:    opts.StoreFsync,
+		Deploy:        opts.Deploy,
 	})
 	if err != nil {
 		return nil, err
@@ -335,6 +347,41 @@ func (g *Grid) HealPartition() error {
 	}
 	g.vo.Chaos.Heal()
 	return nil
+}
+
+// FailBuildStep makes the named step of the type's build fail with a
+// transient error on site i for the next n executions — the engine's
+// per-step retry may absorb it; exhausted retries fail (and eventually
+// quarantine) the type. Unlike the network fault methods, build-step
+// injection is always armed.
+func (g *Grid) FailBuildStep(i int, typeName, step string, n int) {
+	g.vo.Nodes[i].Deploy.FailStep(typeName, step, n)
+}
+
+// CrashBuildStep arms a one-shot simulated daemon crash at the named step
+// of the type's build on site i: the build aborts with its checkpoints
+// intact, so after StopSite/RestartSite the deployment resumes at the
+// first incomplete step.
+func (g *Grid) CrashBuildStep(i int, typeName, step string) {
+	g.vo.Nodes[i].Deploy.CrashStep(typeName, step)
+}
+
+// HangBuildStep makes the named step hang until the engine's watchdog
+// kills it, for the next n executions on site i.
+func (g *Grid) HangBuildStep(i int, typeName, step string, n int) {
+	g.vo.Nodes[i].Deploy.HangStep(typeName, step, n)
+}
+
+// DelayBuildStep stalls the named step for d (real time) on every
+// execution on site i until ClearBuildFaults — long enough to overlap
+// concurrent duplicate requests in dedup tests.
+func (g *Grid) DelayBuildStep(i int, typeName, step string, d time.Duration) {
+	g.vo.Nodes[i].Deploy.DelayStep(typeName, step, d)
+}
+
+// ClearBuildFaults disarms every build-step fault on site i.
+func (g *Grid) ClearBuildFaults(i int) {
+	g.vo.Nodes[i].Deploy.Clear()
 }
 
 // SuperPeerOf returns the current super-peer site name seen by site i.
@@ -500,6 +547,13 @@ func (c *Client) StoreStatus() (StoreStatus, bool) {
 		return StoreStatus{}, false
 	}
 	return st.Status(), true
+}
+
+// DeployEngineStatus reports the site's deployment execution engine state:
+// in-flight builds, queue pressure, quarantined types and resumable
+// checkpointed builds.
+func (c *Client) DeployEngineStatus() DeployStatus {
+	return c.svc.DeployRunStatus()
 }
 
 // AdminNotices returns the site administrator's mailbox (manual-install

@@ -85,41 +85,74 @@ type Result struct {
 // jobs (batch: interactive prompts are answered by the generated
 // deployment script).
 func (r *Runner) Run(target *site.Site, cmds []deployfile.Command) (Result, error) {
-	var res Result
+	sr := r.Open(target)
+	res := Result{Overhead: sr.Overhead}
+	for _, c := range cmds {
+		step, err := sr.RunStep(c)
+		res.Communication += step.Communication
+		res.Installation += step.Installation
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// StepRunner is an opened CoG kit against one target, executing resolved
+// commands one step at a time so a checkpointing caller can interleave
+// effect capture with execution. Open pays the kit startup once; each
+// RunStep then costs only its own transfer/GRAM time.
+type StepRunner struct {
+	r      *Runner
+	target *site.Site
+	ftp    *gridftp.Client
+	jobs   *gram.Manager
+	// Overhead is the startup cost paid by Open (virtual time).
+	Overhead time.Duration
+}
+
+// Open brings up the CoG kit against the target site.
+func (r *Runner) Open(target *site.Site) *StepRunner {
 	sw := simclock.NewStopwatch(r.clock)
 	r.clock.Sleep(r.cfg.StartupOverhead)
-	res.Overhead = sw.Elapsed()
-
-	ftp := gridftp.NewClient(r.clock, r.repo, r.cfg.TransferCost)
 	jobs := gram.NewManager(target, r.clock)
 	jobs.SubmitOverhead = r.cfg.JobOverhead
-
-	for _, c := range cmds {
-		if isTransfer(c.Cmdline) {
-			sw.Reset()
-			if err := r.transfer(ftp, target, c); err != nil {
-				return res, fmt.Errorf("cog: step %s: %w", c.Step.Name, err)
-			}
-			res.Communication += sw.Elapsed()
-			continue
-		}
-		sw.Reset()
-		if c.BaseDir != "" {
-			target.FS.Mkdir(c.BaseDir)
-		}
-		out, code, err := jobs.SubmitWait(c.Cmdline, c.BaseDir, c.Env)
-		if err != nil || code != 0 {
-			return res, fmt.Errorf("cog: step %s failed (%v): %v", c.Step.Name, err, out)
-		}
-		// The kit observes completion only at the next status poll.
-		if r.cfg.PollInterval > 0 {
-			elapsed := sw.Elapsed()
-			if rem := elapsed % r.cfg.PollInterval; rem != 0 {
-				r.clock.Sleep(r.cfg.PollInterval - rem)
-			}
-		}
-		res.Installation += sw.Elapsed()
+	return &StepRunner{
+		r:        r,
+		target:   target,
+		ftp:      gridftp.NewClient(r.clock, r.repo, r.cfg.TransferCost),
+		jobs:     jobs,
+		Overhead: sw.Elapsed(),
 	}
+}
+
+// RunStep executes one resolved command and returns its phase timings.
+func (sr *StepRunner) RunStep(c deployfile.Command) (Result, error) {
+	r := sr.r
+	var res Result
+	sw := simclock.NewStopwatch(r.clock)
+	if isTransfer(c.Cmdline) {
+		if err := r.transfer(sr.ftp, sr.target, c); err != nil {
+			return res, fmt.Errorf("cog: step %s: %w", c.Step.Name, err)
+		}
+		res.Communication = sw.Elapsed()
+		return res, nil
+	}
+	if c.BaseDir != "" {
+		sr.target.FS.Mkdir(c.BaseDir)
+	}
+	out, code, err := sr.jobs.SubmitWait(c.Cmdline, c.BaseDir, c.Env)
+	if err != nil || code != 0 {
+		return res, fmt.Errorf("cog: step %s failed (%v): %v", c.Step.Name, err, out)
+	}
+	// The kit observes completion only at the next status poll.
+	if r.cfg.PollInterval > 0 {
+		elapsed := sw.Elapsed()
+		if rem := elapsed % r.cfg.PollInterval; rem != 0 {
+			r.clock.Sleep(r.cfg.PollInterval - rem)
+		}
+	}
+	res.Installation = sw.Elapsed()
 	return res, nil
 }
 

@@ -89,6 +89,12 @@ type Build struct {
 	Steps       []Step
 }
 
+// DefaultStepTimeout bounds steps whose deploy-file declares no timeout
+// attribute. Historically an absent timeout meant unbounded, which let a
+// hung installer wedge a build worker forever; now every step gets this
+// cap unless the deploy-file says otherwise. Process-wide, configurable.
+var DefaultStepTimeout = 2 * time.Minute
+
 // Parse reads a deploy-file from its XML tree.
 func Parse(root *xmlutil.Node) (*Build, error) {
 	if root == nil || root.Name != "Build" {
@@ -132,6 +138,9 @@ func Parse(root *xmlutil.Node) (*Build, error) {
 				return nil, fmt.Errorf("deployfile: step %q: bad timeout %q", st.Name, t)
 			}
 			st.Timeout = time.Duration(secs) * time.Second
+		}
+		if st.Timeout <= 0 {
+			st.Timeout = DefaultStepTimeout
 		}
 		for _, c := range sn.Children {
 			switch c.Name {
@@ -251,6 +260,11 @@ func (b *Build) Resolve(base map[string]string) ([]Command, error) {
 			BaseDir: expand(st.BaseDir, lookup),
 			Timeout: st.Timeout,
 			Dialog:  st.Dialog,
+		}
+		// Builds synthesized in code (not via Parse) may leave Timeout
+		// zero; cap those here too so no resolved step is unbounded.
+		if cmd.Timeout <= 0 {
+			cmd.Timeout = DefaultStepTimeout
 		}
 		task := expand(st.Task, lookup)
 		var args []string

@@ -208,3 +208,36 @@ func TestMD5OfStep(t *testing.T) {
 	}
 	t.Fatal("Download step not found")
 }
+
+func TestAbsentTimeoutDefaultsToCap(t *testing.T) {
+	old := DefaultStepTimeout
+	DefaultStepTimeout = 5 * time.Second
+	defer func() { DefaultStepTimeout = old }()
+
+	b, err := ParseString(`<Build name="b"><Step name="a" task="x"/></Build>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Steps[0].Timeout != 5*time.Second {
+		t.Fatalf("absent timeout = %v, want the configured cap", b.Steps[0].Timeout)
+	}
+
+	// Builds synthesized in code bypass Parse; Resolve applies the cap.
+	synth := &Build{Name: "s", Steps: []Step{{Name: "a", Task: "echo"}}}
+	cmds, err := synth.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmds[0].Timeout != 5*time.Second {
+		t.Fatalf("resolved timeout = %v, want the configured cap", cmds[0].Timeout)
+	}
+
+	// A declared timeout is never overridden.
+	b, err = ParseString(`<Build name="b"><Step name="a" task="x" timeout="30"/></Build>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Steps[0].Timeout != 30*time.Second {
+		t.Fatalf("declared timeout = %v", b.Steps[0].Timeout)
+	}
+}

@@ -13,6 +13,7 @@
 package expect
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"strings"
@@ -67,6 +68,15 @@ func (e *MatchError) Error() string {
 // Run drives the process through the script, then waits for process exit.
 // All output seen is returned (matched or not).
 func (e *Engine) Run(p *site.Process, script Script) ([]string, error) {
+	return e.RunContext(context.Background(), p, script)
+}
+
+// RunContext is Run with a kill switch: when ctx is cancelled mid-dialogue
+// — whether waiting for a match or draining output from a process that
+// never exits — the engine abandons the process immediately instead of
+// blocking the worker. The abandoned process is left to its own prompt
+// timeouts; the caller gets ctx's error.
+func (e *Engine) RunContext(ctx context.Context, p *site.Process, script Script) ([]string, error) {
 	var seen []string
 	for _, st := range script {
 		match, err := e.compileMatcher(st)
@@ -96,21 +106,31 @@ func (e *Engine) Run(p *site.Process, script Script) ([]string, error) {
 				}
 			case <-deadline.C:
 				return seen, &MatchError{Step: st, Seen: seen, Timeout: true}
+			case <-ctx.Done():
+				deadline.Stop()
+				return seen, fmt.Errorf("expect: dialogue killed: %w", ctx.Err())
 			}
 		}
 	}
 	// Drain remaining output until exit.
-	for line := range p.Out() {
-		seen = append(seen, line)
+	for {
+		select {
+		case line, ok := <-p.Out():
+			if !ok {
+				code := p.Wait()
+				if err := p.Err(); err != nil {
+					return seen, fmt.Errorf("expect: process failed: %w", err)
+				}
+				if code != 0 {
+					return seen, fmt.Errorf("expect: process exited with code %d", code)
+				}
+				return seen, nil
+			}
+			seen = append(seen, line)
+		case <-ctx.Done():
+			return seen, fmt.Errorf("expect: dialogue killed: %w", ctx.Err())
+		}
 	}
-	code := p.Wait()
-	if err := p.Err(); err != nil {
-		return seen, fmt.Errorf("expect: process failed: %w", err)
-	}
-	if code != 0 {
-		return seen, fmt.Errorf("expect: process exited with code %d", code)
-	}
-	return seen, nil
 }
 
 func (e *Engine) compileMatcher(st Step) (func(string) bool, error) {
@@ -159,12 +179,22 @@ func (s *Session) Shell() *site.Shell { return s.shell }
 
 // Interact spawns the command and drives it with the script.
 func (s *Session) Interact(cmdline string, script Script) ([]string, error) {
+	return s.InteractContext(context.Background(), cmdline, script)
+}
+
+// InteractContext is Interact with a kill deadline (see RunContext).
+func (s *Session) InteractContext(ctx context.Context, cmdline string, script Script) ([]string, error) {
 	p := s.shell.Spawn(cmdline)
-	return s.engine.Run(p, script)
+	return s.engine.RunContext(ctx, p, script)
 }
 
 // Exec runs a non-interactive command, failing on a nonzero exit.
 func (s *Session) Exec(cmdline string) ([]string, error) {
+	return s.ExecContext(context.Background(), cmdline)
+}
+
+// ExecContext is Exec with a kill deadline (see RunContext).
+func (s *Session) ExecContext(ctx context.Context, cmdline string) ([]string, error) {
 	p := s.shell.Spawn(cmdline)
-	return s.engine.Run(p, nil)
+	return s.engine.RunContext(ctx, p, nil)
 }

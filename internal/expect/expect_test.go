@@ -1,6 +1,8 @@
 package expect
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -137,5 +139,61 @@ func TestMatchErrorMessages(t *testing.T) {
 	e.Timeout = true
 	if !strings.Contains(e.Error(), "timed out") {
 		t.Fatalf("timeout msg = %q", e.Error())
+	}
+}
+
+// TestContextKillsNeverMatchingDialogue is the deadline-aware kill path: a
+// dialogue whose prompt never appears must terminate when the context
+// deadline fires instead of blocking the worker for the full step (or
+// prompt) timeout.
+func TestContextKillsNeverMatchingDialogue(t *testing.T) {
+	s, v := testSite()
+	sess := Open(s, v, time.Millisecond)
+	sh := sess.Shell()
+	s.FS.Mkdir("/tmp/p")
+	stage(s, "POVray", "/tmp/p/povray.tgz")
+	sh.Chdir("/tmp/p")
+	sess.Exec("tar xvfz povray.tgz")
+	sh.Chdir("povray-3.6.1")
+
+	// ./configure emits its license prompt and then blocks awaiting input;
+	// the script never matches, so without the kill switch RunContext would
+	// sit out the generous step timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := sess.InteractContext(ctx, "./configure --prefix=/opt/pov", Script{
+		{Expect: "THIS PROMPT NEVER APPEARS", Timeout: 30 * time.Second},
+	})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("kill took %v, want ~the 100ms deadline", took)
+	}
+}
+
+// TestContextKillWhileDraining covers the drain phase: the script has
+// matched everything, but the process never exits.
+func TestContextKillWhileDraining(t *testing.T) {
+	s, v := testSite()
+	sess := Open(s, v, time.Millisecond)
+	sh := sess.Shell()
+	s.FS.Mkdir("/tmp/p")
+	stage(s, "POVray", "/tmp/p/povray.tgz")
+	sh.Chdir("/tmp/p")
+	sess.Exec("tar xvfz povray.tgz")
+	sh.Chdir("povray-3.6.1")
+
+	// Match the first prompt but answer a question the installer did not
+	// ask next; it re-prompts and waits, so the drain after the last
+	// scripted step never sees the output channel close.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := sess.InteractContext(ctx, "./configure --prefix=/opt/pov", Script{
+		{Expect: "Accept POV-Ray license", Send: "y"},
+	})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
 }

@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BuildMode is the kind of fault injected into one deployment step.
+type BuildMode int
+
+const (
+	// BuildFail makes the step return a transient error (a torn transfer,
+	// a flaky installer) that per-step retry may absorb.
+	BuildFail BuildMode = iota + 1
+	// BuildCrash simulates the site daemon dying mid-build: the engine
+	// must abandon the build immediately, leaving its checkpoints intact
+	// for resume after restart.
+	BuildCrash
+	// BuildHang blocks the step until the engine's watchdog kills it.
+	BuildHang
+	// BuildDelay stalls the step for a fixed real-time duration, then lets
+	// it proceed — enough to overlap concurrent duplicate requests.
+	BuildDelay
+)
+
+// String renders the mode name.
+func (m BuildMode) String() string {
+	switch m {
+	case BuildFail:
+		return "fail"
+	case BuildCrash:
+		return "crash"
+	case BuildHang:
+		return "hang"
+	case BuildDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// BuildFault is the error a DeployChaos injection produces. The deployment
+// engine recognizes it structurally (BuildCrash/Transient methods), so rdm
+// does not import this package.
+type BuildFault struct {
+	TypeName string
+	Step     string
+	Mode     BuildMode
+}
+
+// Error implements the error interface.
+func (e *BuildFault) Error() string {
+	return fmt.Sprintf("faultinject: %s injected at step %s of %s build", e.Mode, e.Step, e.TypeName)
+}
+
+// BuildCrash reports whether this fault simulates process death.
+func (e *BuildFault) BuildCrash() bool { return e.Mode == BuildCrash }
+
+// Transient reports whether this fault models a retryable condition.
+func (e *BuildFault) Transient() bool { return e.Mode == BuildFail }
+
+type buildRule struct {
+	mode      BuildMode
+	delay     time.Duration
+	remaining int // <0 = unlimited
+}
+
+// DeployChaos injects faults into deployment steps. The engine calls Step
+// before executing each build step; armed rules fire by (type, step) key.
+// A "*" type or step matches any.
+type DeployChaos struct {
+	mu    sync.Mutex
+	rules map[string]*buildRule
+}
+
+// NewDeployChaos creates an injector with no armed rules.
+func NewDeployChaos() *DeployChaos {
+	return &DeployChaos{rules: make(map[string]*buildRule)}
+}
+
+func chaosKey(typeName, step string) string { return typeName + "\x00" + step }
+
+// FailStep arms a transient failure on the step for the next n executions.
+func (c *DeployChaos) FailStep(typeName, step string, n int) {
+	c.arm(typeName, step, &buildRule{mode: BuildFail, remaining: n})
+}
+
+// CrashStep arms a one-shot simulated daemon crash on the step.
+func (c *DeployChaos) CrashStep(typeName, step string) {
+	c.arm(typeName, step, &buildRule{mode: BuildCrash, remaining: 1})
+}
+
+// HangStep makes the step hang until the engine's watchdog kills it, for
+// the next n executions.
+func (c *DeployChaos) HangStep(typeName, step string, n int) {
+	c.arm(typeName, step, &buildRule{mode: BuildHang, remaining: n})
+}
+
+// DelayStep stalls the step for d (real time) on every execution until
+// Clear.
+func (c *DeployChaos) DelayStep(typeName, step string, d time.Duration) {
+	c.arm(typeName, step, &buildRule{mode: BuildDelay, delay: d, remaining: -1})
+}
+
+// Clear disarms every rule.
+func (c *DeployChaos) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules = make(map[string]*buildRule)
+}
+
+func (c *DeployChaos) arm(typeName, step string, r *buildRule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules[chaosKey(typeName, step)] = r
+}
+
+// Step is the engine hook: called with the build's type and step name
+// before the step runs. It returns nil to proceed, or the injected fault.
+// Hangs block on ctx, so the caller's watchdog deadline bounds them.
+func (c *DeployChaos) Step(ctx context.Context, typeName, step string) error {
+	c.mu.Lock()
+	r := c.rules[chaosKey(typeName, step)]
+	if r == nil {
+		r = c.rules[chaosKey(typeName, "*")]
+	}
+	if r == nil {
+		r = c.rules[chaosKey("*", step)]
+	}
+	if r == nil || r.remaining == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	if r.remaining > 0 {
+		r.remaining--
+	}
+	mode, delay := r.mode, r.delay
+	c.mu.Unlock()
+
+	switch mode {
+	case BuildDelay:
+		select {
+		case <-time.After(delay):
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("faultinject: step %s of %s killed mid-delay: %w", step, typeName, ctx.Err())
+		}
+	case BuildHang:
+		<-ctx.Done()
+		return fmt.Errorf("faultinject: step %s of %s hung: %w", step, typeName, ctx.Err())
+	default:
+		return &BuildFault{TypeName: typeName, Step: step, Mode: mode}
+	}
+}

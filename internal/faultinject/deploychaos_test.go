@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDeployChaosFailBudget(t *testing.T) {
+	c := NewDeployChaos()
+	c.FailStep("Wien2k", "Download", 2)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		err := c.Step(ctx, "Wien2k", "Download")
+		var bf *BuildFault
+		if !errors.As(err, &bf) || bf.Mode != BuildFail || !bf.Transient() || bf.BuildCrash() {
+			t.Fatalf("fire %d: %v", i+1, err)
+		}
+	}
+	if err := c.Step(ctx, "Wien2k", "Download"); err != nil {
+		t.Fatalf("exhausted rule still fired: %v", err)
+	}
+	if err := c.Step(ctx, "Wien2k", "Expand"); err != nil {
+		t.Fatalf("unrelated step hit: %v", err)
+	}
+}
+
+func TestDeployChaosCrashIsOneShot(t *testing.T) {
+	c := NewDeployChaos()
+	c.CrashStep("JPOVray", "Deploy")
+	err := c.Step(context.Background(), "JPOVray", "Deploy")
+	var bf *BuildFault
+	if !errors.As(err, &bf) || !bf.BuildCrash() || bf.Transient() {
+		t.Fatalf("crash fired as %v", err)
+	}
+	if err := c.Step(context.Background(), "JPOVray", "Deploy"); err != nil {
+		t.Fatalf("one-shot crash fired twice: %v", err)
+	}
+}
+
+func TestDeployChaosWildcards(t *testing.T) {
+	c := NewDeployChaos()
+	c.FailStep("*", "Download", 1)
+	if err := c.Step(context.Background(), "Anything", "Download"); err == nil {
+		t.Fatal("wildcard type did not match")
+	}
+	c.Clear()
+	c.FailStep("Wien2k", "*", 1)
+	if err := c.Step(context.Background(), "Wien2k", "Init"); err == nil {
+		t.Fatal("wildcard step did not match")
+	}
+	if err := c.Step(context.Background(), "Invmod", "Init"); err != nil {
+		t.Fatalf("wildcard leaked across types: %v", err)
+	}
+}
+
+func TestDeployChaosHangBlocksUntilContext(t *testing.T) {
+	c := NewDeployChaos()
+	c.HangStep("Wien2k", "Configure", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Step(ctx, "Wien2k", "Configure")
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang ended with %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("hang returned before the context deadline")
+	}
+}
+
+func TestDeployChaosDelayThenProceeds(t *testing.T) {
+	c := NewDeployChaos()
+	c.DelayStep("Wien2k", "Expand", 20*time.Millisecond)
+	start := time.Now()
+	if err := c.Step(context.Background(), "Wien2k", "Expand"); err != nil {
+		t.Fatalf("delay returned error: %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("delay did not stall the step")
+	}
+	// Delays persist until Clear.
+	if err := c.Step(context.Background(), "Wien2k", "Expand"); err != nil {
+		t.Fatal(err)
+	}
+	c.Clear()
+	start = time.Now()
+	if err := c.Step(context.Background(), "Wien2k", "Expand"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatal("Clear did not disarm the delay")
+	}
+}

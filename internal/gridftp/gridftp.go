@@ -93,10 +93,27 @@ func (c *Client) FetchChecked(srcURL string, dst *site.Site, dstPath, md5sum str
 	}
 	e := dst.FS.Stat(dstPath)
 	if e == nil || e.MD5 != md5sum {
+		got := ""
+		if e != nil {
+			got = e.MD5
+		}
 		dst.FS.Remove(dstPath)
-		return fmt.Errorf("gridftp: md5 mismatch for %s", srcURL)
+		return &ChecksumError{URL: srcURL, Want: md5sum, Got: got}
 	}
 	return nil
+}
+
+// ChecksumError reports a transfer whose content fingerprint did not match
+// the deploy-file's declared md5sum. It is retryable: the archive may have
+// been torn in flight, and a fresh fetch can still produce the right bits.
+type ChecksumError struct {
+	URL  string
+	Want string
+	Got  string
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("gridftp: md5 mismatch for %s (want %s, got %q)", e.URL, e.Want, e.Got)
 }
 
 // ThirdParty copies a file between two sites (third-party transfer).

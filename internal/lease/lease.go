@@ -15,6 +15,7 @@ package lease
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -249,6 +250,36 @@ func (s *Service) Release(id uint64) error {
 		s.journal.RecordRelease(id)
 	}
 	return nil
+}
+
+// ReleaseByDeployment releases every outstanding ticket on a deployment
+// and returns the released IDs (ascending). This is the undeploy path: a
+// removed deployment must not keep live reservations, and each release is
+// journaled so a restart cannot resurrect a lease on a deployment that no
+// longer exists.
+func (s *Service) ReleaseByDeployment(deployment string) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.deps[deployment]
+	if st == nil {
+		return nil
+	}
+	var ids []uint64
+	if st.exclusive != nil {
+		ids = append(ids, st.exclusive.ID)
+	}
+	for id := range st.shared {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		delete(s.byID, id)
+		if s.journal != nil {
+			s.journal.RecordRelease(id)
+		}
+	}
+	delete(s.deps, deployment)
+	return ids
 }
 
 // Authorize checks that the ticket permits the client to use the

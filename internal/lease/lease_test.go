@@ -153,3 +153,49 @@ func TestTicketValidWindow(t *testing.T) {
 		t.Fatal("before start must be invalid")
 	}
 }
+
+func TestReleaseByDeployment(t *testing.T) {
+	v := simclock.NewVirtual(time.Time{})
+	s := NewService(v)
+	j := &journalRec{}
+	s.SetJournal(j)
+
+	ex, err := s.Acquire("jpovray", "c1", Exclusive, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh1, err := s.Acquire("wien2k", "c2", Shared, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := s.Acquire("wien2k", "c3", Shared, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := s.ReleaseByDeployment("wien2k")
+	if len(ids) != 2 || ids[0] != sh1.ID || ids[1] != sh2.ID {
+		t.Fatalf("released %v, want [%d %d]", ids, sh1.ID, sh2.ID)
+	}
+	// Both shared tickets are gone and journaled; the other deployment's
+	// exclusive lease is untouched.
+	if len(j.released) != 2 {
+		t.Fatalf("journaled releases = %v", j.released)
+	}
+	if err := s.Authorize(sh1.ID, "c2", "wien2k"); err == nil {
+		t.Fatal("released ticket still authorizes")
+	}
+	if err := s.Authorize(ex.ID, "c1", "jpovray"); err != nil {
+		t.Fatalf("unrelated lease disturbed: %v", err)
+	}
+	if used, _ := s.InUse("wien2k"); used {
+		t.Fatal("deployment still marked in use")
+	}
+	if got := s.ReleaseByDeployment("wien2k"); got != nil {
+		t.Fatalf("second release = %v, want nil", got)
+	}
+	// The freed deployment accepts new leases (state fully reset).
+	if _, err := s.Acquire("wien2k", "c4", Exclusive, time.Hour); err != nil {
+		t.Fatalf("re-acquire after bulk release: %v", err)
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"glare/internal/activity"
 	"glare/internal/cog"
 	"glare/internal/deployfile"
-	"glare/internal/expect"
 	"glare/internal/gridarm"
 	"glare/internal/simclock"
 	"glare/internal/site"
@@ -179,32 +178,43 @@ func (s *Service) deployLocal(parent *telemetry.Span, t *activity.Type, method M
 	if method == "" {
 		method = MethodExpect
 	}
-	// If another request is already installing this type, wait for it and
-	// reuse its result instead of double-installing (look-ahead scheduling
-	// races the regular resolution path here by design).
-	s.mu.Lock()
-	if ch, busy := s.deploying[t.Name]; busy {
-		s.mu.Unlock()
-		<-ch
-		if deps := s.ADR.ByType(t.Name); len(deps) > 0 {
-			return &DeployReport{
-				Type: t.Name, Site: s.site.Attrs.Name, Method: method,
-				Deployments: deps,
-			}, nil
-		}
-		return nil, fmt.Errorf("rdm: concurrent deployment of %q failed", t.Name)
+	// Singleflight: if another request is already installing this type,
+	// join the in-flight build and share its report instead of
+	// double-installing (look-ahead scheduling races the regular resolution
+	// path here by design). A quarantined type is refused before any work.
+	call, join, jerr := s.joinOrLead(t.Name)
+	if jerr != nil {
+		return nil, jerr
 	}
-	done := make(chan struct{})
-	s.deploying[t.Name] = done
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.deploying, t.Name)
-		s.mu.Unlock()
-		close(done)
-	}()
+	if join != nil {
+		return join()
+	}
 
 	report := &DeployReport{Type: t.Name, Site: s.site.Attrs.Name, Method: method}
+	defer func() {
+		if err != nil {
+			s.finishCall(t.Name, call, nil, err)
+		} else {
+			s.finishCall(t.Name, call, report, nil)
+		}
+	}()
+
+	// Admission: the site runs at most MaxConcurrent builds; excess waits
+	// in a bounded FIFO queue and overflow is shed with Unavailable.
+	// Dependency builds ride their parent's slot — acquiring another here
+	// would deadlock the parent against its own children.
+	if chargeOverhead {
+		release, aerr := s.gate.acquire(s.site.Attrs.Name)
+		if aerr != nil {
+			s.deployTel.queueShed.Inc()
+			return nil, aerr
+		}
+		s.deployTel.active.Inc()
+		defer func() {
+			s.deployTel.active.Dec()
+			release()
+		}()
+	}
 
 	// Constraint check against this site.
 	if t.Installation != nil {
@@ -256,25 +266,20 @@ func (s *Service) deployLocal(parent *telemetry.Span, t *activity.Type, method M
 		return nil, err
 	}
 
-	// Run the installation with the selected method.
+	// Run the installation through the execution engine: checkpointed and
+	// resumable, with per-step watchdog, transfer retry, and rollback of
+	// the partial install on terminal failure.
 	var run cog.Result
-	switch method {
-	case MethodCoG:
-		cfg := s.cogCfg
-		if cfg == (cog.Config{}) {
-			cfg = cog.DefaultConfig()
-		}
-		if !chargeOverhead {
-			cfg.StartupOverhead = 0 // kit already started by the parent
-		}
-		runner := cog.NewRunner(cfg, s.clock, s.site.Repo)
-		run, err = runner.Run(s.site, cmds)
-	case MethodExpect:
-		run, err = s.runExpect(cmds, chargeOverhead)
-	default:
-		return nil, fmt.Errorf("rdm: unknown deployment method %q", method)
-	}
+	run, err = s.runBuild(t.Name, build, cmds, method, chargeOverhead)
 	if err != nil {
+		if isBuildCrash(err) {
+			// Simulated daemon death: checkpoints (and their journal
+			// records) stay intact so the restarted site resumes the build
+			// at its first incomplete step. No admin mail from a dead
+			// process, no quarantine strike.
+			return nil, fmt.Errorf("rdm: installing %q: %w", t.Name, err)
+		}
+		s.noteBuildFailure(t.Name)
 		s.site.NotifyAdmin(
 			fmt.Sprintf("installation failed: %s", t.Name),
 			fmt.Sprintf("deploy-file %s failed on %s: %v; contact the activity provider",
@@ -306,6 +311,13 @@ func (s *Service) deployLocal(parent *telemetry.Span, t *activity.Type, method M
 	msg.SetAttr("site", s.site.Attrs.Name)
 	s.broker.Publish(wsrf.TopicDeployment, t.Name, msg)
 	report.Timings.Notification += sw.Elapsed()
+
+	// Only now — with the deployments registered and announced — are the
+	// build's checkpoints dropped; a crash anywhere before this line leaves
+	// a journal the restarted site resumes from. Success also resets the
+	// type's failure streak.
+	s.clearCheckpoints(t.Name)
+	s.noteBuildSuccess(t.Name)
 	return report, nil
 }
 
@@ -318,66 +330,6 @@ func (s *Service) fetchBuild(t *activity.Type) (*deployfile.Build, error) {
 		return nil, fmt.Errorf("rdm: no deploy-file resolver configured")
 	}
 	return s.deployFiles(t.Installation.DeployFileURL)
-}
-
-// runExpect executes resolved commands through the Expect-driven virtual
-// terminal (the paper's default deployment handler).
-func (s *Service) runExpect(cmds []deployfile.Command, chargeLogin bool) (cog.Result, error) {
-	var res cog.Result
-	sw := simclock.NewStopwatch(s.clock)
-	login := s.costs.ExpectLogin
-	if login <= 0 {
-		login = expectLoginDefault
-	}
-	if !chargeLogin {
-		login = -1 // session reuse: no additional login cost
-	}
-	sess := expect.Open(s.site, s.clock, login)
-	res.Overhead = sw.Elapsed()
-	sh := sess.Shell()
-	for _, c := range cmds {
-		for k, v := range c.Env {
-			sh.Setenv(k, v)
-		}
-		if c.BaseDir != "" {
-			s.site.FS.Mkdir(c.BaseDir)
-			if err := sh.Chdir(c.BaseDir); err != nil {
-				return res, err
-			}
-		}
-		if isTransferCmd(c.Cmdline) {
-			// Transfers go through GridFTP directly so that the
-			// deploy-file's md5sum is verified, exactly as the CoG path
-			// does.
-			sw.Reset()
-			f := strings.Fields(c.Cmdline)
-			if len(f) < 3 {
-				return res, fmt.Errorf("step %s: transfer needs source and destination", c.Step.Name)
-			}
-			dst := strings.TrimPrefix(f[2], "file://")
-			if err := s.FTP.FetchChecked(f[1], s.site, dst, deployfile.MD5OfStep(c.Step)); err != nil {
-				return res, fmt.Errorf("step %s: %w", c.Step.Name, err)
-			}
-			res.Communication += sw.Elapsed()
-			continue
-		}
-		var script expect.Script
-		for _, d := range c.Dialog {
-			script = append(script, expect.Step{Expect: d.Expect, Send: d.Send, Timeout: c.Timeout})
-		}
-		sw.Reset()
-		var err error
-		if len(script) > 0 {
-			_, err = sess.Interact(c.Cmdline, script)
-		} else {
-			_, err = sess.Exec(c.Cmdline)
-		}
-		if err != nil {
-			return res, fmt.Errorf("step %s: %w", c.Step.Name, err)
-		}
-		res.Installation += sw.Elapsed()
-	}
-	return res, nil
 }
 
 func isTransferCmd(cmdline string) bool {
@@ -460,6 +412,11 @@ func (s *Service) Undeploy(name string) error {
 	}
 	if !s.ADR.Remove(name) {
 		return fmt.Errorf("rdm: removing %q from registry failed", name)
+	}
+	// A reservation must not outlive what it reserves: every outstanding
+	// lease ticket on the removed deployment is released and journaled.
+	if ids := s.Leases.ReleaseByDeployment(name); len(ids) > 0 {
+		s.tel.Counter("glare_rdm_undeploy_leases_released_total").Add(uint64(len(ids)))
 	}
 	s.depCache.Invalidate("dep:" + name)
 	return nil

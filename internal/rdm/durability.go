@@ -3,6 +3,8 @@ package rdm
 import (
 	"strconv"
 
+	"glare/internal/activity"
+	"glare/internal/site"
 	"glare/internal/store"
 	"glare/internal/xmlutil"
 )
@@ -20,6 +22,7 @@ func (s *Service) attachStore(st *store.Store) {
 	s.ATR.SetJournal(st.RegistryJournal(store.RegATR))
 	s.ADR.SetJournal(st.RegistryJournal(store.RegADR))
 	s.Leases.SetJournal(st.LeaseJournal())
+	s.deployJournal = st.DeployJournal()
 }
 
 // restoreFromStore replays a recovered journal state into the site's
@@ -52,6 +55,31 @@ func (s *Service) restoreFromStore(state *store.State) {
 		s.Leases.RestoreLimit(dep, max)
 	}
 	s.Leases.RetireID(state.Leases.MaxID)
+
+	// The simulated site filesystem is memory-only (DESIGN §10), so a
+	// restart loses every installed file. Registered deployments are
+	// re-materialized from the recovered ADR — executables back onto the
+	// filesystem, services back into the container — or resumed builds that
+	// depend on them (a JPOVray build invoking ant) would fail.
+	for _, d := range s.ADR.All() {
+		switch d.Kind {
+		case activity.KindExecutable:
+			if d.Path != "" {
+				s.site.FS.Write(d.Path, site.KindExecutable, 1<<20, "", "")
+			}
+		case activity.KindService:
+			s.site.DeployService(d.Name, d.Home)
+		}
+	}
+
+	// Interrupted builds: their checkpointed steps come back verbatim; the
+	// next DeployLocal of the type replays them and resumes at the first
+	// incomplete step.
+	for typeName, steps := range state.Deploys {
+		if len(steps) > 0 {
+			s.resume[typeName] = append([]store.DeployStep(nil), steps...)
+		}
+	}
 }
 
 // Store returns the site's durable store, or nil when durability is off.

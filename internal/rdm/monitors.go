@@ -181,6 +181,7 @@ func (s *Service) CommunitySites() []superpeer.SiteInfo {
 func (s *Service) CheckDeployments() (alive int, removed []string) {
 	s.ATR.SweepExpired()
 	s.ADR.SweepExpired()
+	s.sweepQuarantine()
 	for _, d := range s.ADR.All() {
 		ok := true
 		switch d.Kind {

@@ -172,6 +172,11 @@ func (s *Service) Mount(srv *transport.Server) {
 			// enabled="false" on memory-only sites.
 			return s.StoreStatusXML(), nil
 		},
+		"DeployStatus": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
+			// Deployment-engine summary for `glarectl builds`: in-flight
+			// builds, queue pressure, quarantined types, resumable builds.
+			return s.DeployStatusXML(), nil
+		},
 		"SiteAttrs": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
 			a := s.site.Attrs
 			n := xmlutil.NewNode("Attrs")

@@ -113,6 +113,13 @@ type Config struct {
 	// assembly and every subsequent mutation is journaled through it. Nil
 	// keeps the site memory-only (the pre-durability behaviour).
 	Store *store.Store
+	// Deploy tunes the deployment execution engine (checkpointing,
+	// dedup/queue limits, retry and quarantine); the zero value uses
+	// DefaultDeployLimits.
+	Deploy DeployLimits
+	// DeployHook is called before every build step (fault injection);
+	// nil disables injection.
+	DeployHook DeployHook
 }
 
 // Service is one site's GLARE RDM.
@@ -155,9 +162,19 @@ type Service struct {
 	tel   *telemetry.Telemetry
 	store *store.Store
 
+	// Deployment execution engine state (deployrun.go).
+	limits        DeployLimits
+	deployHook    DeployHook
+	gate          *buildGate
+	deployJournal deployJournal
+	deployTel     deployCounters
+
 	mu             sync.Mutex
-	deploying      map[string]chan struct{} // in-flight deployments by type
-	coordinatedFor int                      // community size the last election covered
+	inflight       map[string]*buildCall        // in-flight builds by type
+	resume         map[string][]store.DeployStep // checkpointed steps by type
+	quarantined    map[string]*quarState        // failing types in cool-down
+	buildRoots     map[string][]string          // directory roots owned by in-flight builds
+	coordinatedFor int                          // community size the last election covered
 	stop           chan struct{}
 	stopOnce       sync.Once
 }
@@ -216,10 +233,17 @@ func New(cfg Config) (*Service, error) {
 		cogCfg:      cfg.CoG,
 		Load: metrics.NewLoadTrackerOn(tel.Gauge("glare_rdm_run_queue"),
 			5*time.Second, time.Minute),
-		tel:       tel,
-		deploying: make(map[string]chan struct{}),
-		stop:      make(chan struct{}),
+		tel:         tel,
+		limits:      cfg.Deploy.withDefaults(),
+		deployHook:  cfg.DeployHook,
+		inflight:    make(map[string]*buildCall),
+		resume:      make(map[string][]store.DeployStep),
+		quarantined: make(map[string]*quarState),
+		buildRoots:  make(map[string][]string),
+		stop:        make(chan struct{}),
 	}
+	s.gate = newBuildGate(s.limits.MaxConcurrent, s.limits.QueueDepth)
+	s.deployTel = newDeployCounters(tel)
 	// Wire the site's observability bundle through every component the RDM
 	// assembles, so one /metrics page covers the whole stack.
 	s.ATR.SetTelemetry(tel)

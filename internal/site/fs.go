@@ -148,6 +148,19 @@ func (f *FS) Executables(dir string) []*File {
 	return out
 }
 
+// Entries returns a value copy of every filesystem entry keyed by path.
+// The deployment engine diffs two such snapshots to learn which entries a
+// build step produced.
+func (f *FS) Entries() map[string]File {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]File, len(f.files))
+	for k, e := range f.files {
+		out[k] = *e
+	}
+	return out
+}
+
 // Len returns the number of filesystem entries (including directories).
 func (f *FS) Len() int {
 	f.mu.RLock()

@@ -154,6 +154,89 @@ func (s *Site) Services() []string {
 	return out
 }
 
+// SideState is a snapshot of the shell-visible bookkeeping a build step
+// can mutate besides the filesystem: unpack records, configure prefixes
+// and hosted services. The deployment engine diffs two snapshots to learn
+// a step's effects, and re-applies them when replaying a checkpoint.
+type SideState struct {
+	Unpacked   map[string]string // source dir -> artifact name
+	Prefixes   map[string]string // source dir -> install prefix
+	Configured map[string]bool   // source dir -> configure completed
+	Services   map[string]string // service name -> home dir
+}
+
+// SideStateSnapshot captures the current side-state.
+func (s *Site) SideStateSnapshot() SideState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SideState{
+		Unpacked:   make(map[string]string, len(s.unpacked)),
+		Prefixes:   make(map[string]string, len(s.prefixes)),
+		Configured: make(map[string]bool, len(s.configured)),
+		Services:   make(map[string]string, len(s.services)),
+	}
+	for d, a := range s.unpacked {
+		out.Unpacked[d] = a.Name
+	}
+	for d, p := range s.prefixes {
+		out.Prefixes[d] = p
+	}
+	for d, c := range s.configured {
+		out.Configured[d] = c
+	}
+	for n, h := range s.services {
+		out.Services[n] = h
+	}
+	return out
+}
+
+// RestoreUnpack re-records an archive expansion from a checkpoint,
+// resolving the artifact through the repo; reports whether it resolved.
+func (s *Site) RestoreUnpack(dir, artifactName string) bool {
+	a, ok := s.Repo.ByName(artifactName)
+	if !ok {
+		return false
+	}
+	s.recordUnpack(dir, a)
+	return true
+}
+
+// RestorePrefix re-records a configure run's install prefix.
+func (s *Site) RestorePrefix(srcDir, prefix string, configured bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prefixes[clean(srcDir)] = clean(prefix)
+	if configured {
+		s.configured[clean(srcDir)] = true
+	}
+}
+
+// ForgetDir drops unpack/configure bookkeeping at or under dir — the
+// rollback path after a failed build removes its working tree.
+func (s *Site) ForgetDir(dir string) {
+	d := clean(dir)
+	under := func(p string) bool {
+		return p == d || (len(p) > len(d) && p[:len(d)] == d && (d == "/" || p[len(d)] == '/'))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for p := range s.unpacked {
+		if under(p) {
+			delete(s.unpacked, p)
+		}
+	}
+	for p := range s.prefixes {
+		if under(p) {
+			delete(s.prefixes, p)
+		}
+	}
+	for p := range s.configured {
+		if under(p) {
+			delete(s.configured, p)
+		}
+	}
+}
+
 // NotifyAdmin appends a message to the administrator mailbox.
 func (s *Site) NotifyAdmin(subject, body string) {
 	s.mu.Lock()

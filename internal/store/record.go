@@ -33,6 +33,13 @@ const (
 	// opSnapSeal terminates a snapshot file; a snapshot without its seal
 	// was torn mid-write and is ignored during recovery.
 	opSnapSeal
+	// OpDeployStep checkpoints one completed deployment step. Appended
+	// after opSnapSeal so the wire values of the earlier ops — already on
+	// disk in existing journals — stay stable.
+	OpDeployStep
+	// OpDeployClear drops every checkpoint of a type's build: the build
+	// completed (and was registered) or was rolled back.
+	OpDeployClear
 )
 
 // String renders the op name.
@@ -50,6 +57,10 @@ func (o Op) String() string {
 		return "lease-limit"
 	case opSnapSeal:
 		return "snap-seal"
+	case OpDeployStep:
+		return "deploy-step"
+	case OpDeployClear:
+		return "deploy-clear"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -81,6 +92,69 @@ type Record struct {
 	ID uint64 `json:"id,omitempty"`
 	// Limit is the shared-lease bound (lease-limit only).
 	Limit int `json:"limit,omitempty"`
+	// Deploy is the checkpoint payload (deploy-step only); Key carries the
+	// activity type name for both deploy-step and deploy-clear.
+	Deploy *DeployStep `json:"deploy,omitempty"`
+}
+
+// DeployStep is one completed step of an on-demand build, journaled so an
+// interrupted deployment can resume at the first incomplete step after a
+// site restart. The simulated site filesystem is memory-only (DESIGN §10),
+// so a checkpoint is self-contained: it carries every filesystem entry and
+// every piece of site side-state the step produced, letting resume
+// re-materialize the step's effects at zero clock and transfer cost.
+type DeployStep struct {
+	// Type is the activity type being built; Build the deploy-file name.
+	Type  string `json:"type"`
+	Build string `json:"build"`
+	// Step is the deploy-file step name; Index its position in the
+	// topological order. A re-journaled index truncates any stale tail.
+	Step  string `json:"step"`
+	Index int    `json:"index"`
+	// Transfer marks a globus-url-copy step; MD5 is the deploy-file's
+	// declared md5sum, so resume can prove the cached download is the one
+	// the (possibly updated) deploy-file still wants.
+	Transfer bool   `json:"transfer,omitempty"`
+	MD5      string `json:"md5,omitempty"`
+	// Files are the filesystem entries the step created or changed;
+	// Removed the paths it deleted.
+	Files   []DeployFile `json:"files,omitempty"`
+	Removed []string     `json:"removed,omitempty"`
+	// Side-state the step produced on the site: archive unpacks, configure
+	// prefixes and deployed service endpoints.
+	Unpacks  []DeployUnpack  `json:"unpacks,omitempty"`
+	Prefixes []DeployPrefix  `json:"prefixes,omitempty"`
+	Services []DeployService `json:"services,omitempty"`
+}
+
+// DeployFile is one filesystem entry a step produced. New marks entries
+// whose path did not exist before the step — the set rollback removes.
+type DeployFile struct {
+	Path     string `json:"path"`
+	Kind     int    `json:"kind"`
+	Size     int64  `json:"size,omitempty"`
+	MD5      string `json:"md5,omitempty"`
+	Artifact string `json:"artifact,omitempty"`
+	New      bool   `json:"new,omitempty"`
+}
+
+// DeployUnpack records that a step expanded an artifact's archive into a
+// directory (resolved back through the artifact repo on resume).
+type DeployUnpack struct {
+	Dir      string `json:"dir"`
+	Artifact string `json:"artifact"`
+}
+
+// DeployPrefix records a configure run's install prefix for a source dir.
+type DeployPrefix struct {
+	Dir    string `json:"dir"`
+	Prefix string `json:"prefix"`
+}
+
+// DeployService records a service endpoint the step brought up.
+type DeployService struct {
+	Name string `json:"name"`
+	Home string `json:"home"`
 }
 
 func (r Record) encode() ([]byte, error) { return json.Marshal(r) }
@@ -118,6 +192,9 @@ type LeaseState struct {
 type State struct {
 	Registries map[string]map[string]Entry
 	Leases     LeaseState
+	// Deploys maps an activity type name to the checkpointed steps of its
+	// interrupted build, in step order.
+	Deploys map[string][]DeployStep
 }
 
 func newState() *State {
@@ -127,6 +204,7 @@ func newState() *State {
 			Tickets: map[uint64]lease.Ticket{},
 			Limits:  map[string]int{},
 		},
+		Deploys: map[string][]DeployStep{},
 	}
 }
 
@@ -157,6 +235,19 @@ func (st *State) apply(r Record) {
 		} else {
 			st.Leases.Limits[r.Key] = r.Limit
 		}
+	case OpDeployStep:
+		if r.Deploy != nil {
+			d := *r.Deploy
+			list := st.Deploys[d.Type]
+			// A step re-run after divergence truncates the stale tail of
+			// the previous attempt before taking its slot.
+			if d.Index < len(list) {
+				list = list[:d.Index]
+			}
+			st.Deploys[d.Type] = append(list, d)
+		}
+	case OpDeployClear:
+		delete(st.Deploys, r.Key)
 	}
 }
 
@@ -167,6 +258,9 @@ func (st *State) liveRecords() int {
 		n += len(reg)
 	}
 	n += len(st.Leases.Tickets) + len(st.Leases.Limits)
+	for _, steps := range st.Deploys {
+		n += len(steps)
+	}
 	return n
 }
 
@@ -186,6 +280,14 @@ func (st *State) records() []Record {
 	}
 	for dep, max := range st.Leases.Limits {
 		out = append(out, Record{Op: OpLeaseLimit, Key: dep, Limit: max})
+	}
+	for _, steps := range st.Deploys {
+		// Within a type the slice order is the step order; replay relies
+		// on each record's Index, so emitting types in any order is fine.
+		for i := range steps {
+			d := steps[i]
+			out = append(out, Record{Op: OpDeployStep, Key: d.Type, Deploy: &d})
+		}
 	}
 	return out
 }
@@ -208,5 +310,8 @@ func (st *State) clone() *State {
 		out.Leases.Limits[dep] = max
 	}
 	out.Leases.MaxID = st.Leases.MaxID
+	for typ, steps := range st.Deploys {
+		out.Deploys[typ] = append([]DeployStep(nil), steps...)
+	}
 	return out
 }

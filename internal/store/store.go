@@ -620,3 +620,20 @@ func (l *LeaseLog) RecordRelease(id uint64) {
 func (l *LeaseLog) RecordLimit(deployment string, max int) {
 	_ = l.s.Append(Record{Op: OpLeaseLimit, Key: deployment, Limit: max})
 }
+
+// DeployLog journals deployment step checkpoints into the store.
+type DeployLog struct{ s *Store }
+
+// DeployJournal returns the deployment checkpoint journal adapter.
+func (s *Store) DeployJournal() *DeployLog { return &DeployLog{s: s} }
+
+// RecordStep journals one completed build step.
+func (l *DeployLog) RecordStep(st DeployStep) {
+	_ = l.s.Append(Record{Op: OpDeployStep, Key: st.Type, Deploy: &st})
+}
+
+// RecordClear journals the end of a type's build — completion or rollback
+// — dropping its checkpoints.
+func (l *DeployLog) RecordClear(typeName string) {
+	_ = l.s.Append(Record{Op: OpDeployClear, Key: typeName})
+}

@@ -258,3 +258,51 @@ func TestStatusSurface(t *testing.T) {
 		t.Fatalf("appended = %d", st.Appended)
 	}
 }
+
+// TestDeployCheckpointRoundTrip proves build-step checkpoints replay with
+// their truncate-on-divergence semantics, survive snapshot compaction, and
+// vanish on clear.
+func TestDeployCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	j := s.DeployJournal()
+	j.RecordStep(DeployStep{Type: "Wien2k", Build: "Wien2k", Step: "Init", Index: 0})
+	j.RecordStep(DeployStep{Type: "Wien2k", Build: "Wien2k", Step: "Download", Index: 1,
+		Transfer: true, MD5: "abc123",
+		Files: []DeployFile{{Path: "/tmp/wien2k/wien2k.tgz", Size: 100, New: true}}})
+	j.RecordStep(DeployStep{Type: "Wien2k", Build: "Wien2k", Step: "Expand", Index: 2,
+		Unpacks: []DeployUnpack{{Dir: "/tmp/wien2k/wien2k-05", Artifact: "Wien2k"}}})
+	j.RecordStep(DeployStep{Type: "Counter", Build: "Counter", Step: "Init", Index: 0})
+	// A re-run at index 1 truncates the stale Expand checkpoint.
+	j.RecordStep(DeployStep{Type: "Wien2k", Build: "Wien2k", Step: "Download", Index: 1,
+		Transfer: true, MD5: "def456"})
+	j.RecordClear("Counter")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	st := re.State()
+	if _, ok := st.Deploys["Counter"]; ok {
+		t.Fatal("cleared build survived replay")
+	}
+	steps := st.Deploys["Wien2k"]
+	if len(steps) != 2 {
+		t.Fatalf("Wien2k checkpoints = %+v, want Init + re-run Download", steps)
+	}
+	if steps[1].MD5 != "def456" || len(steps[1].Files) != 0 {
+		t.Fatalf("truncation kept the stale download: %+v", steps[1])
+	}
+
+	// Checkpoints are part of the snapshot image, not just the WAL.
+	if err := re.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	third := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	if got := third.State().Deploys["Wien2k"]; len(got) != 2 || got[0].Step != "Init" {
+		t.Fatalf("snapshot lost checkpoints: %+v", got)
+	}
+}

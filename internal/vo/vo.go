@@ -77,6 +77,9 @@ type Options struct {
 	DataDir string
 	// StoreFsync is the durability fsync policy (default store.FsyncInterval).
 	StoreFsync store.FsyncPolicy
+	// Deploy tunes every site's deployment execution engine (concurrency,
+	// queue depth, retry, quarantine); zero uses rdm.DefaultDeployLimits.
+	Deploy rdm.DeployLimits
 }
 
 // Node is one Grid site's full stack.
@@ -94,6 +97,10 @@ type Node struct {
 	// subsystem on that site (RDM resolution, heartbeats, takeover) while
 	// other sites form their own opinion.
 	Client *transport.Client
+	// Deploy injects faults into this site's deployment steps. It survives
+	// RestartSite, so a rule armed before a crash stays armed on the
+	// rebuilt stack.
+	Deploy *faultinject.DeployChaos
 }
 
 // VO is a running virtual organization.
@@ -115,6 +122,8 @@ type VO struct {
 	// RestartSite can rebuild a site exactly as Build did.
 	opts    Options
 	stopped map[int]bool
+	// deployChaos holds each site's step-fault injector across restarts.
+	deployChaos map[int]*faultinject.DeployChaos
 }
 
 // siteAttrs fabricates realistic, mutually distinct site attributes.
@@ -144,7 +153,11 @@ func Build(opts Options) (*VO, error) {
 	resolver := workload.NewResolver(repo)
 
 	opts.Clock = clock
-	v := &VO{Clock: clock, Repo: repo, Resolver: resolver, opts: opts, stopped: map[int]bool{}}
+	v := &VO{
+		Clock: clock, Repo: repo, Resolver: resolver, opts: opts,
+		stopped:     map[int]bool{},
+		deployChaos: map[int]*faultinject.DeployChaos{},
+	}
 	if opts.ChaosSeed != 0 {
 		v.Chaos = faultinject.New(opts.ChaosSeed)
 	}
@@ -270,6 +283,14 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 		}
 	}
 
+	// The step-fault injector is per-site and survives restarts, so chaos
+	// armed before a simulated crash stays armed on the rebuilt stack.
+	chaos := v.deployChaos[i]
+	if chaos == nil {
+		chaos = faultinject.NewDeployChaos()
+		v.deployChaos[i] = chaos
+	}
+
 	svc, err := rdm.New(rdm.Config{
 		Site:              st,
 		Clock:             v.Clock,
@@ -286,6 +307,8 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 		CoG:               opts.CoG,
 		Telemetry:         tel,
 		Store:             durable,
+		Deploy:            opts.Deploy,
+		DeployHook:        chaos.Step,
 	})
 	if err != nil {
 		if durable != nil {
@@ -296,7 +319,7 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 	}
 	svc.Mount(srv)
 	svc.MountExtensions(srv)
-	return &Node{Site: st, Server: srv, RDM: svc, Agent: agent, Index: index, Info: info, Tel: tel, Client: cli}, nil
+	return &Node{Site: st, Server: srv, RDM: svc, Agent: agent, Index: index, Info: info, Tel: tel, Client: cli, Deploy: chaos}, nil
 }
 
 // ElectSuperPeers runs the initial election from the community-index
