@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"glare/internal/transport"
+	"glare/internal/xmlutil"
+)
+
+// historyCmd fetches a metric's ring archives from the site's round-robin
+// history store via the HistoryXport operation and renders them: one block
+// per archive (CF, step, row stats) with an ASCII sparkline of the ring,
+// or the whole export as JSON with --json.
+func historyCmd(cli *transport.Client, rdmURL string, args []string) error {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the raw export as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		usage()
+	}
+	metric := fs.Arg(0)
+
+	req := xmlutil.NewNode("History")
+	req.SetAttr("metric", metric)
+	resp, err := cli.Call(rdmURL, "HistoryXport", req)
+	if err != nil {
+		return err
+	}
+	series := resp.All("Series")
+	if len(series) == 0 {
+		return fmt.Errorf("no history for metric %q (is the sampler running?)", metric)
+	}
+	if *asJSON {
+		return printHistoryJSON(resp, series)
+	}
+	for _, sn := range series {
+		fmt.Printf("%s  kind=%s  site=%s\n",
+			sn.AttrOr("name", "?"), sn.AttrOr("kind", "?"), resp.AttrOr("site", "?"))
+		for _, an := range sn.All("Archive") {
+			printArchive(an)
+		}
+	}
+	return nil
+}
+
+// historyPoint is one exported slot in the --json rendering; NaN slots
+// carry a null value.
+type historyPoint struct {
+	TS   string   `json:"ts"`
+	V    *float64 `json:"v"`
+	Live bool     `json:"live,omitempty"`
+}
+
+type historyArchive struct {
+	CF     string         `json:"cf"`
+	Step   string         `json:"step"`
+	Points []historyPoint `json:"points"`
+}
+
+type historySeries struct {
+	Name     string           `json:"name"`
+	Kind     string           `json:"kind"`
+	Site     string           `json:"site"`
+	Archives []historyArchive `json:"archives"`
+}
+
+func printHistoryJSON(resp *xmlutil.Node, series []*xmlutil.Node) error {
+	var out []historySeries
+	for _, sn := range series {
+		hs := historySeries{
+			Name: sn.AttrOr("name", ""),
+			Kind: sn.AttrOr("kind", ""),
+			Site: resp.AttrOr("site", ""),
+		}
+		for _, an := range sn.All("Archive") {
+			stepNs, _ := strconv.ParseInt(an.AttrOr("stepNs", "0"), 10, 64)
+			ha := historyArchive{
+				CF:   an.AttrOr("cf", "?"),
+				Step: time.Duration(stepNs).String(),
+			}
+			for _, pt := range archivePoints(an) {
+				p := historyPoint{
+					TS:   time.Unix(0, pt.ts).UTC().Format(time.RFC3339),
+					Live: pt.live,
+				}
+				if !math.IsNaN(pt.v) {
+					vv := pt.v
+					p.V = &vv
+				}
+				ha.Points = append(ha.Points, p)
+			}
+			hs.Archives = append(hs.Archives, ha)
+		}
+		out = append(out, hs)
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(enc))
+	return nil
+}
+
+// wirePoint is one <P> child of an Archive node; NaN marks unknown slots.
+type wirePoint struct {
+	ts   int64
+	v    float64
+	live bool
+}
+
+func archivePoints(an *xmlutil.Node) []wirePoint {
+	var out []wirePoint
+	for _, pn := range an.All("P") {
+		ts, _ := strconv.ParseInt(pn.AttrOr("tsNs", "0"), 10, 64)
+		v := math.NaN()
+		if raw := pn.AttrOr("v", ""); raw != "" {
+			if f, err := strconv.ParseFloat(raw, 64); err == nil {
+				v = f
+			}
+		}
+		out = append(out, wirePoint{ts: ts, v: v, live: pn.AttrOr("live", "") == "true"})
+	}
+	return out
+}
+
+func printArchive(an *xmlutil.Node) {
+	stepNs, _ := strconv.ParseInt(an.AttrOr("stepNs", "0"), 10, 64)
+	step := time.Duration(stepNs)
+	var vals []float64
+	var first, last int64
+	known := 0
+	for _, pt := range archivePoints(an) {
+		if first == 0 {
+			first = pt.ts
+		}
+		last = pt.ts
+		vals = append(vals, pt.v)
+		if !math.IsNaN(pt.v) {
+			known++
+		}
+	}
+	if len(vals) == 0 {
+		fmt.Printf("  %-7s step=%-6s (empty)\n", an.AttrOr("cf", "?"), step)
+		return
+	}
+	min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+	lastV := math.NaN()
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		min, max = math.Min(min, v), math.Max(max, v)
+		sum += v
+		lastV = v
+	}
+	stats := "no data"
+	if known > 0 {
+		stats = fmt.Sprintf("min=%s max=%s avg=%s last=%s",
+			fmtVal(min), fmtVal(max), fmtVal(sum/float64(known)), fmtVal(lastV))
+	}
+	fmt.Printf("  %-7s step=%-6s points=%d/%d  %s .. %s  %s\n",
+		an.AttrOr("cf", "?"), step, known, len(vals),
+		time.Unix(0, first).UTC().Format("15:04:05"),
+		time.Unix(0, last).UTC().Format("15:04:05"), stats)
+	fmt.Printf("  %s\n", sparkline(vals, 60))
+}
+
+func fmtVal(v float64) string {
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// sparkline renders values as a fixed-width block-character strip; NaN
+// slots render as spaces. Wider series are downsampled by max-pooling so
+// spikes stay visible.
+func sparkline(vals []float64, width int) string {
+	if len(vals) > width {
+		pooled := make([]float64, width)
+		for i := range pooled {
+			lo, hi := i*len(vals)/width, (i+1)*len(vals)/width
+			if hi == lo {
+				hi = lo + 1
+			}
+			m := math.NaN()
+			for _, v := range vals[lo:hi] {
+				if math.IsNaN(v) {
+					continue
+				}
+				if math.IsNaN(m) || v > m {
+					m = v
+				}
+			}
+			pooled[i] = m
+		}
+		vals = pooled
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			min, max = math.Min(min, v), math.Max(max, v)
+		}
+	}
+	if math.IsInf(min, 1) {
+		return strings.Repeat(" ", len(vals))
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v):
+			b.WriteByte(' ')
+		case max == min:
+			b.WriteRune(ramp[0])
+		default:
+			idx := int((v - min) / (max - min) * float64(len(ramp)-1))
+			b.WriteRune(ramp[idx])
+		}
+	}
+	return b.String()
+}

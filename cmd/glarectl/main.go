@@ -86,6 +86,8 @@ func main() {
 		err = search(cli, rdmURL, args[1:])
 	case "metrics":
 		err = metricsCmd(cli, siteBase, args[1:])
+	case "history":
+		err = historyCmd(cli, rdmURL, args[1:])
 	case "status":
 		err = statusCmd(cli, siteBase)
 	case "store":
@@ -125,9 +127,16 @@ commands:
   release <ticket-id>                release a lease
   instantiate <dep> <client> <ticket|0> [args]
   search <function> [input...]       semantic type search by capability
-  metrics [prefix]                   scrape /metrics from every community
-                                     site into one table (prefix filters
-                                     metric names; default glare_)
+  metrics [--filter <prefix>]        scrape /metrics from every community
+                                     site into one table (the prefix
+                                     filters metric names; default glare_;
+                                     a bare positional prefix also works)
+  history [--json] <metric>          dump the site's round-robin history of
+                                     a metric: every retention archive with
+                                     row stats and an ASCII sparkline, or
+                                     the raw export as JSON; super-peers
+                                     also keep grid-wide grid:<metric>
+                                     rollup series
   status                             probe every community site's overlay
                                      view: role, epoch and super-peer per
                                      site (split brains show up as rows
@@ -274,9 +283,15 @@ func search(cli *transport.Client, url string, args []string) error {
 // table: one row per metric series, one column per site. When the index
 // is unreachable (or empty) it falls back to scraping the -url site alone.
 func metricsCmd(cli *transport.Client, siteBase string, args []string) error {
-	prefix := "glare_"
-	if len(args) > 0 {
-		prefix = args[0]
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	filter := fs.String("filter", "glare_", "keep metric series whose name starts with this prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prefix := *filter
+	// A bare positional prefix keeps the pre-flag invocation working.
+	if fs.NArg() > 0 {
+		prefix = fs.Arg(0)
 	}
 	sites := communitySites(cli, siteBase)
 	if len(sites) == 0 {

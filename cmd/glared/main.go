@@ -24,6 +24,7 @@ import (
 	"glare/internal/epr"
 	"glare/internal/mds"
 	"glare/internal/rdm"
+	"glare/internal/rrd"
 	"glare/internal/simclock"
 	"glare/internal/site"
 	"glare/internal/store"
@@ -45,7 +46,14 @@ func main() {
 	fsyncMode := flag.String("fsync", "interval", "store fsync policy: always|interval|never")
 	maxBuilds := flag.Int("max-builds", 0, "concurrent on-demand builds this site runs (0 = engine default)")
 	buildQueue := flag.Int("build-queue", 0, "builds waiting for a slot before new ones are shed (0 = engine default, negative = no queue)")
+	historyStep := flag.Duration("history-step", rrd.DefaultStep, "telemetry-history base step (0 or negative disables the round-robin history)")
+	historyRet := flag.String("history-ret", "", "telemetry-history retention archives as comma-separated [cf:]STEPSxROWS items, e.g. avg:1x600,avg:60x1440,max:10x600 (empty = defaults)")
 	flag.Parse()
+
+	historyCfg, err := historyConfig(*historyStep, *historyRet)
+	if err != nil {
+		fatal(err)
+	}
 
 	fsync, err := store.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
@@ -113,6 +121,7 @@ func main() {
 			MaxConcurrent: *maxBuilds,
 			QueueDepth:    *buildQueue,
 		},
+		History: historyCfg,
 	})
 	if err != nil {
 		fatal(err)
@@ -153,6 +162,43 @@ func main() {
 	<-ch
 	svc.Stop()
 	fmt.Println("glared: shutting down")
+}
+
+// historyConfig builds the site's telemetry-history configuration from the
+// -history-step / -history-ret flags. A retention item is [cf:]STEPSxROWS
+// where cf is one of avg|min|max|last (default avg), STEPS is how many base
+// steps one slot consolidates and ROWS is the ring length.
+func historyConfig(step time.Duration, retention string) (rdm.HistoryConfig, error) {
+	cfg := rdm.HistoryConfig{Step: step}
+	if step <= 0 {
+		cfg = rdm.HistoryConfig{Disabled: true}
+		return cfg, nil
+	}
+	if retention == "" {
+		return cfg, nil
+	}
+	for _, item := range strings.Split(retention, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		spec := rrd.ArchiveSpec{CF: rrd.Average}
+		body := item
+		if i := strings.IndexByte(item, ':'); i >= 0 {
+			cf, err := rrd.ParseCF(item[:i])
+			if err != nil {
+				return cfg, fmt.Errorf("-history-ret %q: %w", item, err)
+			}
+			spec.CF = cf
+			body = item[i+1:]
+		}
+		if _, err := fmt.Sscanf(body, "%dx%d", &spec.Steps, &spec.Rows); err != nil ||
+			spec.Steps <= 0 || spec.Rows <= 0 {
+			return cfg, fmt.Errorf("-history-ret %q: want [cf:]STEPSxROWS", item)
+		}
+		cfg.Archives = append(cfg.Archives, spec)
+	}
+	return cfg, nil
 }
 
 func fatal(err error) {

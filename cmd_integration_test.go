@@ -122,6 +122,30 @@ func TestCommandsEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "no deployments") {
 		t.Fatalf("after undeploy: %s", out)
 	}
+
+	// The round-robin history sampler (real-time monitor) must be feeding
+	// series by now; `history` renders each retention archive.
+	deadline = time.Now().Add(20 * time.Second)
+	var hist string
+	for {
+		hist, err = ctl("-url", aURL, "history", "glare_site_services")
+		if err == nil && strings.Contains(hist, "AVERAGE") && strings.Contains(hist, "kind=gauge") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history never served: %v\n%s", err, hist)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	if hist, err = ctl("-url", aURL, "history", "--json", "glare_site_services"); err != nil ||
+		!strings.Contains(hist, `"cf": "AVERAGE"`) {
+		t.Fatalf("history --json: %v\n%s", err, hist)
+	}
+	// The --filter flag form of the metrics table.
+	if hist, err = ctl("-url", aURL, "metrics", "--filter", "glare_history_"); err != nil ||
+		!strings.Contains(hist, "glare_history_samples_total") {
+		t.Fatalf("metrics --filter: %v\n%s", err, hist)
+	}
 }
 
 // startDaemon launches glared and extracts its base URL from stdout.

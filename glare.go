@@ -38,6 +38,7 @@ import (
 	"glare/internal/activity"
 	"glare/internal/lease"
 	"glare/internal/rdm"
+	"glare/internal/rrd"
 	"glare/internal/semantic"
 	"glare/internal/simclock"
 	"glare/internal/site"
@@ -95,6 +96,14 @@ type (
 	// DeployLimits tunes a site's deployment execution engine (concurrent
 	// builds, queue depth, transfer retry, quarantine policy).
 	DeployLimits = rdm.DeployLimits
+	// HistoryConfig tunes a site's round-robin telemetry history: base
+	// step, retention ladder, alert rules and rollup set.
+	HistoryConfig = rdm.HistoryConfig
+	// HistoryStore is a site's round-robin time-series store; Fetch and
+	// Xport read consolidated history out of it.
+	HistoryStore = rrd.Store
+	// Alert is one firing alert-rule instance.
+	Alert = rrd.Alert
 )
 
 // Deployment method and mode constants.
@@ -163,6 +172,11 @@ type GridOptions struct {
 	// build slots, queue depth, follower deadline, transfer retry and
 	// quarantine policy. Zero values use the engine defaults.
 	Deploy DeployLimits
+	// History tunes every site's round-robin telemetry history: base step,
+	// retention archives, alert rules and the super-peer rollup metric
+	// set. The zero value enables the defaults; set History.Disabled to
+	// turn the subsystem off.
+	History HistoryConfig
 }
 
 // Grid is a running Virtual Organization.
@@ -194,6 +208,7 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 		DataDir:       opts.DataDir,
 		StoreFsync:    opts.StoreFsync,
 		Deploy:        opts.Deploy,
+		History:       opts.History,
 	})
 	if err != nil {
 		return nil, err
@@ -555,6 +570,25 @@ func (c *Client) StoreStatus() (StoreStatus, bool) {
 func (c *Client) DeployEngineStatus() DeployStatus {
 	return c.svc.DeployRunStatus()
 }
+
+// SampleHistory takes one telemetry-history sample on this site: it walks
+// the site's metric registry into the round-robin store and evaluates the
+// alert rules. It returns the number of series sampled. Tests call it
+// directly between virtual-clock advances; StartMonitors paces it in real
+// time.
+func (c *Client) SampleHistory() int { return c.svc.SampleTelemetry() }
+
+// RollupHistory runs one super-peer rollup pass, consolidating the
+// community members' archives into grid-wide "grid:<metric>" series. It
+// returns the number of points folded; non-super-peers fold nothing.
+func (c *Client) RollupHistory() int { return c.svc.RollupHistory() }
+
+// History exposes this site's round-robin time-series store (nil when
+// GridOptions.History.Disabled is set).
+func (c *Client) History() *HistoryStore { return c.svc.History() }
+
+// FiringAlerts lists the site's currently firing alert-rule instances.
+func (c *Client) FiringAlerts() []Alert { return c.svc.FiringAlerts() }
 
 // AdminNotices returns the site administrator's mailbox (manual-install
 // requests, failure notifications).

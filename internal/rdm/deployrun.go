@@ -125,6 +125,7 @@ type deployCounters struct {
 	rollbacks    *telemetry.Counter
 	dedupHits    *telemetry.Counter
 	quarantined  *telemetry.Counter
+	preempted    *telemetry.Counter
 	stepRetries  *telemetry.Counter
 	queueShed    *telemetry.Counter
 	active       *telemetry.Gauge
@@ -137,6 +138,7 @@ func newDeployCounters(tel *telemetry.Telemetry) deployCounters {
 		rollbacks:    tel.Counter("glare_deploy_rollbacks_total"),
 		dedupHits:    tel.Counter("glare_deploy_dedup_hits_total"),
 		quarantined:  tel.Counter("glare_deploy_quarantined_total"),
+		preempted:    tel.Counter("glare_deploy_preempt_quarantined_total"),
 		stepRetries:  tel.Counter("glare_deploy_step_retries_total"),
 		queueShed:    tel.Counter("glare_deploy_queue_shed_total"),
 		active:       tel.Gauge("glare_deploy_active_builds"),
@@ -213,8 +215,9 @@ func (g *buildGate) stats() (active, queued int) {
 
 // quarState tracks a type's consecutive build failures and cool-down.
 type quarState struct {
-	fails int
-	until time.Time // zero until the threshold is reached
+	fails     int
+	until     time.Time // zero until the threshold is reached
+	preempted bool      // quarantined by an alert rule, not the threshold
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +311,38 @@ func (s *Service) noteBuildSuccess(typeName string) {
 	s.mu.Lock()
 	delete(s.quarantined, typeName)
 	s.mu.Unlock()
+}
+
+// PreemptQuarantine is the alert engine's hand into the deploy engine:
+// every type with recent build failures that has NOT yet reached the
+// consecutive-failure threshold is quarantined immediately, as if the
+// threshold had fired. A rising failure rate across the window is
+// stronger evidence than any single type's consecutive count, so the
+// cool-down starts before more builds are burned. Types already
+// quarantined (or with no failures) are untouched. Returns the types it
+// quarantined, sorted; rule names the triggering alert rule.
+func (s *Service) PreemptQuarantine(rule string) []string {
+	now := s.clock.Now()
+	s.mu.Lock()
+	var hit []string
+	for name, q := range s.quarantined {
+		if q.fails == 0 || q.fails >= s.limits.QuarantineAfter {
+			continue
+		}
+		q.fails = s.limits.QuarantineAfter
+		q.until = now.Add(s.limits.QuarantineCooldown)
+		q.preempted = true
+		s.deployTel.quarantined.Inc()
+		s.deployTel.preempted.Inc()
+		hit = append(hit, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(hit)
+	for _, name := range hit {
+		s.site.NotifyAdmin("pre-emptive quarantine: "+name,
+			fmt.Sprintf("alert rule %q quarantined type %q before the consecutive-failure threshold", rule, name))
+	}
+	return hit
 }
 
 // sweepQuarantine drops quarantine records whose cool-down lapsed more
@@ -869,6 +904,9 @@ type QuarantineInfo struct {
 	Failures  int
 	Until     time.Time
 	Remaining time.Duration // zero once the cool-down lapsed
+	// Preempted marks a quarantine imposed by an alert rule rather than
+	// the consecutive-failure threshold.
+	Preempted bool
 }
 
 // ResumableBuild describes an interrupted build with journaled
@@ -910,7 +948,7 @@ func (s *Service) DeployRunStatus() DeployRunStatus {
 		if q.fails < s.limits.QuarantineAfter {
 			continue
 		}
-		info := QuarantineInfo{Type: name, Failures: q.fails, Until: q.until}
+		info := QuarantineInfo{Type: name, Failures: q.fails, Until: q.until, Preempted: q.preempted}
 		if q.until.After(now) {
 			info.Remaining = q.until.Sub(now)
 		}
@@ -948,6 +986,9 @@ func (s *Service) DeployStatusXML() *xmlutil.Node {
 		c.SetAttr("type", q.Type)
 		c.SetAttr("failures", fmt.Sprintf("%d", q.Failures))
 		c.SetAttr("remainingMS", fmt.Sprintf("%d", q.Remaining.Milliseconds()))
+		if q.Preempted {
+			c.SetAttr("preempted", "true")
+		}
 		n.Add(c)
 	}
 	for _, r := range st.Resumable {

@@ -23,6 +23,7 @@ func (s *Service) attachStore(st *store.Store) {
 	s.ADR.SetJournal(st.RegistryJournal(store.RegADR))
 	s.Leases.SetJournal(st.LeaseJournal())
 	s.deployJournal = st.DeployJournal()
+	s.historyJournal = st.HistoryJournal()
 }
 
 // restoreFromStore replays a recovered journal state into the site's
@@ -78,6 +79,16 @@ func (s *Service) restoreFromStore(state *store.State) {
 	for typeName, steps := range state.Deploys {
 		if len(steps) > 0 {
 			s.resume[typeName] = append([]store.DeployStep(nil), steps...)
+		}
+	}
+
+	// Telemetry history: re-seed the ring archives from the recovered
+	// dumps so `glarectl history` spans restarts. Counter series carry
+	// their last raw total across, so rate derivation resumes without a
+	// phantom reset.
+	if state.History != nil && s.history != nil {
+		for _, d := range state.History.Dump() {
+			_ = s.history.RestoreSeries(d)
 		}
 	}
 }

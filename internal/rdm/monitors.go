@@ -21,6 +21,12 @@ type MonitorIntervals struct {
 	// RegistrySync paces the anti-entropy reconciler (SyncRegistries);
 	// only super-peers act on it.
 	RegistrySync time.Duration
+	// HistorySample paces the telemetry-history sampler (SampleTelemetry),
+	// which also evaluates the alert rules.
+	HistorySample time.Duration
+	// HistoryRollup paces the grid-wide series consolidation
+	// (RollupHistory); only super-peers act on it.
+	HistoryRollup time.Duration
 }
 
 // DefaultIntervals suits interactive use; tests call the single-pass
@@ -30,8 +36,10 @@ func DefaultIntervals() MonitorIntervals {
 		CacheRefresh: 5 * time.Second,
 		IndexProbe:   3 * time.Second,
 		StatusCheck:  5 * time.Second,
-		PeerLiveness: 2 * time.Second,
-		RegistrySync: 5 * time.Second,
+		PeerLiveness:  2 * time.Second,
+		RegistrySync:  5 * time.Second,
+		HistorySample: 2 * time.Second,
+		HistoryRollup: 5 * time.Second,
 	}
 }
 
@@ -53,8 +61,18 @@ func (s *Service) StartMonitors(iv MonitorIntervals) {
 	}
 	if iv.RegistrySync > 0 && s.agent != nil {
 		go s.loop(iv.RegistrySync, func() {
-			if s.agent.Role() == superpeer.RoleSuperPeer {
+			if s.agent.IsSuperPeer() {
 				s.SyncRegistries()
+			}
+		})
+	}
+	if iv.HistorySample > 0 && s.history != nil {
+		go s.loop(iv.HistorySample, func() { s.SampleTelemetry() })
+	}
+	if iv.HistoryRollup > 0 && s.history != nil && s.agent != nil {
+		go s.loop(iv.HistoryRollup, func() {
+			if s.agent.IsSuperPeer() {
+				s.RollupHistory()
 			}
 		})
 	}

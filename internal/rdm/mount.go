@@ -167,6 +167,11 @@ func (s *Service) Mount(srv *transport.Server) {
 			// (name → LastUpdateTime) registry summary.
 			return s.RegistryDigest(), nil
 		},
+		"HistoryXport": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			// Ring-archive export for `glarectl history` and the
+			// super-peer rollup.
+			return s.historyXportXML(body)
+		},
 		"StoreStatus": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
 			// Durable-store summary for `glarectl store status`; answers
 			// enabled="false" on memory-only sites.

@@ -26,6 +26,7 @@ import (
 	"glare/internal/lease"
 	"glare/internal/mds"
 	"glare/internal/metrics"
+	"glare/internal/rrd"
 	"glare/internal/simclock"
 	"glare/internal/site"
 	"glare/internal/store"
@@ -120,6 +121,10 @@ type Config struct {
 	// DeployHook is called before every build step (fault injection);
 	// nil disables injection.
 	DeployHook DeployHook
+	// History tunes the round-robin telemetry history (sampling step,
+	// retention ladder, alert rules, rollup set); the zero value enables
+	// it with defaults, Disabled turns it off.
+	History HistoryConfig
 }
 
 // Service is one site's GLARE RDM.
@@ -161,6 +166,14 @@ type Service struct {
 
 	tel   *telemetry.Telemetry
 	store *store.Store
+
+	// Telemetry history state (history.go).
+	historyCfg     HistoryConfig
+	history        *rrd.Store
+	alerts         *rrd.Alerts
+	historyJournal historyJournal
+	historySamples *telemetry.Counter
+	rollupPoints   *telemetry.Counter
 
 	// Deployment execution engine state (deployrun.go).
 	limits        DeployLimits
@@ -276,6 +289,17 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.degraded = tel.Counter("glare_rdm_resolve_degraded_total")
 	s.syncPulled = tel.Counter("glare_sync_entries_pulled_total")
+	// Telemetry history: ring archives, alert engine and /healthz digest.
+	// Assembled before the store attaches so recovery can re-seed the
+	// rings.
+	s.historyCfg = cfg.History.withDefaults()
+	if !cfg.History.Disabled {
+		s.history = rrd.NewStore(s.historyCfg.Step)
+		s.alerts = rrd.NewAlerts(s.history, s.historyCfg.Rules)
+		s.historySamples = tel.Counter("glare_history_samples_total")
+		s.rollupPoints = tel.Counter("glare_history_rollup_points_total")
+	}
+	tel.SetHealthSource(s.healthSnapshot)
 	// Expiry cascade: destroying a type expires its deployments (§3.3).
 	s.ATR.OnRemove(func(typeName string) {
 		s.ADR.ExpireByType(typeName)

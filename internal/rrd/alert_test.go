@@ -1,0 +1,129 @@
+package rrd
+
+import (
+	"testing"
+	"time"
+)
+
+// failureStore builds a counter series fed once per second and returns
+// the store plus the instant of the last sample.
+func failureStore(t *testing.T, totals []float64) (*Store, time.Time) {
+	t.Helper()
+	s := NewStore(time.Second)
+	mustCreate(t, s, SeriesDef{
+		Name: "fails", Kind: Counter, Step: time.Second,
+		Archives: []ArchiveSpec{{CF: Average, Steps: 1, Rows: 60}},
+	})
+	var last time.Time
+	for i, v := range totals {
+		last = epoch.Add(time.Duration(i) * time.Second)
+		if err := s.Update("fails", last, v); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	return s, last
+}
+
+func rateRule(window time.Duration) Rule {
+	return Rule{
+		Name: "failure-rate", Metric: "fails", CF: Average,
+		Window: window, Predicate: Above, Threshold: 1.0 / window.Seconds(),
+		Action: "quarantine",
+	}
+}
+
+// TestAlertFiresOnRisingRate: one failure in the window stays quiet, the
+// second crosses the 1-per-window threshold and fires exactly once.
+func TestAlertFiresOnRisingRate(t *testing.T) {
+	s, now := failureStore(t, []float64{0, 0, 0, 1, 1, 1})
+	al := NewAlerts(s, []Rule{rateRule(10 * time.Second)})
+	if fired := al.Evaluate(now); len(fired) != 0 {
+		t.Fatalf("one failure fired the alert: %+v", fired)
+	}
+	_ = s.Update("fails", now.Add(time.Second), 2)
+	now = now.Add(time.Second)
+	fired := al.Evaluate(now)
+	if len(fired) != 1 || fired[0].Rule.Name != "failure-rate" {
+		t.Fatalf("two failures did not fire: %+v", fired)
+	}
+	if al.FiringCount() != 1 {
+		t.Fatalf("firing count = %d, want 1", al.FiringCount())
+	}
+	// A second evaluation of a still-true condition must not re-fire.
+	if again := al.Evaluate(now.Add(time.Second)); len(again) != 0 {
+		t.Fatalf("already-firing alert fired again: %+v", again)
+	}
+}
+
+// TestAlertForDuration: the condition must hold for the rule's For before
+// the alert fires.
+func TestAlertForDuration(t *testing.T) {
+	s, now := failureStore(t, []float64{0, 1, 2, 3})
+	r := rateRule(10 * time.Second)
+	r.For = 3 * time.Second
+	al := NewAlerts(s, []Rule{r})
+	for i := 0; i < 3; i++ {
+		if fired := al.Evaluate(now.Add(time.Duration(i) * time.Second)); len(fired) != 0 {
+			t.Fatalf("fired at +%ds, before For elapsed: %+v", i, fired)
+		}
+	}
+	if fired := al.Evaluate(now.Add(3 * time.Second)); len(fired) != 1 {
+		t.Fatalf("did not fire after For held: %+v", fired)
+	}
+}
+
+// TestAlertRecovery: once the failure burst scrolls out of the window the
+// alert clears, and a later burst fires it afresh.
+func TestAlertRecovery(t *testing.T) {
+	s, now := failureStore(t, []float64{0, 1, 2, 2})
+	al := NewAlerts(s, []Rule{rateRule(5 * time.Second)})
+	if fired := al.Evaluate(now); len(fired) != 1 {
+		t.Fatalf("burst did not fire: %+v", fired)
+	}
+	// Quiet period: the burst scrolls out of the 5s window.
+	v := 2.0
+	for i := 1; i <= 8; i++ {
+		now = now.Add(time.Second)
+		_ = s.Update("fails", now, v)
+	}
+	al.Evaluate(now)
+	if al.FiringCount() != 0 {
+		t.Fatalf("alert did not recover: %+v", al.Firing())
+	}
+	// Fresh burst re-fires.
+	now = now.Add(time.Second)
+	_ = s.Update("fails", now, v+2)
+	if fired := al.Evaluate(now); len(fired) != 1 {
+		t.Fatalf("fresh burst did not re-fire: %+v", fired)
+	}
+}
+
+// TestAlertUnknownMetric: a rule over a missing series never fires.
+func TestAlertUnknownMetric(t *testing.T) {
+	s := NewStore(time.Second)
+	al := NewAlerts(s, []Rule{rateRule(10 * time.Second)})
+	if fired := al.Evaluate(epoch); len(fired) != 0 {
+		t.Fatalf("rule over missing series fired: %+v", fired)
+	}
+}
+
+// TestAlertBelowPredicate with a MAX window.
+func TestAlertBelowPredicate(t *testing.T) {
+	s := NewStore(time.Second)
+	mustCreate(t, s, gaugeDef("free", time.Second, ArchiveSpec{CF: Min, Steps: 1, Rows: 30}))
+	now := epoch
+	for i := 0; i < 10; i++ {
+		now = epoch.Add(time.Duration(i) * time.Second)
+		_ = s.Update("free", now, 100)
+	}
+	r := Rule{Name: "low-free", Metric: "free", CF: Min, Window: 10 * time.Second, Predicate: Below, Threshold: 10}
+	al := NewAlerts(s, []Rule{r})
+	if fired := al.Evaluate(now); len(fired) != 0 {
+		t.Fatalf("healthy gauge fired: %+v", fired)
+	}
+	now = now.Add(time.Second)
+	_ = s.Update("free", now, 5)
+	if fired := al.Evaluate(now); len(fired) != 1 {
+		t.Fatalf("low gauge did not fire: %+v", fired)
+	}
+}

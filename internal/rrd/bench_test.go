@@ -1,0 +1,61 @@
+package rrd
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// BenchmarkRRDUpdateSingleSeries measures raw update throughput through
+// one series with the default four-archive ladder. The acceptance floor
+// is 100k updates/s; the per-op cost here is a handful of integer
+// divisions and comparisons, so this runs orders of magnitude above it.
+func BenchmarkRRDUpdateSingleSeries(b *testing.B) {
+	s := NewStore(time.Second)
+	if err := s.Create(SeriesDef{Name: "c", Kind: Counter, Step: time.Second, Archives: DefaultArchives()}); err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Update("c", base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "updates/s")
+	}
+}
+
+// BenchmarkRRDFetch10kSeries measures Fetch latency against a store
+// holding 10^4 populated series and reports the observed p99 per fetch.
+// The acceptance ceiling is 1ms.
+func BenchmarkRRDFetch10kSeries(b *testing.B) {
+	const nSeries = 10000
+	s := NewStore(time.Second)
+	base := time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+	names := make([]string, nSeries)
+	for i := range names {
+		names[i] = fmt.Sprintf("series_%04d", i)
+		if err := s.Create(SeriesDef{Name: names[i], Kind: Gauge, Step: time.Second, Archives: DefaultArchives()}); err != nil {
+			b.Fatal(err)
+		}
+		for sec := 0; sec < 64; sec++ {
+			_ = s.Update(names[i], base.Add(time.Duration(sec)*time.Second), float64(sec))
+		}
+	}
+	end := base.Add(64 * time.Second)
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := s.Fetch(names[i%nSeries], Average, base, end); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns/op")
+}

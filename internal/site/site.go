@@ -142,6 +142,14 @@ func (s *Site) HasService(name string) bool {
 	return ok
 }
 
+// ServiceCount reports how many service endpoints the site hosts; the
+// telemetry history sampler records it as the glare_site_services gauge.
+func (s *Site) ServiceCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.services)
+}
+
 // Services lists hosted service names in sorted order.
 func (s *Site) Services() []string {
 	s.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"glare/internal/lease"
+	"glare/internal/rrd"
 )
 
 // Registry names the store journals under. The store itself is agnostic to
@@ -40,6 +41,16 @@ const (
 	// OpDeployClear drops every checkpoint of a type's build: the build
 	// completed (and was registered) or was rolled back.
 	OpDeployClear
+	// OpHistoryCreate declares a telemetry-history series (rrd). Appended
+	// after OpDeployClear so existing journals keep their wire values.
+	OpHistoryCreate
+	// OpHistoryBatch appends one history-sampler tick's raw samples; the
+	// WAL form of history between snapshots.
+	OpHistoryBatch
+	// OpHistorySeries restores one series' full ring dump; the snapshot
+	// form of history (fixed-size, so snapshots stay bounded no matter how
+	// many batches the WAL absorbed).
+	OpHistorySeries
 )
 
 // String renders the op name.
@@ -61,6 +72,12 @@ func (o Op) String() string {
 		return "deploy-step"
 	case OpDeployClear:
 		return "deploy-clear"
+	case OpHistoryCreate:
+		return "history-create"
+	case OpHistoryBatch:
+		return "history-batch"
+	case OpHistorySeries:
+		return "history-series"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -95,6 +112,13 @@ type Record struct {
 	// Deploy is the checkpoint payload (deploy-step only); Key carries the
 	// activity type name for both deploy-step and deploy-clear.
 	Deploy *DeployStep `json:"deploy,omitempty"`
+	// HistoryDef declares a history series (history-create only); Key
+	// carries the series name.
+	HistoryDef *rrd.SeriesDef `json:"hdef,omitempty"`
+	// HistoryBatch is one sampler tick's raw values (history-batch only).
+	HistoryBatch *rrd.Batch `json:"hbatch,omitempty"`
+	// HistorySeries is one series' full ring dump (history-series only).
+	HistorySeries *rrd.SeriesDump `json:"hseries,omitempty"`
 }
 
 // DeployStep is one completed step of an on-demand build, journaled so an
@@ -195,6 +219,10 @@ type State struct {
 	// Deploys maps an activity type name to the checkpointed steps of its
 	// interrupted build, in step order.
 	Deploys map[string][]DeployStep
+	// History is the recovered telemetry-history store; nil until the
+	// first history record is applied, so sites without history pay
+	// nothing.
+	History *rrd.Store
 }
 
 func newState() *State {
@@ -248,7 +276,31 @@ func (st *State) apply(r Record) {
 		}
 	case OpDeployClear:
 		delete(st.Deploys, r.Key)
+	case OpHistoryCreate:
+		if r.HistoryDef != nil {
+			_ = st.history().Create(*r.HistoryDef)
+		}
+	case OpHistoryBatch:
+		if r.HistoryBatch != nil {
+			for _, smp := range r.HistoryBatch.Samples {
+				// Stale timestamps are ErrPast by design: replaying a WAL
+				// over a snapshot that already contains the batch is a no-op.
+				_ = st.history().Update(smp.Name, r.HistoryBatch.TS, smp.Value)
+			}
+		}
+	case OpHistorySeries:
+		if r.HistorySeries != nil {
+			_ = st.history().RestoreSeries(*r.HistorySeries)
+		}
 	}
+}
+
+// history lazily creates the rrd store on first history record.
+func (st *State) history() *rrd.Store {
+	if st.History == nil {
+		st.History = rrd.NewStore(0)
+	}
+	return st.History
 }
 
 // liveRecords counts the records a snapshot of this state would hold.
@@ -260,6 +312,9 @@ func (st *State) liveRecords() int {
 	n += len(st.Leases.Tickets) + len(st.Leases.Limits)
 	for _, steps := range st.Deploys {
 		n += len(steps)
+	}
+	if st.History != nil {
+		n += st.History.Len()
 	}
 	return n
 }
@@ -289,6 +344,14 @@ func (st *State) records() []Record {
 			out = append(out, Record{Op: OpDeployStep, Key: d.Type, Deploy: &d})
 		}
 	}
+	if st.History != nil {
+		// One fixed-size dump per series: however many batches the WAL
+		// absorbed, the snapshot holds exactly the ring contents.
+		for _, d := range st.History.Dump() {
+			d := d
+			out = append(out, Record{Op: OpHistorySeries, Key: d.Def.Name, HistorySeries: &d})
+		}
+	}
 	return out
 }
 
@@ -312,6 +375,9 @@ func (st *State) clone() *State {
 	out.Leases.MaxID = st.Leases.MaxID
 	for typ, steps := range st.Deploys {
 		out.Deploys[typ] = append([]DeployStep(nil), steps...)
+	}
+	if st.History != nil {
+		out.History = st.History.Clone()
 	}
 	return out
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"glare/internal/lease"
+	"glare/internal/rrd"
 	"glare/internal/simclock"
 	"glare/internal/telemetry"
 	"glare/internal/xmlutil"
@@ -636,4 +637,23 @@ func (l *DeployLog) RecordStep(st DeployStep) {
 // — dropping its checkpoints.
 func (l *DeployLog) RecordClear(typeName string) {
 	_ = l.s.Append(Record{Op: OpDeployClear, Key: typeName})
+}
+
+// HistoryLog journals the telemetry-history sampler's output into the
+// store: series definitions once, then one small batch per sampler tick.
+// Snapshot compaction turns the batches into fixed-size ring dumps, so a
+// site's history costs bounded disk no matter how long it runs.
+type HistoryLog struct{ s *Store }
+
+// HistoryJournal returns the telemetry-history journal adapter.
+func (s *Store) HistoryJournal() *HistoryLog { return &HistoryLog{s: s} }
+
+// RecordCreate journals a new history series definition.
+func (l *HistoryLog) RecordCreate(def rrd.SeriesDef) {
+	_ = l.s.Append(Record{Op: OpHistoryCreate, Key: def.Name, HistoryDef: &def})
+}
+
+// RecordBatch journals one sampler tick's raw samples.
+func (l *HistoryLog) RecordBatch(b rrd.Batch) {
+	_ = l.s.Append(Record{Op: OpHistoryBatch, HistoryBatch: &b})
 }

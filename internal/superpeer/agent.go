@@ -136,6 +136,11 @@ func (a *Agent) Role() Role {
 	return a.role
 }
 
+// IsSuperPeer reports whether the agent currently acts as a super-peer —
+// the gate for super-peer-only background passes (registry anti-entropy,
+// telemetry-history rollup).
+func (a *Agent) IsSuperPeer() bool { return a.Role() == RoleSuperPeer }
+
 // View returns a copy of the current overlay view.
 func (a *Agent) View() View {
 	a.mu.Lock()

@@ -383,10 +383,52 @@ func renderName(name string, labels []Label, extra ...Label) string {
 	return b.String()
 }
 
-// WriteText renders every registered instrument in a Prometheus-style
-// text exposition, sorted by series name for stable scraping. Histograms
-// are rendered as summary series: _count, _sum_ms, and quantile lines.
-func (r *Registry) WriteText(w io.Writer) error {
+// SeriesName renders the canonical exposition name for an instrument:
+// the bare name, or name{k="v",...} when labelled.
+func SeriesName(name string, labels ...Label) string {
+	return renderName(name, labels)
+}
+
+// SampleKind tells a Snapshot consumer which instrument a sample came
+// from.
+type SampleKind uint8
+
+const (
+	KindCounter SampleKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// HistogramSummary is a histogram's point-in-time digest.
+type HistogramSummary struct {
+	Count uint64
+	Sum   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+	Q50   time.Duration
+	Q90   time.Duration
+	Q99   time.Duration
+}
+
+// Sample is one instrument's state inside a Snapshot. Value carries the
+// counter total or gauge level; histograms carry a summary instead.
+type Sample struct {
+	Name      string
+	Labels    []Label
+	Kind      SampleKind
+	Value     float64
+	Histogram *HistogramSummary
+}
+
+// SeriesName renders the sample's exposition name including labels.
+func (s Sample) SeriesName() string { return renderName(s.Name, s.Labels) }
+
+// Snapshot returns every registered instrument as structured samples,
+// sorted by series key, so programmatic consumers (the history sampler,
+// tests) never have to parse the text exposition. A series that carries
+// several instruments yields one sample per instrument, counter first.
+func (r *Registry) Snapshot() []Sample {
 	if r == nil {
 		return nil
 	}
@@ -401,32 +443,64 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	r.mu.RUnlock()
 	sort.Strings(keys)
-	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out := make([]Sample, 0, len(keys))
 	for _, k := range keys {
 		s := all[k]
 		if s.c != nil {
-			if _, err := fmt.Fprintf(w, "%s %d\n", renderName(s.name, s.labels), s.c.Value()); err != nil {
-				return err
-			}
+			out = append(out, Sample{Name: s.name, Labels: s.labels, Kind: KindCounter, Value: float64(s.c.Value())})
 		}
 		if s.g != nil {
-			if _, err := fmt.Fprintf(w, "%s %d\n", renderName(s.name, s.labels), s.g.Value()); err != nil {
-				return err
-			}
+			out = append(out, Sample{Name: s.name, Labels: s.labels, Kind: KindGauge, Value: float64(s.g.Value())})
 		}
 		if s.h != nil {
 			h := s.h
-			fmt.Fprintf(w, "%s %d\n", renderName(s.name+"_count", s.labels), h.Count())
-			fmt.Fprintf(w, "%s %.3f\n", renderName(s.name+"_sum_ms", s.labels), ms(h.Sum()))
+			out = append(out, Sample{Name: s.name, Labels: s.labels, Kind: KindHistogram, Histogram: &HistogramSummary{
+				Count: h.Count(),
+				Sum:   h.Sum(),
+				Min:   h.Min(),
+				Max:   h.Max(),
+				Mean:  h.Mean(),
+				Q50:   h.Quantile(0.5),
+				Q90:   h.Quantile(0.9),
+				Q99:   h.Quantile(0.99),
+			}})
+		}
+	}
+	return out
+}
+
+// WriteText renders every registered instrument in a Prometheus-style
+// text exposition, sorted by series name for stable scraping. Histograms
+// are rendered as summary series: _count, _sum_ms, and quantile lines.
+// It is a pure renderer over Snapshot.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, s := range r.Snapshot() {
+		switch s.Kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", s.SeriesName(), uint64(s.Value)); err != nil {
+				return err
+			}
+		case KindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", s.SeriesName(), int64(s.Value)); err != nil {
+				return err
+			}
+		case KindHistogram:
+			h := s.Histogram
+			fmt.Fprintf(w, "%s %d\n", renderName(s.Name+"_count", s.Labels), h.Count)
+			fmt.Fprintf(w, "%s %.3f\n", renderName(s.Name+"_sum_ms", s.Labels), ms(h.Sum))
 			for _, q := range []struct {
 				tag string
-				v   float64
-			}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+				v   time.Duration
+			}{{"0.5", h.Q50}, {"0.9", h.Q90}, {"0.99", h.Q99}} {
 				fmt.Fprintf(w, "%s %.3f\n",
-					renderName(s.name+"_ms", s.labels, L("quantile", q.tag)), ms(h.Quantile(q.v)))
+					renderName(s.Name+"_ms", s.Labels, L("quantile", q.tag)), ms(q.v))
 			}
 			if _, err := fmt.Fprintf(w, "%s %.3f\n",
-				renderName(s.name+"_ms", s.labels, L("quantile", "max")), ms(h.Max())); err != nil {
+				renderName(s.Name+"_ms", s.Labels, L("quantile", "max")), ms(h.Max)); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuantileEmptyHistogram: no observations means every quantile is 0,
+// on both nil and zero-value histograms.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var nilH *Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := nilH.Quantile(q); v != 0 {
+			t.Fatalf("nil histogram Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+	h := new(Histogram)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+}
+
+// TestQuantileExtremesAndClamping: q=0 stays at or below every other
+// quantile, q=1 equals Max, and out-of-range q clamps rather than panics.
+func TestQuantileExtremesAndClamping(t *testing.T) {
+	h := new(Histogram)
+	for _, d := range []time.Duration{800 * time.Microsecond, 30 * time.Millisecond, 400 * time.Millisecond} {
+		h.Observe(d)
+	}
+	q0, q1 := h.Quantile(0), h.Quantile(1)
+	if q0 <= 0 || q0 > time.Millisecond {
+		t.Fatalf("Quantile(0) = %v, want inside the first occupied bucket", q0)
+	}
+	if q1 != h.Max() {
+		t.Fatalf("Quantile(1) = %v, want Max %v", q1, h.Max())
+	}
+	if h.Quantile(-3) != q0 || h.Quantile(7) != q1 {
+		t.Fatalf("out-of-range q did not clamp: %v / %v", h.Quantile(-3), h.Quantile(7))
+	}
+}
+
+// TestQuantileSingleBucket: with every observation in one bucket, all
+// quantiles interpolate inside that bucket and cap at the true Max.
+func TestQuantileSingleBucket(t *testing.T) {
+	h := new(Histogram)
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * time.Millisecond) // bucket (2ms, 5ms]
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 1} {
+		v := h.Quantile(q)
+		if v <= 2*time.Millisecond || v > 3*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want within (2ms, Max=3ms]", q, v)
+		}
+	}
+	if h.Quantile(1) != 3*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want exactly Max", h.Quantile(1))
+	}
+}
+
+// TestQuantileAboveTopBucket: observations beyond the top bucket bound
+// land in the overflow bucket, whose upper edge is the live Max — so the
+// estimate is the real maximum, not the 10s bucket ceiling.
+func TestQuantileAboveTopBucket(t *testing.T) {
+	h := new(Histogram)
+	h.Observe(30 * time.Second)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 30*time.Second {
+			t.Fatalf("Quantile(%v) = %v, want 30s (capped at Max)", q, v)
+		}
+	}
+	// Mixed: one in-range and one overflow observation; the top quantile
+	// must still report the overflow value.
+	h2 := new(Histogram)
+	h2.Observe(time.Millisecond)
+	h2.Observe(25 * time.Second)
+	if v := h2.Quantile(1); v != 25*time.Second {
+		t.Fatalf("mixed Quantile(1) = %v, want 25s", v)
+	}
+}
+
+// TestSnapshotStructure: Snapshot returns typed samples for every
+// instrument, sorted, with labels intact — and WriteText (now rebased on
+// Snapshot) renders exactly those series.
+func TestSnapshotStructure(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("glare_reqs_total", L("op", "Get")).Add(7)
+	r.Gauge("glare_active").Set(-2)
+	r.Histogram("glare_latency", L("op", "Get")).Observe(4 * time.Millisecond)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("got %d samples, want 3: %+v", len(snap), snap)
+	}
+	byName := map[string]Sample{}
+	for _, s := range snap {
+		byName[s.SeriesName()] = s
+	}
+	c, ok := byName[`glare_reqs_total{op="Get"}`]
+	if !ok || c.Kind != KindCounter || c.Value != 7 {
+		t.Fatalf("counter sample wrong: %+v", c)
+	}
+	g, ok := byName["glare_active"]
+	if !ok || g.Kind != KindGauge || g.Value != -2 {
+		t.Fatalf("gauge sample wrong: %+v", g)
+	}
+	h, ok := byName[`glare_latency{op="Get"}`]
+	if !ok || h.Kind != KindHistogram || h.Histogram == nil {
+		t.Fatalf("histogram sample wrong: %+v", h)
+	}
+	if h.Histogram.Count != 1 || h.Histogram.Sum != 4*time.Millisecond || h.Histogram.Q99 == 0 {
+		t.Fatalf("histogram summary wrong: %+v", h.Histogram)
+	}
+	if SeriesName("glare_latency_count", h.Labels...) != `glare_latency_count{op="Get"}` {
+		t.Fatalf("SeriesName derived rendering wrong")
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`glare_reqs_total{op="Get"} 7`,
+		"glare_active -2",
+		`glare_latency_count{op="Get"} 1`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Fatalf("WriteText missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestHealthSourceDigest: WriteHealth reflects the installed health
+// source and flips status to "alerting" when alerts fire.
+func TestHealthSourceDigest(t *testing.T) {
+	tel := New("alpha")
+	var b strings.Builder
+	if err := tel.WriteHealth(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"status":"ok"`, `"quarantined":0`, `"open_breakers":0`, `"firing_alerts":0`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("default healthz missing %q: %s", want, out)
+		}
+	}
+	tel.SetHealthSource(func() Health {
+		return Health{Quarantined: 1, OpenBreakers: 2, FiringAlerts: 3}
+	})
+	b.Reset()
+	if err := tel.WriteHealth(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, want := range []string{`"status":"alerting"`, `"quarantined":1`, `"open_breakers":2`, `"firing_alerts":3`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sourced healthz missing %q: %s", want, out)
+		}
+	}
+}

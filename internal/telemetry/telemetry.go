@@ -3,8 +3,18 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
+
+// Health is the liveness digest a site reports on /healthz beyond bare
+// uptime: how many application types sit in deploy quarantine, how many
+// circuit breakers to peers are open, and how many alert rules fire.
+type Health struct {
+	Quarantined  int
+	OpenBreakers int
+	FiringAlerts int
+}
 
 // Telemetry bundles one site's metrics registry and tracer. Every method
 // is safe on a nil receiver (no-op or zero result), so components accept
@@ -14,6 +24,9 @@ type Telemetry struct {
 	start    time.Time
 	registry *Registry
 	tracer   *Tracer
+
+	healthMu sync.Mutex
+	healthFn func() Health
 }
 
 // New creates a telemetry bundle for a site.
@@ -92,15 +105,48 @@ func (t *Telemetry) WriteMetrics(w io.Writer) error {
 	return t.registry.WriteText(w)
 }
 
-// WriteHealth renders the /healthz body.
+// SetHealthSource installs the callback WriteHealth consults for the
+// quarantine/breaker/alert digest. The RDM service wires this at startup.
+func (t *Telemetry) SetHealthSource(fn func() Health) {
+	if t == nil {
+		return
+	}
+	t.healthMu.Lock()
+	t.healthFn = fn
+	t.healthMu.Unlock()
+}
+
+// HealthSnapshot evaluates the installed health source (zero when none).
+func (t *Telemetry) HealthSnapshot() Health {
+	if t == nil {
+		return Health{}
+	}
+	t.healthMu.Lock()
+	fn := t.healthFn
+	t.healthMu.Unlock()
+	if fn == nil {
+		return Health{}
+	}
+	return fn()
+}
+
+// WriteHealth renders the /healthz body. A site with firing alerts
+// reports status "alerting" so load balancers and operators see trouble
+// before it becomes an outage.
 func (t *Telemetry) WriteHealth(w io.Writer, services int) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"status":"ok"}`+"\n")
 		return err
 	}
+	h := t.HealthSnapshot()
+	status := "ok"
+	if h.FiringAlerts > 0 {
+		status = "alerting"
+	}
 	_, err := fmt.Fprintf(w,
-		`{"status":"ok","site":%q,"uptime_seconds":%.1f,"services":%d,"spans":%d}`+"\n",
-		t.site, t.Uptime().Seconds(), services, t.Tracer().Total())
+		`{"status":%q,"site":%q,"uptime_seconds":%.1f,"services":%d,"spans":%d,"quarantined":%d,"open_breakers":%d,"firing_alerts":%d}`+"\n",
+		status, t.site, t.Uptime().Seconds(), services, t.Tracer().Total(),
+		h.Quarantined, h.OpenBreakers, h.FiringAlerts)
 	return err
 }
 

@@ -168,6 +168,25 @@ func newBreakerSet(cfg BreakerConfig) *breakerSet {
 	return &breakerSet{cfg: cfg.withDefaults(), m: make(map[string]*breaker)}
 }
 
+// countOpen tallies destinations whose breaker currently sits Open — the
+// sites this client refuses to call. Half-open probes do not count: the
+// client is already testing recovery there.
+func (s *breakerSet) countOpen() int {
+	s.mu.Lock()
+	breakers := make([]*breaker, 0, len(s.m))
+	for _, b := range s.m {
+		breakers = append(breakers, b)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, b := range breakers {
+		if b.current() == BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
 func (s *breakerSet) get(dest string) *breaker {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -413,6 +413,15 @@ func (c *Client) BreakerState(address string) BreakerState {
 	return c.breakers.get(destOf(address)).current()
 }
 
+// OpenBreakers counts destinations whose breaker is currently open —
+// the health digest's "how many peers am I refusing to call" figure.
+func (c *Client) OpenBreakers() int {
+	if c.breakers == nil {
+		return 0
+	}
+	return c.breakers.countOpen()
+}
+
 // WrapTransport wraps the client's underlying HTTP round-tripper, e.g.
 // with a faultinject.Injector for chaos testing. Call during assembly,
 // before issuing requests.

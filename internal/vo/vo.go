@@ -80,6 +80,9 @@ type Options struct {
 	// Deploy tunes every site's deployment execution engine (concurrency,
 	// queue depth, retry, quarantine); zero uses rdm.DefaultDeployLimits.
 	Deploy rdm.DeployLimits
+	// History tunes every site's round-robin telemetry history (sampling
+	// step, retention, alert rules); the zero value enables defaults.
+	History rdm.HistoryConfig
 }
 
 // Node is one Grid site's full stack.
@@ -309,6 +312,7 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 		Store:             durable,
 		Deploy:            opts.Deploy,
 		DeployHook:        chaos.Step,
+		History:           opts.History,
 	})
 	if err != nil {
 		if durable != nil {
