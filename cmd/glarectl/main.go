@@ -138,9 +138,12 @@ commands:
                                      also keep grid-wide grid:<metric>
                                      rollup series
   status                             probe every community site's overlay
-                                     view: role, epoch and super-peer per
-                                     site (split brains show up as rows
-                                     disagreeing on the super-peer)
+                                     view and load: role, epoch, admission
+                                     inflight/queued/shed (each column a
+                                     control/interactive/bulk triple) and
+                                     super-peer per site (split brains show
+                                     up as rows disagreeing on the
+                                     super-peer)
   store status                       probe every community site's durable
                                      registry store: WAL segments, live and
                                      snapshot record counts, snapshot age
@@ -350,9 +353,11 @@ func metricsCmd(cli *transport.Client, siteBase string, args []string) error {
 }
 
 // statusCmd probes the overlay view of every site registered in the
-// community index and prints one row per site: its role, its view's epoch
-// and the super-peer it follows. During a partition the rows disagree on
-// the super-peer column; after a heal they converge back to one reign.
+// community index and prints one row per site: its role, its view's epoch,
+// its admission-controller load (inflight/queued/shed, each split
+// control/interactive/bulk) and the super-peer it follows. During a
+// partition the rows disagree on the super-peer column; after a heal they
+// converge back to one reign.
 func statusCmd(cli *transport.Client, siteBase string) error {
 	sites := communitySites(cli, siteBase)
 	if len(sites) == 0 {
@@ -364,21 +369,49 @@ func statusCmd(cli *transport.Client, siteBase string) error {
 			wide = len(s.Name)
 		}
 	}
-	fmt.Printf("%-*s  %-10s  %5s  %s\n", wide, "SITE", "ROLE", "EPOCH", "SUPER-PEER")
+	fmt.Printf("%-*s  %-10s  %5s  %8s  %8s  %8s  %s\n", wide,
+		"SITE", "ROLE", "EPOCH", "INFLIGHT", "QUEUED", "SHED", "SUPER-PEER")
 	for _, s := range sites {
 		resp, err := cli.Call(s.PeerURL(), "ViewStatus", nil)
 		if err != nil {
-			fmt.Printf("%-*s  %-10s  %5s  %s\n", wide, s.Name, "-", "-", "- ("+err.Error()+")")
+			fmt.Printf("%-*s  %-10s  %5s  %8s  %8s  %8s  %s\n", wide, s.Name,
+				"-", "-", "-", "-", "-", "- ("+err.Error()+")")
 			continue
 		}
 		superPeer := resp.AttrOr("superPeer", "")
 		if superPeer == "" {
 			superPeer = "(unassigned)"
 		}
-		fmt.Printf("%-*s  %-10s  %5s  %s\n", wide, s.Name,
-			resp.AttrOr("role", "?"), resp.AttrOr("epoch", "?"), superPeer)
+		inflight, queued, shed := loadColumns(cli, s)
+		fmt.Printf("%-*s  %-10s  %5s  %8s  %8s  %8s  %s\n", wide, s.Name,
+			resp.AttrOr("role", "?"), resp.AttrOr("epoch", "?"),
+			inflight, queued, shed, superPeer)
 	}
 	return nil
+}
+
+// loadColumns probes a site's admission controller (the RDM "LoadStatus"
+// operation) and renders the inflight/queued/shed columns, each value a
+// control/interactive/bulk triple. Sites without admission control (or
+// unreachable ones) render as dashes.
+func loadColumns(cli *transport.Client, s superpeer.SiteInfo) (inflight, queued, shed string) {
+	resp, err := cli.Call(s.ServiceURL(rdm.ServiceName), "LoadStatus", nil)
+	if err != nil || resp.AttrOr("enabled", "false") != "true" {
+		return "-", "-", "-"
+	}
+	var in, qu, sh []string
+	for _, c := range resp.All("Class") {
+		in = append(in, c.AttrOr("inflight", "?"))
+		qu = append(qu, c.AttrOr("queued", "?"))
+		// Shed column folds both overflow sheds and in-queue expiries:
+		// everything the controller refused for this class.
+		sheds, expired := c.AttrOr("sheds", "?"), c.AttrOr("expired", "0")
+		if expired != "0" {
+			sheds += "+" + expired
+		}
+		sh = append(sh, sheds)
+	}
+	return strings.Join(in, "/"), strings.Join(qu, "/"), strings.Join(sh, "/")
 }
 
 // storeStatusCmd probes the durable registry store of every site

@@ -48,6 +48,7 @@ func main() {
 	buildQueue := flag.Int("build-queue", 0, "builds waiting for a slot before new ones are shed (0 = engine default, negative = no queue)")
 	historyStep := flag.Duration("history-step", rrd.DefaultStep, "telemetry-history base step (0 or negative disables the round-robin history)")
 	historyRet := flag.String("history-ret", "", "telemetry-history retention archives as comma-separated [cf:]STEPSxROWS items, e.g. avg:1x600,avg:60x1440,max:10x600 (empty = defaults)")
+	admission := flag.Bool("admission", true, "enable the overload admission controller (priority classes, deadline-aware queueing, AIMD limits)")
 	flag.Parse()
 
 	historyCfg, err := historyConfig(*historyStep, *historyRet)
@@ -83,6 +84,9 @@ func main() {
 	st := site.New(attrs, clock, site.StandardUniverse())
 	info := superpeer.SiteInfo{Name: attrs.Name, Rank: attrs.Rank(), BaseURL: srv.BaseURL()}
 	tel := telemetry.New(attrs.Name)
+	if *admission {
+		srv.SetAdmission(transport.NewAdmission(transport.DefaultAdmissionConfig(), tel))
+	}
 	client := transport.NewClient(nil)
 	client.SetTelemetry(tel)
 	client.SetRetryPolicy(transport.DefaultRetryPolicy())

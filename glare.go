@@ -104,6 +104,16 @@ type (
 	HistoryStore = rrd.Store
 	// Alert is one firing alert-rule instance.
 	Alert = rrd.Alert
+	// AdmissionConfig tunes a site's overload admission controller:
+	// per-class concurrency limits, queue depths and the AIMD latency
+	// target.
+	AdmissionConfig = transport.AdmissionConfig
+	// ClassLimits bounds one priority class (concurrency limit, AIMD
+	// floor/ceiling, wait-queue depth).
+	ClassLimits = transport.ClassLimits
+	// ClassStatus is one priority class's live admission-controller state
+	// (limit, inflight, queued, sheds, expired).
+	ClassStatus = transport.ClassStatus
 )
 
 // Deployment method and mode constants.
@@ -177,6 +187,17 @@ type GridOptions struct {
 	// set. The zero value enables the defaults; set History.Disabled to
 	// turn the subsystem off.
 	History HistoryConfig
+	// Admission overrides every site's overload admission controller
+	// (per-class concurrency limits, queue depths, AIMD target); nil uses
+	// the transport defaults.
+	Admission *AdmissionConfig
+	// AdmissionOff disables admission control grid-wide — every request
+	// executes immediately regardless of load. The baseline configuration
+	// for overload experiments.
+	AdmissionOff bool
+	// ScanDelayPerEntry models remote registry processing time per scanned
+	// entry, so overload experiments can give bulk scans a realistic cost.
+	ScanDelayPerEntry time.Duration
 }
 
 // Grid is a running Virtual Organization.
@@ -197,18 +218,21 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 		breaker = &bc
 	}
 	v, err := vo.Build(vo.Options{
-		Sites:         opts.Sites,
-		Secure:        opts.Secure,
-		GroupSize:     opts.GroupSize,
-		CacheDisabled: opts.DisableCache,
-		Clock:         clock,
-		CallTimeout:   opts.CallTimeout,
-		ChaosSeed:     opts.ChaosSeed,
-		Breaker:       breaker,
-		DataDir:       opts.DataDir,
-		StoreFsync:    opts.StoreFsync,
-		Deploy:        opts.Deploy,
-		History:       opts.History,
+		Sites:             opts.Sites,
+		Secure:            opts.Secure,
+		GroupSize:         opts.GroupSize,
+		CacheDisabled:     opts.DisableCache,
+		Clock:             clock,
+		CallTimeout:       opts.CallTimeout,
+		ChaosSeed:         opts.ChaosSeed,
+		Breaker:           breaker,
+		DataDir:           opts.DataDir,
+		StoreFsync:        opts.StoreFsync,
+		Deploy:            opts.Deploy,
+		History:           opts.History,
+		Admission:         opts.Admission,
+		AdmissionOff:      opts.AdmissionOff,
+		ScanDelayPerEntry: opts.ScanDelayPerEntry,
 	})
 	if err != nil {
 		return nil, err
@@ -249,6 +273,20 @@ func (g *Grid) Telemetry(i int) *Telemetry {
 		return nil
 	}
 	return g.vo.Nodes[i].Tel
+}
+
+// OverloadStatus reports site i's admission-controller state, one entry
+// per priority class (control, interactive, bulk). Nil when admission is
+// disabled (GridOptions.AdmissionOff).
+func (g *Grid) OverloadStatus(i int) []ClassStatus {
+	if i < 0 || i >= len(g.vo.Nodes) {
+		return nil
+	}
+	adm := g.vo.Nodes[i].Server.Admission()
+	if adm == nil {
+		return nil
+	}
+	return adm.Status()
 }
 
 // StopSite simulates a site failure (its container stops answering).

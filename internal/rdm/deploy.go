@@ -1,6 +1,7 @@
 package rdm
 
 import (
+	"context"
 	"fmt"
 	"path"
 	"strconv"
@@ -58,14 +59,14 @@ type DeployReport struct {
 // the VO — on this site when its constraints match, otherwise on an
 // eligible peer — and returns the new deployments.
 func (s *Service) DeployOnDemand(typeName string, method Method) (*DeployReport, error) {
-	return s.deployOnDemand(nil, typeName, method)
+	return s.deployOnDemand(context.Background(), nil, typeName, method)
 }
 
-func (s *Service) deployOnDemand(parent *telemetry.Span, typeName string, method Method) (report *DeployReport, err error) {
+func (s *Service) deployOnDemand(ctx context.Context, parent *telemetry.Span, typeName string, method Method) (report *DeployReport, err error) {
 	sp := s.tel.StartSpan("rdm.DeployOnDemand", parent)
 	sp.SetNote(typeName)
 	defer func() { sp.End(err) }()
-	t, ok := s.lookupType(sp, typeName)
+	t, ok := s.lookupType(ctx, sp, typeName)
 	if !ok {
 		return nil, fmt.Errorf("rdm: unknown activity type %q", typeName)
 	}
@@ -81,17 +82,17 @@ func (s *Service) deployOnDemand(parent *telemetry.Span, typeName string, method
 	}
 	// Find an eligible peer and hand the installation over to its RDM
 	// ("it invokes [the] deployment handler on the target site").
-	target, err := s.chooseTarget(sp, t)
+	target, err := s.chooseTarget(ctx, sp, t)
 	if err != nil {
 		return nil, err
 	}
-	return s.deployRemote(sp, target, t, method)
+	return s.deployRemote(ctx, sp, target, t, method)
 }
 
 // chooseTarget selects the best group peer for installing the type:
 // candidates are filtered by the type's constraints and ranked by the
 // GridARM broker ("in combination with GridARM's resource brokerage").
-func (s *Service) chooseTarget(sp *telemetry.Span, t *activity.Type) (superpeer.SiteInfo, error) {
+func (s *Service) chooseTarget(ctx context.Context, sp *telemetry.Span, t *activity.Type) (superpeer.SiteInfo, error) {
 	c := t.Installation.Constraints
 	req := gridarm.Request{Platform: c.Platform, OS: c.OS, Arch: c.Arch}
 	view := s.view()
@@ -101,7 +102,7 @@ func (s *Service) chooseTarget(sp *telemetry.Span, t *activity.Type) (superpeer.
 		if s.client == nil {
 			break
 		}
-		resp, err := s.call(sp, peer.ServiceURL(ServiceName), "SiteAttrs", nil)
+		resp, err := s.call(ctx, sp, peer.ServiceURL(ServiceName), "SiteAttrs", nil)
 		if err != nil || resp == nil {
 			continue
 		}
@@ -137,11 +138,11 @@ func attrsFromXML(n *xmlutil.Node) site.Attributes {
 	}
 }
 
-func (s *Service) deployRemote(sp *telemetry.Span, target superpeer.SiteInfo, t *activity.Type, method Method) (*DeployReport, error) {
+func (s *Service) deployRemote(ctx context.Context, sp *telemetry.Span, target superpeer.SiteInfo, t *activity.Type, method Method) (*DeployReport, error) {
 	req := xmlutil.NewNode("Deploy")
 	req.SetAttr("method", string(method))
 	req.Add(t.ToXML())
-	resp, err := s.call(sp, target.ServiceURL(ServiceName), "DeployLocal", req)
+	resp, err := s.call(ctx, sp, target.ServiceURL(ServiceName), "DeployLocal", req)
 	if err != nil {
 		return nil, fmt.Errorf("rdm: remote deployment on %s: %w", target.Name, err)
 	}
@@ -242,7 +243,7 @@ func (s *Service) deployLocal(parent *telemetry.Span, t *activity.Type, method M
 		if len(s.ADR.ByType(depName)) > 0 {
 			continue // already deployed here
 		}
-		depType, ok := s.lookupType(sp, depName)
+		depType, ok := s.lookupType(context.Background(), sp, depName)
 		if !ok {
 			return nil, fmt.Errorf("rdm: dependency %q of %q not found in VO", depName, t.Name)
 		}
@@ -436,14 +437,14 @@ func (s *Service) Migrate(name string, method Method) (*DeployReport, error) {
 	if t.Installation == nil {
 		return nil, fmt.Errorf("rdm: type %q cannot be reinstalled automatically", d.Type)
 	}
-	target, err := s.chooseTarget(nil, t)
+	target, err := s.chooseTarget(context.Background(), nil, t)
 	if err != nil {
 		return nil, err
 	}
 	if err := s.Undeploy(name); err != nil {
 		return nil, err
 	}
-	return s.deployRemote(nil, target, t, method)
+	return s.deployRemote(context.Background(), nil, target, t, method)
 }
 
 // Instantiate runs an executable deployment as a GRAM job (or touches a

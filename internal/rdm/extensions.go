@@ -1,6 +1,7 @@
 package rdm
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -60,8 +61,8 @@ func (s *Service) WrapService(execName string) (*activity.Deployment, error) {
 // Kept separate from Mount so the baseline protocol matches the paper's
 // surface exactly; vo mounts both.
 func (s *Service) MountExtensions(srv *transport.Server) {
-	srv.RegisterTracedService(ServiceName, s.tracedTable(map[string]transport.TracedHandler{
-		"SearchTypes": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+	srv.RegisterCtxService(ServiceName, s.tracedTable(map[string]transport.CtxHandler{
+		"SearchTypes": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			q := semantic.Query{}
 			if body != nil {
 				q.Function = body.AttrOr("function", "")
@@ -89,7 +90,7 @@ func (s *Service) MountExtensions(srv *transport.Server) {
 			}
 			return out, nil
 		},
-		"WrapService": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"WrapService": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			d, err := s.WrapService(textOf(body))
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package rdm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -62,9 +63,12 @@ func (c HistoryConfig) withDefaults() HistoryConfig {
 
 // DefaultAlertRules returns the built-in rule set: a rising
 // deploy-failure rate (more than one rollback inside a ten-step window)
-// pre-emptively quarantines the failing types. The threshold is one
-// failure per window because rates are per-second: a lone rollback
-// averages to exactly 1/window over the window and stays below it.
+// pre-emptively quarantines the failing types, and a sustained
+// admission-shed rate (more than one refused request per second over the
+// window) surfaces site overload in /healthz and `glarectl history`
+// before callers notice brownouts. The failure threshold is one per
+// window because rates are per-second: a lone rollback averages to
+// exactly 1/window over the window and stays below it.
 func DefaultAlertRules(step time.Duration) []rrd.Rule {
 	window := 10 * step
 	return []rrd.Rule{{
@@ -75,6 +79,13 @@ func DefaultAlertRules(step time.Duration) []rrd.Rule {
 		Predicate: rrd.Above,
 		Threshold: 1.0 / window.Seconds(),
 		Action:    ActionQuarantine,
+	}, {
+		Name:      "overload-shed-rate",
+		Metric:    "glare_server_sheds_total",
+		CF:        rrd.Average,
+		Window:    window,
+		Predicate: rrd.Above,
+		Threshold: 1.0,
 	}}
 }
 
@@ -85,6 +96,7 @@ func DefaultRollupMetrics() []string {
 		"glare_deploy_quarantined_total",
 		"glare_rdm_resolve_degraded_total",
 		"glare_sync_entries_pulled_total",
+		"glare_server_sheds_total",
 	}
 }
 
@@ -338,7 +350,7 @@ func (s *Service) rollupFrom(sp *telemetry.Span, target superpeer.SiteInfo, metr
 	req.SetAttr("metric", metric)
 	req.SetAttr("finest", "true")
 	req.SetAttr("sinceNs", strconv.FormatInt(sinceNs, 10))
-	resp, err := s.call(sp, target.ServiceURL(ServiceName), "HistoryXport", req)
+	resp, err := s.call(context.Background(), sp, target.ServiceURL(ServiceName), "HistoryXport", req)
 	if err != nil || resp == nil {
 		return
 	}

@@ -1,6 +1,7 @@
 package rdm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -33,9 +34,9 @@ type MonitorIntervals struct {
 // methods directly for determinism.
 func DefaultIntervals() MonitorIntervals {
 	return MonitorIntervals{
-		CacheRefresh: 5 * time.Second,
-		IndexProbe:   3 * time.Second,
-		StatusCheck:  5 * time.Second,
+		CacheRefresh:  5 * time.Second,
+		IndexProbe:    3 * time.Second,
+		StatusCheck:   5 * time.Second,
 		PeerLiveness:  2 * time.Second,
 		RegistrySync:  5 * time.Second,
 		HistorySample: 2 * time.Second,
@@ -101,7 +102,7 @@ func (s *Service) RefreshCaches() (revived, discarded int) {
 	probe := func(key string, source epr.EPR) (time.Time, error) {
 		switch {
 		case strings.HasPrefix(key, "dep:"), strings.HasPrefix(key, "type:"):
-			return s.probeLUT(sp, source.Address, source.Key)
+			return s.probeLUT(context.Background(), sp, source.Address, source.Key)
 		default:
 			// Merged lists have no single source; leave them to TTL.
 			return source.LastUpdateTime, nil
@@ -112,11 +113,11 @@ func (s *Service) RefreshCaches() (revived, discarded int) {
 		if strings.HasPrefix(key, "type:") {
 			op = "GetType"
 		}
-		resp, err := s.call(sp, source.Address, op, xmlutil.NewNode("Name", source.Key))
+		resp, err := s.call(context.Background(), sp, source.Address, op, xmlutil.NewNode("Name", source.Key))
 		if err != nil {
 			return epr.EPR{}, nil, err
 		}
-		lut, err := s.probeLUT(sp, source.Address, source.Key)
+		lut, err := s.probeLUT(context.Background(), sp, source.Address, source.Key)
 		if err != nil {
 			return epr.EPR{}, nil, err
 		}

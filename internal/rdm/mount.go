@@ -1,6 +1,7 @@
 package rdm
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -16,14 +17,15 @@ import (
 // traced wraps an RDM operation handler with the request-manager
 // instrumentation: per-op request/error counters and a latency histogram,
 // all on the site's registry. The server-side span opened by the transport
-// middleware is passed through so handlers can fan out under it.
-func (s *Service) traced(op string, h transport.TracedHandler) transport.TracedHandler {
+// middleware and the request context carrying the caller's propagated
+// deadline are passed through so handlers fan out under both.
+func (s *Service) traced(op string, h transport.CtxHandler) transport.CtxHandler {
 	reqs := s.tel.Counter("glare_rdm_requests_total", telemetry.L("op", op))
 	errs := s.tel.Counter("glare_rdm_errors_total", telemetry.L("op", op))
 	lat := s.tel.Histogram("glare_rdm_latency", telemetry.L("op", op))
-	return func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+	return func(ctx context.Context, sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 		start := time.Now()
-		resp, err := h(sp, body)
+		resp, err := h(ctx, sp, body)
 		lat.Observe(time.Since(start))
 		reqs.Inc()
 		if err != nil {
@@ -34,8 +36,8 @@ func (s *Service) traced(op string, h transport.TracedHandler) transport.TracedH
 }
 
 // tracedTable instruments a whole operation table.
-func (s *Service) tracedTable(ops map[string]transport.TracedHandler) map[string]transport.TracedHandler {
-	out := make(map[string]transport.TracedHandler, len(ops))
+func (s *Service) tracedTable(ops map[string]transport.CtxHandler) map[string]transport.CtxHandler {
+	out := make(map[string]transport.CtxHandler, len(ops))
 	for op, h := range ops {
 		out[op] = s.traced(op, h)
 	}
@@ -57,22 +59,22 @@ func (s *Service) Mount(srv *transport.Server) {
 	if s.localIndex != nil {
 		s.localIndex.Mount(srv)
 	}
-	srv.RegisterTracedService(ServiceName, s.tracedTable(map[string]transport.TracedHandler{
+	srv.RegisterCtxService(ServiceName, s.tracedTable(map[string]transport.CtxHandler{
 		// --- client entry points -------------------------------------
-		"GetDeployments": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"GetDeployments": func(ctx context.Context, sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("GetDeployments: missing request")
 			}
 			typeName := body.AttrOr("type", body.Text)
 			method := Method(body.AttrOr("method", string(MethodExpect)))
 			allow := body.AttrOr("deploy", "auto") != "never"
-			deps, err := s.GetDeploymentsSpan(sp, typeName, method, allow)
+			deps, err := s.GetDeploymentsCtx(ctx, sp, typeName, method, allow)
 			if err != nil {
 				return nil, err
 			}
 			return deploymentList(deps), nil
 		},
-		"RegisterType": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"RegisterType": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			t, err := activity.TypeFromXML(body)
 			if err != nil {
 				return nil, err
@@ -83,7 +85,7 @@ func (s *Service) Mount(srv *transport.Server) {
 			}
 			return e.ToXML("TypeEPR"), nil
 		},
-		"RegisterDeployment": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"RegisterDeployment": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			d, err := activity.DeploymentFromXML(body)
 			if err != nil {
 				return nil, err
@@ -94,13 +96,13 @@ func (s *Service) Mount(srv *transport.Server) {
 			}
 			return e.ToXML("DeploymentEPR"), nil
 		},
-		"Undeploy": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"Undeploy": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if err := s.Undeploy(textOf(body)); err != nil {
 				return nil, err
 			}
 			return xmlutil.NewNode("Undeployed"), nil
 		},
-		"Instantiate": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"Instantiate": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("Instantiate: missing request")
 			}
@@ -114,47 +116,55 @@ func (s *Service) Mount(srv *transport.Server) {
 		},
 
 		// --- overlay resolution protocol -----------------------------
-		"ConcreteOf": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"ConcreteOf": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			types, err := s.ATR.ConcreteOf(textOf(body))
 			if err != nil {
 				return nil, err
 			}
 			return typeList(types), nil
 		},
-		"GroupConcreteOf": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
-			return typeList(s.groupConcreteOf(sp, textOf(body))), nil
+		"GroupConcreteOf": func(ctx context.Context, sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			return typeList(s.groupConcreteOf(ctx, sp, textOf(body))), nil
 		},
-		"ForwardConcreteOf": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"ForwardConcreteOf": func(ctx context.Context, sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			name := textOf(body)
 			// Answer from our group first, then the other super-peers.
-			if types := s.groupConcreteOf(sp, name); len(types) > 0 {
+			if types := s.groupConcreteOf(ctx, sp, name); len(types) > 0 {
 				return typeList(types), nil
 			}
 			// Best effort: peers this super-peer cannot reach are simply
 			// absent from the answer; the querying site tracks its own
 			// unavailability.
-			types, _ := s.superFanOut(sp, name)
+			types, _ := s.superFanOut(ctx, sp, name)
 			return typeList(types), nil
 		},
-		"LocalDeployments": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"LocalDeployments": func(ctx context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			ds := s.ADR.ByType(textOf(body))
 			if s.scanDelay > 0 {
 				// Modeled container processing: proportional to the size
-				// of the local registry this site had to scan.
-				time.Sleep(time.Duration(s.ADR.Len()) * s.scanDelay)
+				// of the local registry this site had to scan. The caller's
+				// deadline interrupts the scan — finishing it would only
+				// produce an answer nobody is waiting for.
+				t := time.NewTimer(time.Duration(s.ADR.Len()) * s.scanDelay)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
 			}
 			return deploymentList(ds), nil
 		},
-		"GroupDeployments": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
-			return deploymentList(s.groupDeployments(sp, textOf(body))), nil
+		"GroupDeployments": func(ctx context.Context, sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			return deploymentList(s.groupDeployments(ctx, sp, textOf(body))), nil
 		},
-		"ForwardDeployments": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"ForwardDeployments": func(ctx context.Context, sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			name := textOf(body)
 			merged := map[string]*activity.Deployment{}
-			for _, d := range s.groupDeployments(sp, name) {
+			for _, d := range s.groupDeployments(ctx, sp, name) {
 				merged[d.Name] = d
 			}
-			forwarded, _ := s.forwardDeployments(sp, name)
+			forwarded, _ := s.forwardDeployments(ctx, sp, name)
 			for _, d := range forwarded {
 				if _, dup := merged[d.Name]; !dup {
 					merged[d.Name] = d
@@ -162,27 +172,33 @@ func (s *Service) Mount(srv *transport.Server) {
 			}
 			return deploymentList(sortedDeployments(merged)), nil
 		},
-		"RegistryDigest": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
+		"RegistryDigest": func(context.Context, *telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
 			// Anti-entropy: the caller reconciles against this site's
 			// (name → LastUpdateTime) registry summary.
 			return s.RegistryDigest(), nil
 		},
-		"HistoryXport": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"HistoryXport": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			// Ring-archive export for `glarectl history` and the
 			// super-peer rollup.
 			return s.historyXportXML(body)
 		},
-		"StoreStatus": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
+		"StoreStatus": func(context.Context, *telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
 			// Durable-store summary for `glarectl store status`; answers
 			// enabled="false" on memory-only sites.
 			return s.StoreStatusXML(), nil
 		},
-		"DeployStatus": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
+		"DeployStatus": func(context.Context, *telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
 			// Deployment-engine summary for `glarectl builds`: in-flight
 			// builds, queue pressure, quarantined types, resumable builds.
 			return s.DeployStatusXML(), nil
 		},
-		"SiteAttrs": func(*telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
+		"LoadStatus": func(context.Context, *telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
+			// Admission-controller summary for `glarectl status`: per-class
+			// limit, inflight, queue depth and shed counts. Answers
+			// enabled="false" when admission control is off.
+			return loadStatusXML(srv.Admission()), nil
+		},
+		"SiteAttrs": func(context.Context, *telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
 			a := s.site.Attrs
 			n := xmlutil.NewNode("Attrs")
 			n.SetAttr("name", a.Name)
@@ -194,7 +210,7 @@ func (s *Service) Mount(srv *transport.Server) {
 			n.SetAttr("memoryMB", strconv.Itoa(a.MemoryMB))
 			return n, nil
 		},
-		"DeployLocal": func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"DeployLocal": func(ctx context.Context, sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("DeployLocal: missing request")
 			}
@@ -209,7 +225,7 @@ func (s *Service) Mount(srv *transport.Server) {
 				t = parsed
 			} else {
 				name := body.AttrOr("type", "")
-				found, ok := s.lookupType(sp, name)
+				found, ok := s.lookupType(ctx, sp, name)
 				if !ok {
 					return nil, fmt.Errorf("DeployLocal: unknown type %q", name)
 				}
@@ -225,7 +241,7 @@ func (s *Service) Mount(srv *transport.Server) {
 		},
 
 		// --- leasing --------------------------------------------------
-		"AcquireLease": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"AcquireLease": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("AcquireLease: missing request")
 			}
@@ -243,7 +259,7 @@ func (s *Service) Mount(srv *transport.Server) {
 			n.SetAttr("kind", string(t.Kind))
 			return n, nil
 		},
-		"ReleaseLease": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"ReleaseLease": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			id, _ := strconv.ParseUint(textOf(body), 10, 64)
 			if err := s.Leases.Release(id); err != nil {
 				return nil, err
@@ -252,7 +268,7 @@ func (s *Service) Mount(srv *transport.Server) {
 		},
 
 		// --- notification ---------------------------------------------
-		"Subscribe": func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		"Subscribe": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			if body == nil {
 				return nil, fmt.Errorf("Subscribe: missing request")
 			}
@@ -279,6 +295,27 @@ func (s *Service) Mount(srv *transport.Server) {
 			return n, nil
 		},
 	}))
+}
+
+// loadStatusXML renders the site's admission-controller state for the
+// LoadStatus wire op; a nil controller answers enabled="false".
+func loadStatusXML(adm *transport.Admission) *xmlutil.Node {
+	n := xmlutil.NewNode("Load")
+	if adm == nil {
+		n.SetAttr("enabled", "false")
+		return n
+	}
+	n.SetAttr("enabled", "true")
+	for _, cs := range adm.Status() {
+		cn := n.Elem("Class")
+		cn.SetAttr("name", cs.Class)
+		cn.SetAttr("limit", strconv.Itoa(cs.Limit))
+		cn.SetAttr("inflight", strconv.Itoa(cs.Inflight))
+		cn.SetAttr("queued", strconv.Itoa(cs.Queued))
+		cn.SetAttr("sheds", strconv.FormatUint(cs.Sheds, 10))
+		cn.SetAttr("expired", strconv.FormatUint(cs.Expired, 10))
+	}
+	return n
 }
 
 func textOf(body *xmlutil.Node) string {

@@ -1,6 +1,7 @@
 package rdm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -17,12 +18,14 @@ import (
 
 // call issues a traced RPC to a remote site: the span's correlation ID
 // rides the envelope's Trace header, so the remote server's spans link
-// back to this request. A nil span degrades to a plain call.
-func (s *Service) call(sp *telemetry.Span, address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
+// back to this request, and the context's remaining deadline budget is
+// stamped into the envelope so every forwarding hop works against the
+// original caller's clock. A nil span degrades to a plain call.
+func (s *Service) call(ctx context.Context, sp *telemetry.Span, address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
 	if s.client == nil {
 		return nil, fmt.Errorf("rdm: no transport client configured")
 	}
-	return s.client.CallSpan(sp, address, operation, body)
+	return s.client.CallCtx(ctx, sp, address, operation, body)
 }
 
 // resolveSrc counts which tier of the resolution ladder answered a lookup:
@@ -69,17 +72,27 @@ func (s *Service) GetDeployments(typeName string, method Method, allowDeploy boo
 // call here so the whole VO-wide resolution shares one correlation ID.
 // A nil parent starts a fresh trace.
 func (s *Service) GetDeploymentsSpan(parent *telemetry.Span, typeName string, method Method, allowDeploy bool) ([]*activity.Deployment, error) {
+	return s.GetDeploymentsCtx(context.Background(), parent, typeName, method, allowDeploy)
+}
+
+// GetDeploymentsCtx is the fullest entry point: ctx carries the caller's
+// propagated deadline, so a resolution forwarded across sites works
+// against the remaining budget rather than each hop's own timeout.
+func (s *Service) GetDeploymentsCtx(ctx context.Context, parent *telemetry.Span, typeName string, method Method, allowDeploy bool) ([]*activity.Deployment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sp := s.tel.StartSpan("rdm.GetDeployments", parent)
 	sp.SetNote(typeName)
 	s.Load.Enter()
 	defer s.Load.Exit()
-	out, err := s.getDeployments(sp, typeName, method, allowDeploy)
+	out, err := s.getDeployments(ctx, sp, typeName, method, allowDeploy)
 	sp.End(err)
 	return out, err
 }
 
-func (s *Service) getDeployments(sp *telemetry.Span, typeName string, method Method, allowDeploy bool) ([]*activity.Deployment, error) {
-	concrete, err := s.resolveConcrete(sp, typeName)
+func (s *Service) getDeployments(ctx context.Context, sp *telemetry.Span, typeName string, method Method, allowDeploy bool) ([]*activity.Deployment, error) {
+	concrete, err := s.resolveConcrete(ctx, sp, typeName)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +101,7 @@ func (s *Service) getDeployments(sp *telemetry.Span, typeName string, method Met
 	}
 	var out []*activity.Deployment
 	for _, ct := range concrete {
-		out = append(out, s.resolveDeployments(sp, ct.Name)...)
+		out = append(out, s.resolveDeployments(ctx, sp, ct.Name)...)
 	}
 	if len(out) > 0 {
 		return dedupeDeployments(out), nil
@@ -110,7 +123,7 @@ func (s *Service) getDeployments(sp *telemetry.Span, typeName string, method Met
 			lastErr = fmt.Errorf("rdm: type %q is manual-install; administrator notified", ct.Name)
 			continue
 		}
-		report, err := s.deployOnDemand(sp, ct.Name, method)
+		report, err := s.deployOnDemand(ctx, sp, ct.Name, method)
 		if err != nil {
 			lastErr = err
 			continue
@@ -127,10 +140,10 @@ func (s *Service) getDeployments(sp *telemetry.Span, typeName string, method Met
 // to concrete types, looking successively at the local registry, the local
 // cache, the peer group, and — through the super-peer — the wider VO.
 func (s *Service) ResolveConcrete(typeName string) ([]*activity.Type, error) {
-	return s.resolveConcrete(nil, typeName)
+	return s.resolveConcrete(context.Background(), nil, typeName)
 }
 
-func (s *Service) resolveConcrete(sp *telemetry.Span, typeName string) ([]*activity.Type, error) {
+func (s *Service) resolveConcrete(ctx context.Context, sp *telemetry.Span, typeName string) ([]*activity.Type, error) {
 	// 1. Local hierarchy (hash lookup + subtype closure).
 	local, err := s.ATR.ConcreteOf(typeName)
 	if err != nil {
@@ -151,7 +164,7 @@ func (s *Service) resolveConcrete(sp *telemetry.Span, typeName string) ([]*activ
 	view := s.view()
 	unreachable := false
 	for _, peer := range view.Peers(s.selfName()) {
-		types, err := s.remoteConcreteOf(sp, peer, typeName)
+		types, err := s.remoteConcreteOf(ctx, sp, peer, typeName)
 		if transport.IsUnavailable(err) {
 			unreachable = true
 		}
@@ -164,7 +177,7 @@ func (s *Service) resolveConcrete(sp *telemetry.Span, typeName string) ([]*activ
 	// 4. Super-peer forwarding ("A super-peer is contacted when other
 	// peers could not find information ... It then forwards requests to
 	// other super-peers and caches the results").
-	types, err := s.forwardConcreteOf(sp, typeName)
+	types, err := s.forwardConcreteOf(ctx, sp, typeName)
 	if transport.IsUnavailable(err) {
 		unreachable = true
 	}
@@ -191,11 +204,11 @@ func (s *Service) resolveConcrete(sp *telemetry.Span, typeName string) ([]*activ
 // remoteConcreteOf asks one remote RDM for its local concrete resolution.
 // An Unavailable error means the peer could not be reached (as opposed to
 // not knowing the type) and feeds the caller's degradation decision.
-func (s *Service) remoteConcreteOf(sp *telemetry.Span, target superpeer.SiteInfo, typeName string) ([]*activity.Type, error) {
+func (s *Service) remoteConcreteOf(ctx context.Context, sp *telemetry.Span, target superpeer.SiteInfo, typeName string) ([]*activity.Type, error) {
 	if target.IsZero() {
 		return nil, nil
 	}
-	resp, err := s.call(sp, target.ServiceURL(ServiceName), "ConcreteOf",
+	resp, err := s.call(ctx, sp, target.ServiceURL(ServiceName), "ConcreteOf",
 		xmlutil.NewNode("Name", typeName))
 	if err != nil {
 		return nil, err
@@ -207,16 +220,16 @@ func (s *Service) remoteConcreteOf(sp *telemetry.Span, target superpeer.SiteInfo
 }
 
 // forwardConcreteOf routes the lookup through the super-peer overlay.
-func (s *Service) forwardConcreteOf(sp *telemetry.Span, typeName string) ([]*activity.Type, error) {
+func (s *Service) forwardConcreteOf(ctx context.Context, sp *telemetry.Span, typeName string) ([]*activity.Type, error) {
 	view := s.view()
 	if view.SuperPeer.IsZero() {
 		return nil, nil
 	}
 	if view.SuperPeer.Name == s.selfName() {
 		// We are the super-peer: fan out to the other super-peers' groups.
-		return s.superFanOut(sp, typeName)
+		return s.superFanOut(ctx, sp, typeName)
 	}
-	resp, err := s.call(sp, view.SuperPeer.ServiceURL(ServiceName), "ForwardConcreteOf",
+	resp, err := s.call(ctx, sp, view.SuperPeer.ServiceURL(ServiceName), "ForwardConcreteOf",
 		xmlutil.NewNode("Name", typeName))
 	if err != nil {
 		return nil, err
@@ -235,14 +248,14 @@ func (s *Service) forwardConcreteOf(sp *telemetry.Span, typeName string) ([]*act
 // super-peer to answer from its group, cache what comes back. When no
 // answer is found and at least one super-peer was unreachable, the
 // returned error reports that the miss is untrustworthy.
-func (s *Service) superFanOut(sp *telemetry.Span, typeName string) ([]*activity.Type, error) {
+func (s *Service) superFanOut(ctx context.Context, sp *telemetry.Span, typeName string) ([]*activity.Type, error) {
 	view := s.view()
 	var lastUnavailable error
 	for _, peer := range view.SuperPeers {
 		if peer.Name == s.selfName() {
 			continue
 		}
-		resp, err := s.call(sp, peer.ServiceURL(ServiceName), "GroupConcreteOf",
+		resp, err := s.call(ctx, sp, peer.ServiceURL(ServiceName), "GroupConcreteOf",
 			xmlutil.NewNode("Name", typeName))
 		if err != nil {
 			if transport.IsUnavailable(err) {
@@ -263,14 +276,14 @@ func (s *Service) superFanOut(sp *telemetry.Span, typeName string) ([]*activity.
 
 // groupConcreteOf answers a forwarded lookup from this super-peer's group:
 // our own registry plus every group member's.
-func (s *Service) groupConcreteOf(sp *telemetry.Span, typeName string) []*activity.Type {
+func (s *Service) groupConcreteOf(ctx context.Context, sp *telemetry.Span, typeName string) []*activity.Type {
 	local, err := s.ATR.ConcreteOf(typeName)
 	if err == nil && len(local) > 0 {
 		return local
 	}
 	view := s.view()
 	for _, peer := range view.Peers(s.selfName()) {
-		if types, _ := s.remoteConcreteOf(sp, peer, typeName); len(types) > 0 {
+		if types, _ := s.remoteConcreteOf(ctx, sp, peer, typeName); len(types) > 0 {
 			return types
 		}
 	}
@@ -282,10 +295,10 @@ func (s *Service) groupConcreteOf(sp *telemetry.Span, typeName string) []*activi
 // are merged (Fig. 12 spreads deployments across sites and expects the
 // full list back).
 func (s *Service) ResolveDeployments(typeName string) []*activity.Deployment {
-	return s.resolveDeployments(nil, typeName)
+	return s.resolveDeployments(context.Background(), nil, typeName)
 }
 
-func (s *Service) resolveDeployments(sp *telemetry.Span, typeName string) []*activity.Deployment {
+func (s *Service) resolveDeployments(ctx context.Context, sp *telemetry.Span, typeName string) []*activity.Deployment {
 	merged := map[string]*activity.Deployment{}
 	for _, d := range s.ADR.ByType(typeName) {
 		merged[d.Name] = d
@@ -312,7 +325,7 @@ func (s *Service) resolveDeployments(sp *telemetry.Span, typeName string) []*act
 	// sites each registry scans only its share, so the wall-clock cost of
 	// one request drops as k grows (the Fig. 12 effect).
 	view := s.view()
-	answers, unreachable := s.fanOutDeployments(sp, view.Peers(s.selfName()), typeName)
+	answers, unreachable := s.fanOutDeployments(ctx, sp, view.Peers(s.selfName()), typeName)
 	for peer, ds := range answers {
 		for _, d := range ds {
 			if _, dup := merged[d.Name]; !dup {
@@ -325,7 +338,7 @@ func (s *Service) resolveDeployments(sp *telemetry.Span, typeName string) []*act
 	// contacted when other peers could not find information about some
 	// activity types or deployments within the group."
 	if len(merged) == 0 {
-		ds, err := s.forwardDeployments(sp, typeName)
+		ds, err := s.forwardDeployments(ctx, sp, typeName)
 		if transport.IsUnavailable(err) {
 			unreachable = true
 		}
@@ -380,11 +393,11 @@ func (s *Service) resolveDeployments(sp *telemetry.Span, typeName string) []*act
 // remoteDeployments asks one peer for its local deployments. An
 // Unavailable error distinguishes a dead peer from one with nothing to
 // offer.
-func (s *Service) remoteDeployments(sp *telemetry.Span, target superpeer.SiteInfo, typeName string) ([]*activity.Deployment, error) {
+func (s *Service) remoteDeployments(ctx context.Context, sp *telemetry.Span, target superpeer.SiteInfo, typeName string) ([]*activity.Deployment, error) {
 	if target.IsZero() {
 		return nil, nil
 	}
-	resp, err := s.call(sp, target.ServiceURL(ServiceName), "LocalDeployments",
+	resp, err := s.call(ctx, sp, target.ServiceURL(ServiceName), "LocalDeployments",
 		xmlutil.NewNode("Type", typeName))
 	if err != nil {
 		return nil, err
@@ -395,7 +408,7 @@ func (s *Service) remoteDeployments(sp *telemetry.Span, target superpeer.SiteInf
 	return deploymentsFromList(resp), nil
 }
 
-func (s *Service) forwardDeployments(sp *telemetry.Span, typeName string) ([]*activity.Deployment, error) {
+func (s *Service) forwardDeployments(ctx context.Context, sp *telemetry.Span, typeName string) ([]*activity.Deployment, error) {
 	view := s.view()
 	if view.SuperPeer.IsZero() {
 		return nil, nil
@@ -407,7 +420,7 @@ func (s *Service) forwardDeployments(sp *telemetry.Span, typeName string) ([]*ac
 			if peer.Name == s.selfName() {
 				continue
 			}
-			resp, err := s.call(sp, peer.ServiceURL(ServiceName), "GroupDeployments",
+			resp, err := s.call(ctx, sp, peer.ServiceURL(ServiceName), "GroupDeployments",
 				xmlutil.NewNode("Type", typeName))
 			if err != nil {
 				if transport.IsUnavailable(err) {
@@ -428,7 +441,7 @@ func (s *Service) forwardDeployments(sp *telemetry.Span, typeName string) ([]*ac
 		}
 		return nil, lastUnavailable
 	}
-	resp, err := s.call(sp, view.SuperPeer.ServiceURL(ServiceName), "ForwardDeployments",
+	resp, err := s.call(ctx, sp, view.SuperPeer.ServiceURL(ServiceName), "ForwardDeployments",
 		xmlutil.NewNode("Type", typeName))
 	if err != nil {
 		return nil, err
@@ -445,13 +458,13 @@ func (s *Service) forwardDeployments(sp *telemetry.Span, typeName string) ([]*ac
 
 // groupDeployments answers a forwarded deployment lookup from this
 // super-peer's whole group, fanning out to the members concurrently.
-func (s *Service) groupDeployments(sp *telemetry.Span, typeName string) []*activity.Deployment {
+func (s *Service) groupDeployments(ctx context.Context, sp *telemetry.Span, typeName string) []*activity.Deployment {
 	merged := map[string]*activity.Deployment{}
 	for _, d := range s.ADR.ByType(typeName) {
 		merged[d.Name] = d
 	}
 	view := s.view()
-	answers, _ := s.fanOutDeployments(sp, view.Peers(s.selfName()), typeName)
+	answers, _ := s.fanOutDeployments(ctx, sp, view.Peers(s.selfName()), typeName)
 	for _, ds := range answers {
 		for _, d := range ds {
 			if _, dup := merged[d.Name]; !dup {
@@ -465,7 +478,7 @@ func (s *Service) groupDeployments(sp *telemetry.Span, typeName string) []*activ
 // fanOutDeployments queries several remote registries concurrently. It
 // additionally reports whether any peer was unreachable, so the caller
 // knows the merged answer may be incomplete.
-func (s *Service) fanOutDeployments(sp *telemetry.Span, peers []superpeer.SiteInfo, typeName string) (map[superpeer.SiteInfo][]*activity.Deployment, bool) {
+func (s *Service) fanOutDeployments(ctx context.Context, sp *telemetry.Span, peers []superpeer.SiteInfo, typeName string) (map[superpeer.SiteInfo][]*activity.Deployment, bool) {
 	out := make(map[superpeer.SiteInfo][]*activity.Deployment, len(peers))
 	if len(peers) == 0 {
 		return out, false
@@ -478,7 +491,7 @@ func (s *Service) fanOutDeployments(sp *telemetry.Span, peers []superpeer.SiteIn
 	ch := make(chan answer, len(peers))
 	for _, peer := range peers {
 		go func(p superpeer.SiteInfo) {
-			ds, err := s.remoteDeployments(sp, p, typeName)
+			ds, err := s.remoteDeployments(ctx, sp, p, typeName)
 			ch <- answer{peer: p, ds: ds, err: err}
 		}(peer)
 	}
@@ -580,10 +593,10 @@ func dedupeDeployments(in []*activity.Deployment) []*activity.Deployment {
 
 // LookupType finds a single named type locally, in cache, or remotely.
 func (s *Service) LookupType(name string) (*activity.Type, bool) {
-	return s.lookupType(nil, name)
+	return s.lookupType(context.Background(), nil, name)
 }
 
-func (s *Service) lookupType(sp *telemetry.Span, name string) (*activity.Type, bool) {
+func (s *Service) lookupType(ctx context.Context, sp *telemetry.Span, name string) (*activity.Type, bool) {
 	if t, ok := s.ATR.Lookup(name); ok {
 		return t, true
 	}
@@ -603,7 +616,7 @@ func (s *Service) lookupType(sp *telemetry.Span, name string) (*activity.Type, b
 		if s.client == nil {
 			break
 		}
-		resp, err := s.call(sp, peer.ServiceURL(atr.ServiceName), "GetType",
+		resp, err := s.call(ctx, sp, peer.ServiceURL(atr.ServiceName), "GetType",
 			xmlutil.NewNode("Name", name))
 		if err != nil || resp == nil {
 			continue
@@ -624,8 +637,8 @@ func (s *Service) lookupType(sp *telemetry.Span, name string) (*activity.Type, b
 
 // probeLUT fetches the current LastUpdateTime of a remote resource for the
 // cache refresher.
-func (s *Service) probeLUT(sp *telemetry.Span, service string, key string) (time.Time, error) {
-	resp, err := s.call(sp, service, "GetLUT", xmlutil.NewNode("Name", key))
+func (s *Service) probeLUT(ctx context.Context, sp *telemetry.Span, service string, key string) (time.Time, error) {
+	resp, err := s.call(ctx, sp, service, "GetLUT", xmlutil.NewNode("Name", key))
 	if err != nil {
 		return time.Time{}, err
 	}

@@ -1,6 +1,7 @@
 package rdm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -96,7 +97,7 @@ func (s *Service) SyncRegistries() int {
 // the REMOTE LastUpdateTime — so the ordinary cache refresher keeps the
 // synced entries alive afterwards.
 func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
-	digest, err := s.call(sp, target.ServiceURL(ServiceName), "RegistryDigest", nil)
+	digest, err := s.call(context.Background(), sp, target.ServiceURL(ServiceName), "RegistryDigest", nil)
 	if err != nil || digest == nil {
 		return 0
 	}
@@ -113,7 +114,7 @@ func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
 		if e, ok := s.typeCache.Peek("type:" + name); ok && !lut.After(e.Source.LastUpdateTime) {
 			continue // cache already carries this version
 		}
-		doc, err := s.call(sp, target.ServiceURL(atr.ServiceName), "GetType", xmlutil.NewNode("Name", name))
+		doc, err := s.call(context.Background(), sp, target.ServiceURL(atr.ServiceName), "GetType", xmlutil.NewNode("Name", name))
 		if err != nil || doc == nil {
 			continue
 		}
@@ -143,7 +144,7 @@ func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
 		if e, ok := s.depCache.Peek("dep:" + name); ok && !lut.After(e.Source.LastUpdateTime) {
 			continue
 		}
-		doc, err := s.call(sp, target.ServiceURL(adr.ServiceName), "Get", xmlutil.NewNode("Name", name))
+		doc, err := s.call(context.Background(), sp, target.ServiceURL(adr.ServiceName), "Get", xmlutil.NewNode("Name", name))
 		if err != nil || doc == nil {
 			continue
 		}

@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"glare/internal/telemetry"
+)
+
+// admit1 is a tiny fixed config: one interactive slot, queue of depth q.
+func admit1(q int) *Admission {
+	return NewAdmission(AdmissionConfig{
+		Interactive: ClassLimits{Limit: 1, MaxLimit: 1, QueueDepth: q},
+	}, nil)
+}
+
+func mustAdmit(t *testing.T, a *Admission, service, op string, dl time.Time) func() {
+	t.Helper()
+	release, err := a.Admit(service, op, dl)
+	if err != nil {
+		t.Fatalf("Admit(%s.%s): %v", service, op, err)
+	}
+	return release
+}
+
+func TestDefaultClassify(t *testing.T) {
+	cases := []struct {
+		service, op string
+		want        Class
+	}{
+		{"PeerService", "InstallView", ClassControl},
+		{"GLARE", "ViewStatus", ClassControl},
+		{"GLARE", "Ping", ClassControl},
+		{"GLARE", "RegistryDigest", ClassBulk},
+		{"GLARE", "HistoryXport", ClassBulk},
+		{"GLARE", "StoreStatus", ClassBulk},
+		{"GLARE", "GetDeployments", ClassInteractive},
+		{"GLARE", "RegisterType", ClassInteractive},
+	}
+	for _, c := range cases {
+		if got := DefaultClassify(c.service, c.op); got != c.want {
+			t.Fatalf("classify(%s,%s) = %v, want %v", c.service, c.op, got, c.want)
+		}
+	}
+}
+
+func TestZeroQueueShedsImmediately(t *testing.T) {
+	a := admit1(0)
+	release := mustAdmit(t, a, "GLARE", "GetDeployments", time.Time{})
+	defer release()
+	_, err := a.Admit("GLARE", "GetDeployments", time.Time{})
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != "shed" {
+		t.Fatalf("expected shed, got %v", err)
+	}
+	st := a.Status()
+	if st[1].Sheds != 1 || st[1].Inflight != 1 {
+		t.Fatalf("status = %+v", st[1])
+	}
+}
+
+// TestQueueShedsEarliestDeadlineFirst: on overflow the waiter least
+// likely to make its deadline is evicted, not the newcomer.
+func TestQueueShedsEarliestDeadlineFirst(t *testing.T) {
+	a := admit1(2)
+	release := mustAdmit(t, a, "GLARE", "GetDeployments", time.Time{})
+
+	now := time.Now()
+	type result struct {
+		name string
+		err  error
+	}
+	results := make(chan result, 3)
+	enqueue := func(name string, dl time.Time, wantQueued int) {
+		go func() {
+			_, err := a.Admit("GLARE", "GetDeployments", dl)
+			results <- result{name, err}
+		}()
+		// Wait for the waiter to reach the queue.
+		for i := 0; a.Status()[1].Queued < wantQueued; i++ {
+			if i > 1000 {
+				t.Fatalf("waiter %s never queued", name)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	enqueue("tight", now.Add(time.Minute), 1)
+	enqueue("loose", now.Add(10*time.Minute), 2)
+
+	// Queue is full; a third arrival with a middling deadline evicts
+	// "tight" (earliest deadline = least likely to be saved by a slot).
+	done := make(chan result, 1)
+	go func() {
+		_, err := a.Admit("GLARE", "GetDeployments", now.Add(5*time.Minute))
+		done <- result{"newcomer", err}
+	}()
+	evicted := <-results
+	if evicted.name != "tight" {
+		t.Fatalf("evicted %q, want tight", evicted.name)
+	}
+	var ov *Overload
+	if !errors.As(evicted.err, &ov) || ov.Reason != "shed" {
+		t.Fatalf("evicted error = %v", evicted.err)
+	}
+
+	// Release the slot twice: both remaining waiters get through.
+	release()
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("waiter %s: %v", r.name, r.err)
+			}
+		case r := <-done:
+			if r.err != nil {
+				t.Fatalf("waiter %s: %v", r.name, r.err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter never promoted")
+		}
+		// Return the admitted waiter's slot so the next one promotes.
+		a.release(a.classes[ClassInteractive], time.Now())
+	}
+}
+
+// TestNewcomerShedsItselfWhenItIsTheSoonest: when the arriving request
+// has the nearest deadline of all, it is the victim — synchronously.
+func TestNewcomerShedsItselfWhenItIsTheSoonest(t *testing.T) {
+	a := admit1(1)
+	release := mustAdmit(t, a, "GLARE", "GetDeployments", time.Time{})
+	defer release()
+	go func() {
+		_, _ = a.Admit("GLARE", "GetDeployments", time.Now().Add(10*time.Second))
+	}()
+	for i := 0; a.Status()[1].Queued < 1; i++ {
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := a.Admit("GLARE", "GetDeployments", time.Now().Add(5*time.Millisecond))
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != "shed" {
+		t.Fatalf("expected synchronous shed, got %v", err)
+	}
+}
+
+// TestExpiredWhileQueuedNeverExecutes: a waiter whose budget lapses in
+// the queue is withdrawn with reason "expired" and never admitted.
+func TestExpiredWhileQueuedNeverExecutes(t *testing.T) {
+	a := admit1(4)
+	release := mustAdmit(t, a, "GLARE", "GetDeployments", time.Time{})
+
+	_, err := a.Admit("GLARE", "GetDeployments", time.Now().Add(20*time.Millisecond))
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != "expired" {
+		t.Fatalf("expected expired, got %v", err)
+	}
+	st := a.Status()
+	if st[1].Expired != 1 {
+		t.Fatalf("expired count = %d, want 1", st[1].Expired)
+	}
+	release()
+	if st := a.Status(); st[1].Inflight != 0 || st[1].Queued != 0 {
+		t.Fatalf("controller leaked state: %+v", st[1])
+	}
+}
+
+// TestBrownoutLadder: once a higher class is queueing, lower classes are
+// refused outright while the higher class itself still admits.
+func TestBrownoutLadder(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		Control:     ClassLimits{Limit: 4, MaxLimit: 4, QueueDepth: 4},
+		Interactive: ClassLimits{Limit: 1, MaxLimit: 1, QueueDepth: 4},
+		Bulk:        ClassLimits{Limit: 4, MaxLimit: 4, QueueDepth: 4},
+	}, nil)
+	release := mustAdmit(t, a, "GLARE", "GetDeployments", time.Time{})
+	defer release()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, err := a.Admit("GLARE", "GetDeployments", time.Time{})
+		if err == nil {
+			r()
+		}
+	}()
+	for i := 0; a.Status()[1].Queued < 1; i++ {
+		if i > 1000 {
+			t.Fatal("interactive waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Bulk browns out...
+	_, err := a.Admit("GLARE", "RegistryDigest", time.Time{})
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != "brownout" {
+		t.Fatalf("expected bulk brownout, got %v", err)
+	}
+	// ...while control still sails through.
+	rc := mustAdmit(t, a, "PeerService", "InstallView", time.Time{})
+	rc()
+
+	release2 := mustAdmit(t, a, "PeerService", "Ping", time.Time{})
+	release2()
+	release()
+	wg.Wait()
+}
+
+// TestAIMDConvergence: sustained latency above target halves the limit
+// down to the floor; fast completions grow it back one slot at a time.
+func TestAIMDConvergence(t *testing.T) {
+	now := time.Unix(5000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	a := NewAdmission(AdmissionConfig{
+		Interactive: ClassLimits{Limit: 8, MinLimit: 2, MaxLimit: 16, QueueDepth: 4},
+		TargetP99:   10 * time.Millisecond,
+		AIMDWindow:  8,
+		Now:         clock,
+	}, telemetry.New("site"))
+
+	slowRound := func() {
+		for i := 0; i < 8; i++ {
+			release := mustAdmit(t, a, "GLARE", "GetDeployments", time.Time{})
+			advance(50 * time.Millisecond) // p99 far above target
+			release()
+		}
+	}
+	limit := func() int { return a.Status()[1].Limit }
+
+	slowRound()
+	if got := limit(); got != 4 {
+		t.Fatalf("limit after slow round = %d, want 4", got)
+	}
+	slowRound()
+	if got := limit(); got != 2 {
+		t.Fatalf("limit after second slow round = %d, want 2 (floor)", got)
+	}
+	slowRound()
+	if got := limit(); got != 2 {
+		t.Fatalf("limit must not drop below MinLimit, got %d", got)
+	}
+
+	// Fast completions: additive increase, one slot per window.
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 8; i++ {
+			release := mustAdmit(t, a, "GLARE", "GetDeployments", time.Time{})
+			advance(time.Millisecond)
+			release()
+		}
+	}
+	if got := limit(); got != 5 {
+		t.Fatalf("limit after 3 fast windows = %d, want 5", got)
+	}
+}

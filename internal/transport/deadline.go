@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"strconv"
+	"time"
+
+	"glare/internal/xmlutil"
+)
+
+// Deadline propagation: a caller whose context carries a deadline stamps
+// the remaining budget into the request envelope as
+//
+//	<Deadline budget_ms="142.512"/>
+//
+// and the server re-derives an absolute deadline from the budget on
+// arrival. Budgets are relative (milliseconds remaining) rather than
+// absolute timestamps so the scheme needs no clock synchronisation
+// between sites — the network transit time is simply charged against the
+// budget. Every forwarding hop re-stamps the (smaller) remainder, so the
+// budget shrinks monotonically along a resolution chain, and a request
+// whose budget is gone on arrival is refused before any work is done.
+
+// deadlineElem is the envelope element carrying the propagated budget;
+// budgetAttr is its attribute, in (fractional) milliseconds.
+const (
+	deadlineElem = "Deadline"
+	budgetAttr   = "budget_ms"
+)
+
+// stampDeadline writes the remaining budget into env, replacing any
+// previous stamp — each retry attempt re-stamps the shrunk remainder.
+func stampDeadline(env *xmlutil.Node, remaining time.Duration) {
+	dn := env.First(deadlineElem)
+	if dn == nil {
+		dn = env.Elem(deadlineElem)
+	}
+	ms := float64(remaining) / float64(time.Millisecond)
+	dn.SetAttr(budgetAttr, strconv.FormatFloat(ms, 'f', 3, 64))
+}
+
+// parseDeadline extracts the propagated budget from a request envelope,
+// anchoring it at now. ok is false when the envelope carries no (or a
+// malformed) stamp, i.e. the caller set no deadline.
+func parseDeadline(env *xmlutil.Node, now time.Time) (deadline time.Time, ok bool) {
+	dn := env.First(deadlineElem)
+	if dn == nil {
+		return time.Time{}, false
+	}
+	ms, err := strconv.ParseFloat(dn.AttrOr(budgetAttr, ""), 64)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return now.Add(time.Duration(ms * float64(time.Millisecond))), true
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Unavailable is a transport-level failure: the remote site could not be
@@ -19,7 +20,10 @@ type Unavailable struct {
 	// Operation is the invoked operation name.
 	Operation string
 	// Reason classifies the failure: "connection", "timeout",
-	// "breaker-open" or "retry-budget".
+	// "breaker-open", "retry-budget", "deadline" (the caller's propagated
+	// budget ran out before or between attempts), or "server-expired" /
+	// "server-shed" / "server-brownout" (the site's admission controller
+	// refused the request; see IsOverloadReject).
 	Reason string
 	// Err is the underlying error (nil for breaker rejections that never
 	// touched the network).
@@ -44,6 +48,19 @@ func (u *Unavailable) Unwrap() error { return u.Err }
 func IsUnavailable(err error) bool {
 	var u *Unavailable
 	return errors.As(err, &u)
+}
+
+// IsOverloadReject reports whether err is an Unavailable produced by the
+// remote site's admission controller (shed, brownout, or expired on
+// arrival) rather than by an unreachable site. Overload rejects mean the
+// site is alive but protecting itself: callers should back off or degrade
+// rather than fail over to probing it.
+func IsOverloadReject(err error) bool {
+	var u *Unavailable
+	if !errors.As(err, &u) {
+		return false
+	}
+	return strings.HasPrefix(u.Reason, "server-")
 }
 
 // unavailableReason classifies a raw transport error for Unavailable.Reason.

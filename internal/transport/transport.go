@@ -66,6 +66,13 @@ type Handler func(body *xmlutil.Node) (*xmlutil.Node, error)
 // spans on other sites link into the same trace.
 type TracedHandler func(sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error)
 
+// CtxHandler is the fullest handler form: it additionally receives the
+// request context, which carries the caller's propagated deadline (see
+// the Deadline envelope element) and the HTTP request's cancellation.
+// Handlers that forward calls pass ctx down through Client.CallCtx so
+// every hop shrinks the remaining budget instead of resetting it.
+type CtxHandler func(ctx context.Context, sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error)
+
 // Fault is an application-level error returned by a remote service.
 type Fault struct {
 	Service   string
@@ -87,20 +94,21 @@ func IsFault(err error) bool {
 // Server hosts services on one listener. It is the per-site "container"
 // (the GT4 analogue) into which registries and grid services deploy.
 type Server struct {
-	mu       sync.RWMutex
-	services map[string]map[string]TracedHandler // service -> operation -> handler
-	tel      *telemetry.Telemetry
-	listener net.Listener
-	http     *http.Server
-	secure   bool
-	baseURL  string
-	closed   chan struct{}
+	mu        sync.RWMutex
+	services  map[string]map[string]CtxHandler // service -> operation -> handler
+	tel       *telemetry.Telemetry
+	admission *Admission
+	listener  net.Listener
+	http      *http.Server
+	secure    bool
+	baseURL   string
+	closed    chan struct{}
 }
 
 // NewServer creates an unstarted server.
 func NewServer() *Server {
 	return &Server{
-		services: make(map[string]map[string]TracedHandler),
+		services: make(map[string]map[string]CtxHandler),
 		closed:   make(chan struct{}),
 	}
 }
@@ -121,21 +129,47 @@ func (s *Server) Telemetry() *telemetry.Telemetry {
 	return s.tel
 }
 
+// SetAdmission installs the site's admission controller: every incoming
+// operation is classified, counted against its class's concurrency
+// limit, and possibly queued or shed before the handler runs. nil
+// disables admission control (unbounded concurrency). Call before
+// traffic arrives.
+func (s *Server) SetAdmission(a *Admission) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.admission = a
+}
+
+// Admission returns the installed admission controller (nil when
+// admission control is disabled).
+func (s *Server) Admission() *Admission {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.admission
+}
+
 // Register mounts an operation handler on a service. Registering the same
 // service/operation twice replaces the handler.
 func (s *Server) Register(service, operation string, h Handler) {
-	s.RegisterTraced(service, operation, func(_ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+	s.RegisterCtx(service, operation, func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 		return h(body)
 	})
 }
 
 // RegisterTraced mounts a span-aware operation handler on a service.
 func (s *Server) RegisterTraced(service, operation string, h TracedHandler) {
+	s.RegisterCtx(service, operation, func(_ context.Context, sp *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+		return h(sp, body)
+	})
+}
+
+// RegisterCtx mounts a context-aware operation handler on a service.
+func (s *Server) RegisterCtx(service, operation string, h CtxHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ops := s.services[service]
 	if ops == nil {
-		ops = make(map[string]TracedHandler)
+		ops = make(map[string]CtxHandler)
 		s.services[service] = ops
 	}
 	ops[operation] = h
@@ -152,6 +186,13 @@ func (s *Server) RegisterService(service string, ops map[string]Handler) {
 func (s *Server) RegisterTracedService(service string, ops map[string]TracedHandler) {
 	for op, h := range ops {
 		s.RegisterTraced(service, op, h)
+	}
+}
+
+// RegisterCtxService mounts a whole context-aware operation table at once.
+func (s *Server) RegisterCtxService(service string, ops map[string]CtxHandler) {
+	for op, h := range ops {
+		s.RegisterCtx(service, op, h)
 	}
 }
 
@@ -230,6 +271,7 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	ops := s.services[service]
 	tel := s.tel
+	adm := s.admission
 	s.mu.RUnlock()
 	if ops == nil {
 		writeFault(w, http.StatusNotFound, fmt.Sprintf("no such service %q", service))
@@ -246,6 +288,44 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		writeFault(w, http.StatusNotFound, fmt.Sprintf("no such operation %q on %q", opName, service))
 		return
 	}
+	svcLabels := []telemetry.Label{telemetry.L("service", service), telemetry.L("op", opName)}
+	// Overload protection, stage 1: re-derive the caller's deadline from
+	// the propagated budget. A request that is already expired on arrival
+	// is refused before any queueing or work — the caller has given up,
+	// so executing it can only waste the capacity a live request needs.
+	ctx := r.Context()
+	deadline, hasDeadline := parseDeadline(env, time.Now())
+	if hasDeadline {
+		if !deadline.After(time.Now()) {
+			if tel != nil {
+				tel.Counter("glare_server_expired_on_arrival_total", svcLabels...).Inc()
+			}
+			writeOverloadFault(w, "expired")
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	// Stage 2: admission control. The request is classified, counted
+	// against its class's concurrency limit, and possibly queued (shed if
+	// the queue overflows or a brownout is in force). Refusals are
+	// answered with an overload fault the client maps to a non-retried
+	// Unavailable — hammering an overloaded site with retries is how
+	// collapse starts.
+	if adm != nil {
+		release, aerr := adm.Admit(service, opName, deadline)
+		if aerr != nil {
+			var ov *Overload
+			reason := "shed"
+			if errors.As(aerr, &ov) {
+				reason = ov.Reason
+			}
+			writeOverloadFault(w, reason)
+			return
+		}
+		defer release()
+	}
 	var body *xmlutil.Node
 	if b := env.First("Body"); b != nil && len(b.Children) > 0 {
 		body = b.Children[0]
@@ -254,7 +334,6 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	// caller's propagated trace context (if any) and measure the call.
 	var sp *telemetry.Span
 	var start time.Time
-	svcLabels := []telemetry.Label{telemetry.L("service", service), telemetry.L("op", opName)}
 	if tel != nil {
 		var traceID, parentSpan string
 		if tn := env.First("Trace"); tn != nil {
@@ -262,9 +341,19 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 			parentSpan = tn.AttrOr("span", "")
 		}
 		sp = tel.StartRemote("srv:"+service+"."+opName, traceID, parentSpan)
-		start = time.Now()
 	}
-	resp, err := h(sp, body)
+	start = time.Now()
+	// Final gate: time queued in admission counts against the budget, so
+	// a request whose deadline lapsed while it waited must not execute.
+	if hasDeadline && !start.Before(deadline) {
+		if tel != nil {
+			tel.Counter("glare_server_expired_on_arrival_total", svcLabels...).Inc()
+			sp.End(context.DeadlineExceeded)
+		}
+		writeOverloadFault(w, "expired")
+		return
+	}
+	resp, err := h(ctx, sp, body)
 	if tel != nil {
 		tel.Counter("glare_rpc_server_requests_total", svcLabels...).Inc()
 		tel.Histogram("glare_rpc_server_latency", svcLabels...).Observe(time.Since(start))
@@ -274,6 +363,14 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		sp.End(err)
 	}
 	if err != nil {
+		// A handler killed by the propagated deadline is an overload
+		// outcome, not an application fault: report it as retryable-
+		// elsewhere Unavailable so the caller degrades instead of
+		// surfacing a spurious hard error.
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeOverloadFault(w, "expired")
+			return
+		}
 		writeFault(w, http.StatusOK, err.Error())
 		return
 	}
@@ -316,6 +413,21 @@ func writeFault(w http.ResponseWriter, status int, msg string) {
 	out.Elem("Fault", msg)
 	w.Header().Set("Content-Type", "application/xml")
 	w.WriteHeader(status)
+	_, _ = io.WriteString(w, out.String())
+}
+
+// writeOverloadFault answers an overload refusal: a fault envelope whose
+// code="unavailable" attribute tells the client this is a transport-level
+// condition (map to Unavailable, don't surface as an application Fault)
+// and whose reason attribute ("expired", "shed", "brownout") explains why.
+// 503 matches the HTTP semantics but clients key off the envelope.
+func writeOverloadFault(w http.ResponseWriter, reason string) {
+	out := xmlutil.NewNode("Envelope")
+	fn := out.Elem("Fault", "overloaded: "+reason)
+	fn.SetAttr("code", "unavailable")
+	fn.SetAttr("reason", reason)
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(http.StatusServiceUnavailable)
 	_, _ = io.WriteString(w, out.String())
 }
 
@@ -439,7 +551,20 @@ func (c *Client) Call(address, operation string, body *xmlutil.Node) (*xmlutil.N
 // context rides in the request envelope's Trace header, so the server's
 // span (and everything below it) joins the caller's trace.
 func (c *Client) CallSpan(sp *telemetry.Span, address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
-	return c.call(sp, address, operation, body, c.timeout, true)
+	return c.call(context.Background(), sp, address, operation, body, c.timeout, true)
+}
+
+// CallCtx is CallSpan with deadline propagation: when ctx carries a
+// deadline, the remaining budget is stamped into the request envelope so
+// the server (and every further hop it makes) works against the caller's
+// clock instead of its own. Retries re-stamp the shrunk remainder, stop
+// as soon as the budget cannot cover another backoff, and never start an
+// attempt after the deadline. ctx cancellation aborts in-flight attempts.
+func (c *Client) CallCtx(ctx context.Context, sp *telemetry.Span, address, operation string, body *xmlutil.Node) (*xmlutil.Node, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return c.call(ctx, sp, address, operation, body, c.timeout, true)
 }
 
 // Probe issues a single-attempt call under its own (typically short)
@@ -447,15 +572,19 @@ func (c *Client) CallSpan(sp *telemetry.Span, address, operation string, body *x
 // open breaker fails the probe immediately. Liveness checks use this so
 // (a) failure detection is not slowed by the regular per-request timeout
 // and (b) a site the client already knows is dead is not re-probed by
-// every subsystem.
+// every subsystem. The probe timeout doubles as the propagated budget, so
+// the probed site sheds the request rather than answering into the void
+// after the prober has moved on.
 func (c *Client) Probe(address, operation string, body *xmlutil.Node, timeout time.Duration) (*xmlutil.Node, error) {
 	if timeout <= 0 {
 		timeout = c.timeout
 	}
-	return c.call(nil, address, operation, body, timeout, false)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.call(ctx, nil, address, operation, body, timeout, false)
 }
 
-func (c *Client) call(sp *telemetry.Span, address, operation string, body *xmlutil.Node, timeout time.Duration, retryable bool) (*xmlutil.Node, error) {
+func (c *Client) call(ctx context.Context, sp *telemetry.Span, address, operation string, body *xmlutil.Node, timeout time.Duration, retryable bool) (*xmlutil.Node, error) {
 	env := xmlutil.NewNode("Envelope")
 	env.Elem("Operation", operation)
 	if traceID, spanID := sp.Context(); traceID != "" {
@@ -471,7 +600,7 @@ func (c *Client) call(sp *telemetry.Span, address, operation string, body *xmlut
 	if c.tel != nil {
 		start = time.Now()
 	}
-	out, err := c.exchange(address, operation, env, timeout, retryable)
+	out, err := c.exchange(ctx, address, operation, env, timeout, retryable)
 	if c.tel != nil {
 		labels := []telemetry.Label{telemetry.L("op", operation)}
 		c.tel.Counter("glare_rpc_client_requests_total", labels...).Inc()
@@ -484,6 +613,19 @@ func (c *Client) call(sp *telemetry.Span, address, operation string, body *xmlut
 		return nil, err
 	}
 	if f := out.First("Fault"); f != nil {
+		// An overload refusal (code="unavailable") is the site protecting
+		// itself, not an application error: surface it as Unavailable so
+		// resolution falls back to caches/other peers — but it is never
+		// retried against the same site (see exchange), because retrying
+		// into an admission controller is just more flood.
+		if f.AttrOr("code", "") == "unavailable" {
+			reason := f.AttrOr("reason", "overload")
+			if c.tel != nil {
+				c.tel.Counter("glare_transport_server_rejects_total",
+					telemetry.L("op", operation), telemetry.L("reason", reason)).Inc()
+			}
+			return nil, &Unavailable{Address: address, Operation: operation, Reason: "server-" + reason}
+		}
 		return nil, &Fault{Service: serviceOf(address), Operation: operation, Message: f.Text}
 	}
 	if b := out.First("Body"); b != nil && len(b.Children) > 0 {
@@ -493,15 +635,24 @@ func (c *Client) call(sp *telemetry.Span, address, operation string, body *xmlut
 }
 
 // exchange runs the attempt loop for one logical call: breaker admission,
-// the POST itself, failure classification, and backoff between retries.
-// Errors escaping here are always *Unavailable; Faults surface later from
-// the parsed envelope (and count as transport successes — the site is up).
-func (c *Client) exchange(address, operation string, env *xmlutil.Node, timeout time.Duration, retryable bool) (*xmlutil.Node, error) {
+// deadline accounting, the POST itself, failure classification, and
+// backoff between retries. Errors escaping here are always *Unavailable;
+// Faults surface later from the parsed envelope (and count as transport
+// successes — the site is up).
+//
+// Ordering inside the loop matters for the fault-tolerance economics:
+// the breaker is consulted before the retry budget, so an open breaker's
+// local refusal never burns a budget token (it isn't network traffic);
+// and the remaining deadline is checked before every withdrawal and every
+// backoff sleep, so a call abandons retrying — with its tokens intact —
+// as soon as the budget cannot cover another attempt.
+func (c *Client) exchange(ctx context.Context, address, operation string, env *xmlutil.Node, timeout time.Duration, retryable bool) (*xmlutil.Node, error) {
 	maxAttempts := 1
 	if retryable && c.retry.MaxAttempts > 1 {
 		maxAttempts = c.retry.MaxAttempts
 	}
 	dest := destOf(address)
+	deadline, hasDeadline := ctx.Deadline()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		var br *breaker
@@ -515,7 +666,30 @@ func (c *Client) exchange(address, operation string, env *xmlutil.Node, timeout 
 			}
 			probe = p
 		}
-		out, err := c.post(address, env, timeout)
+		// The retry token is withdrawn only once an attempt is actually
+		// going to hit the wire — after breaker admission, so a local
+		// refusal costs nothing.
+		if attempt > 1 {
+			if !c.budget.Withdraw() {
+				c.tel.Counter("glare_transport_retry_budget_exhausted_total").Inc()
+				c.tel.Counter("glare_transport_unavailable_total", telemetry.L("op", operation)).Inc()
+				return nil, &Unavailable{Address: address, Operation: operation, Reason: "retry-budget", Err: lastErr}
+			}
+			c.tel.Counter("glare_transport_retries_total", telemetry.L("op", operation)).Inc()
+		}
+		attemptTimeout := timeout
+		if hasDeadline {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				c.tel.Counter("glare_transport_deadline_expired_total", telemetry.L("op", operation)).Inc()
+				return nil, &Unavailable{Address: address, Operation: operation, Reason: "deadline", Err: lastErr}
+			}
+			stampDeadline(env, remaining)
+			if attemptTimeout <= 0 || remaining < attemptTimeout {
+				attemptTimeout = remaining
+			}
+		}
+		out, err := c.post(ctx, address, env, attemptTimeout)
 		if err == nil {
 			if br != nil {
 				br.onSuccess(probe)
@@ -535,13 +709,20 @@ func (c *Client) exchange(address, operation string, env *xmlutil.Node, timeout 
 			c.tel.Counter("glare_transport_unavailable_total", telemetry.L("op", operation)).Inc()
 			return nil, &Unavailable{Address: address, Operation: operation, Reason: unavailableReason(err), Err: err}
 		}
-		if !c.budget.Withdraw() {
-			c.tel.Counter("glare_transport_retry_budget_exhausted_total").Inc()
+		delay := c.backoff(attempt)
+		if hasDeadline && time.Until(deadline) <= delay {
+			// The budget cannot cover the backoff, let alone another
+			// attempt: abandon now, with the remaining tokens intact.
+			c.tel.Counter("glare_transport_deadline_abandoned_total", telemetry.L("op", operation)).Inc()
 			c.tel.Counter("glare_transport_unavailable_total", telemetry.L("op", operation)).Inc()
-			return nil, &Unavailable{Address: address, Operation: operation, Reason: "retry-budget", Err: err}
+			return nil, &Unavailable{Address: address, Operation: operation, Reason: "deadline", Err: err}
 		}
-		c.tel.Counter("glare_transport_retries_total", telemetry.L("op", operation)).Inc()
-		time.Sleep(c.backoff(attempt))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			c.tel.Counter("glare_transport_unavailable_total", telemetry.L("op", operation)).Inc()
+			return nil, &Unavailable{Address: address, Operation: operation, Reason: "deadline", Err: ctx.Err()}
+		}
 	}
 }
 
@@ -553,9 +734,12 @@ func (c *Client) backoff(attempt int) time.Duration {
 }
 
 // post sends one envelope under the given timeout and parses the response
-// envelope.
-func (c *Client) post(address string, env *xmlutil.Node, timeout time.Duration) (*xmlutil.Node, error) {
-	ctx := context.Background()
+// envelope. ctx bounds the attempt in addition to the timeout, so a
+// cancelled caller aborts the request in flight.
+func (c *Client) post(ctx context.Context, address string, env *xmlutil.Node, timeout time.Duration) (*xmlutil.Node, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)

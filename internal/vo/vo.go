@@ -83,6 +83,14 @@ type Options struct {
 	// History tunes every site's round-robin telemetry history (sampling
 	// step, retention, alert rules); the zero value enables defaults.
 	History rdm.HistoryConfig
+	// Admission overrides every site's overload admission controller
+	// (per-class concurrency limits, queue depths, AIMD target); nil uses
+	// transport.DefaultAdmissionConfig.
+	Admission *transport.AdmissionConfig
+	// AdmissionOff disables admission control VO-wide: every request is
+	// executed immediately regardless of load (pre-PR-7 behaviour, and the
+	// baseline for overload experiments).
+	AdmissionOff bool
 }
 
 // Node is one Grid site's full stack.
@@ -258,6 +266,13 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 	}
 	info := superpeer.SiteInfo{Name: attrs.Name, Rank: attrs.Rank(), BaseURL: srv.BaseURL()}
 	tel := telemetry.New(attrs.Name)
+	if !opts.AdmissionOff {
+		acfg := transport.DefaultAdmissionConfig()
+		if opts.Admission != nil {
+			acfg = *opts.Admission
+		}
+		srv.SetAdmission(transport.NewAdmission(acfg, tel))
+	}
 	cli := v.newClient(opts, tel, hostOf(srv.BaseURL()))
 	agent := superpeer.NewAgent(info, cli, nil)
 
