@@ -97,6 +97,8 @@ func main() {
 		err = storeStatusCmd(cli, siteBase)
 	case "builds":
 		err = buildsCmd(cli, siteBase)
+	case "replicas":
+		err = replicasCmd(cli, siteBase)
 	default:
 		usage()
 	}
@@ -149,7 +151,12 @@ commands:
                                      snapshot record counts, snapshot age
   builds                             probe every community site's deployment
                                      engine: in-flight builds, queue depth,
-                                     quarantined types, resumable builds`)
+                                     quarantined types, resumable builds
+  replicas                           probe every community site's quorum
+                                     replication state: replication factor,
+                                     the site's own replica set, and the
+                                     origins it holds shadow copies for
+                                     (entry counts, freshness, promotions)`)
 	os.Exit(2)
 }
 
@@ -508,6 +515,58 @@ func buildsCmd(cli *transport.Client, siteBase string) error {
 		fmt.Printf("%-*s  %5s  %6s  %-24s  %-28s  %s\n", wide, s.Name,
 			resp.AttrOr("maxBuilds", "?"), resp.AttrOr("queued", "?"),
 			dash(building), dash(quarantined), dash(resumable))
+	}
+	return nil
+}
+
+// replicasCmd probes the quorum-replication state of every site registered
+// in the community index and prints one row per site: the replication
+// factor K, the replicas this site fans its own writes out to, and the
+// origins it holds shadow copies for (with entry counts, the newest
+// last-update time held and a "*" marking promoted origins — origins whose
+// data this site adopted after their permanent loss). Sites without
+// replication show as "off"; unreachable sites as "-".
+func replicasCmd(cli *transport.Client, siteBase string) error {
+	sites := communitySites(cli, siteBase)
+	if len(sites) == 0 {
+		sites = []superpeer.SiteInfo{{Name: siteBase, BaseURL: siteBase}}
+	}
+	wide := len("SITE")
+	for _, s := range sites {
+		if len(s.Name) > wide {
+			wide = len(s.Name)
+		}
+	}
+	fmt.Printf("%-*s  %3s  %-28s  %s\n", wide, "SITE", "K", "REPLICATES-TO", "HOLDS")
+	for _, s := range sites {
+		resp, err := cli.Call(s.ServiceURL(rdm.ServiceName), "ReplicaStatus", nil)
+		if err != nil {
+			fmt.Printf("%-*s  %3s  %-28s  %s\n", wide, s.Name, "-", "-", err.Error())
+			continue
+		}
+		if resp.AttrOr("enabled", "false") != "true" {
+			fmt.Printf("%-*s  %3s  %-28s  %s\n", wide, s.Name, "off", "-", "-")
+			continue
+		}
+		var set, holds []string
+		for _, r := range resp.All("Replica") {
+			set = append(set, r.AttrOr("name", "?"))
+		}
+		for _, o := range resp.All("Origin") {
+			h := fmt.Sprintf("%s(%s)", o.AttrOr("name", "?"), o.AttrOr("entries", "?"))
+			if o.AttrOr("promoted", "false") == "true" {
+				h += "*"
+			}
+			holds = append(holds, h)
+		}
+		dash := func(v []string) string {
+			if len(v) == 0 {
+				return "-"
+			}
+			return strings.Join(v, ",")
+		}
+		fmt.Printf("%-*s  %3s  %-28s  %s\n", wide, s.Name,
+			resp.AttrOr("k", "?"), dash(set), dash(holds))
 	}
 	return nil
 }

@@ -49,6 +49,7 @@ func main() {
 	historyStep := flag.Duration("history-step", rrd.DefaultStep, "telemetry-history base step (0 or negative disables the round-robin history)")
 	historyRet := flag.String("history-ret", "", "telemetry-history retention archives as comma-separated [cf:]STEPSxROWS items, e.g. avg:1x600,avg:60x1440,max:10x600 (empty = defaults)")
 	admission := flag.Bool("admission", true, "enable the overload admission controller (priority classes, deadline-aware queueing, AIMD limits)")
+	replicas := flag.Int("replicas", 0, "total copies of every registration kept in the peer group, owner included; writes are acknowledged at a quorum (0 or 1 = no replication)")
 	flag.Parse()
 
 	historyCfg, err := historyConfig(*historyStep, *historyRet)
@@ -125,7 +126,8 @@ func main() {
 			MaxConcurrent: *maxBuilds,
 			QueueDepth:    *buildQueue,
 		},
-		History: historyCfg,
+		History:  historyCfg,
+		ReplicaK: *replicas,
 	})
 	if err != nil {
 		fatal(err)

@@ -198,6 +198,13 @@ type GridOptions struct {
 	// ScanDelayPerEntry models remote registry processing time per scanned
 	// entry, so overload experiments can give bulk scans a realistic cost.
 	ScanDelayPerEntry time.Duration
+	// Replicas is the total number of copies (owner included) every
+	// registration, deployment document and lease mutation is kept at
+	// inside the owning site's peer group. A registration is acknowledged
+	// only after a write quorum of copies is durable, so up to Replicas-1
+	// simultaneous permanent site losses cannot lose acknowledged writes.
+	// Zero or one disables replication.
+	Replicas int
 }
 
 // Grid is a running Virtual Organization.
@@ -233,6 +240,7 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 		Admission:         opts.Admission,
 		AdmissionOff:      opts.AdmissionOff,
 		ScanDelayPerEntry: opts.ScanDelayPerEntry,
+		ReplicaK:          opts.Replicas,
 	})
 	if err != nil {
 		return nil, err
@@ -297,8 +305,23 @@ func (g *Grid) StopSite(i int) { g.vo.StopSite(i) }
 // crash-recovery path. With GridOptions.DataDir set, the restarted site
 // replays its journal and comes back with the registrations, deployment
 // documents and unexpired leases it crashed with; without DataDir it
-// comes back empty. Site 0 (community-index holder) is not restartable.
+// comes back empty. It refuses sites that were never stopped, sites that
+// are already restarting, and sites removed with KillSite (use
+// ReplaceSite). Site 0 (community-index holder) is not restartable.
 func (g *Grid) RestartSite(i int) error { return g.vo.RestartSite(i) }
+
+// KillSite simulates the permanent loss of site i: the container stops
+// answering forever and, with GridOptions.DataDir set, its on-disk journal
+// is destroyed — there is nothing to restart. With GridOptions.Replicas
+// ≥ 2, the site's acknowledged registrations survive on its replica set
+// and a super-peer promotes the most-caught-up replica to authoritative
+// owner. Site 0 (community-index holder) cannot be killed.
+func (g *Grid) KillSite(i int) error { return g.vo.KillSite(i) }
+
+// ReplaceSite stands up a fresh, empty site on a killed site's name and
+// address — the dead machine's replacement joining the VO. Replicated
+// data adopted elsewhere is handed back on the next repair pass.
+func (g *Grid) ReplaceSite(i int) error { return g.vo.ReplaceSite(i) }
 
 // siteDest maps a site index to the host:port key the fault injector
 // matches requests on.
@@ -585,6 +608,27 @@ func (c *Client) Search(q SemanticQuery) ([]SemanticMatch, error) {
 func (c *Client) WrapService(executableDeployment string) (*Deployment, error) {
 	return c.svc.WrapService(executableDeployment)
 }
+
+// ResolveTypes resolves an activity type name (abstract or concrete) to
+// the concrete types known across the VO, without touching deployments.
+// The replication invariant checker uses it to prove an acknowledged
+// registration is still resolvable after its owning site died.
+func (c *Client) ResolveTypes(typeName string) ([]*Type, error) {
+	return c.svc.ResolveConcrete(typeName)
+}
+
+// CheckReplicas runs one replica failure-detection pass on this site:
+// ping every peer-group member, raise suspicion on silence, and promote
+// the most-caught-up replica of any member that stayed silent for the
+// suspicion threshold. Only super-peers act; it returns the number of
+// promotions triggered. Tests call it directly; StartMonitors paces it.
+func (c *Client) CheckReplicas() int { return c.svc.CheckReplicas() }
+
+// RepairReplicas runs one read-repair pass on this site: back-fill
+// replica entries this site missed, and hand adopted data back to a
+// replaced origin that answers again. It returns the number of entries
+// repaired. Tests call it directly; StartMonitors paces it.
+func (c *Client) RepairReplicas() int { return c.svc.RepairReplicas() }
 
 // Types lists the activity types registered on this site.
 func (c *Client) Types() []string { return c.svc.ATR.Names() }

@@ -107,6 +107,24 @@ func (r *Registry) Restore(name string, doc *xmlutil.Node, lut, term time.Time) 
 	r.home.Restore(name, doc, lut, term)
 }
 
+// Adopt installs a replicated deployment entry as locally owned: placed
+// like Restore, journaled like a registration, so a promoted replica
+// survives this site's own restarts too.
+func (r *Registry) Adopt(name string, doc *xmlutil.Node, lut, term time.Time) {
+	r.Restore(name, doc, lut, term)
+	r.journalPut(name)
+}
+
+// Timestamps returns a deployment resource's LastUpdateTime and
+// termination time, the ordering fields replication compares copies on.
+func (r *Registry) Timestamps(name string) (lut, term time.Time, ok bool) {
+	res := r.home.Find(name)
+	if res == nil {
+		return time.Time{}, time.Time{}, false
+	}
+	return res.LastUpdate(), res.TerminationTime(), true
+}
+
 // Register records a deployment. If the concrete type is not yet known to
 // the type registry, a minimal concrete type is registered dynamically.
 func (r *Registry) Register(d *activity.Deployment) (epr.EPR, error) {

@@ -119,6 +119,25 @@ func (r *Registry) Restore(name string, doc *xmlutil.Node, lut, term time.Time) 
 	r.group.AddEntry(r.home.EPR(name), res.Document())
 }
 
+// Adopt installs a replicated type entry as locally owned: the document
+// and timestamps land exactly as journaled at the origin site (like
+// Restore), but the adoption is journaled locally, so a promoted replica
+// survives this site's own restarts too.
+func (r *Registry) Adopt(name string, doc *xmlutil.Node, lut, term time.Time) {
+	r.Restore(name, doc, lut, term)
+	r.journalPut(name)
+}
+
+// Timestamps returns a type resource's LastUpdateTime and termination
+// time, the ordering fields replication compares copies on.
+func (r *Registry) Timestamps(name string) (lut, term time.Time, ok bool) {
+	res := r.home.Find(name)
+	if res == nil {
+		return time.Time{}, time.Time{}, false
+	}
+	return res.LastUpdate(), res.TerminationTime(), true
+}
+
 // Register adds an activity type; duplicate names are rejected.
 func (r *Registry) Register(t *activity.Type) (epr.EPR, error) {
 	r.registers.Inc()

@@ -1,0 +1,103 @@
+// Crash-storm injection: where Surge breaks the arrival rate and the
+// network faults break individual requests, CrashStorm breaks *machines*
+// — it interleaves a registration workload with permanent site kills at
+// deterministic, seed-chosen points, and remembers exactly which
+// registrations the client was told succeeded. The invariant a
+// replicated registry must uphold is then mechanical to check: every
+// acknowledged registration must still resolve from the survivors, no
+// matter which sites died or when.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CrashStorm drives a registration workload punctuated by permanent site
+// losses. It is wired with callbacks, like Surge, so it needs no
+// knowledge of the grid under test.
+type CrashStorm struct {
+	// Register issues the i-th registration and returns the registered
+	// name. Only names returned with a nil error enter the acknowledged
+	// log — exactly the set a client is entitled to find again.
+	Register func(i int) (name string, err error)
+	// Kill permanently destroys the given site (journal and all).
+	Kill func(site int) error
+	// Victims lists the site indices the storm may kill, in seed-shuffled
+	// order; the storm kills the first Kills of them.
+	Victims []int
+	// Kills bounds how many victims actually die (default: all Victims).
+	Kills int
+	// Registrations is the total workload size (default 20).
+	Registrations int
+	// Seed makes the kill schedule reproducible run after run.
+	Seed int64
+
+	acked  []string
+	killed []int
+}
+
+// Run executes the storm: Registrations sequential registrations with
+// the kills spliced between them at seed-chosen points. Registration
+// errors are tolerated — a write rejected for want of a quorum is the
+// system *keeping* its promise, not breaking it — but kill errors abort,
+// because an unkilled victim would invalidate the experiment.
+func (cs *CrashStorm) Run() error {
+	total := cs.Registrations
+	if total <= 0 {
+		total = 20
+	}
+	kills := cs.Kills
+	if kills <= 0 || kills > len(cs.Victims) {
+		kills = len(cs.Victims)
+	}
+	rng := rand.New(rand.NewSource(cs.Seed))
+	victims := append([]int(nil), cs.Victims...)
+	rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+	victims = victims[:kills]
+
+	// Choose when each kill lands: a registration index in (0, total),
+	// so every kill has acknowledged writes before it and workload after.
+	killAt := map[int][]int{}
+	for _, v := range victims {
+		at := 1 + rng.Intn(total-1)
+		killAt[at] = append(killAt[at], v)
+	}
+
+	cs.acked = cs.acked[:0]
+	cs.killed = cs.killed[:0]
+	for i := 0; i < total; i++ {
+		for _, v := range killAt[i] {
+			if err := cs.Kill(v); err != nil {
+				return fmt.Errorf("crashstorm: killing site %d: %w", v, err)
+			}
+			cs.killed = append(cs.killed, v)
+		}
+		name, err := cs.Register(i)
+		if err == nil {
+			cs.acked = append(cs.acked, name)
+		}
+	}
+	return nil
+}
+
+// Acked returns every registration name the client was told succeeded.
+func (cs *CrashStorm) Acked() []string { return append([]string(nil), cs.acked...) }
+
+// Killed returns the sites destroyed, in kill order.
+func (cs *CrashStorm) Killed() []int { return append([]int(nil), cs.killed...) }
+
+// Verify replays the acknowledged log against the healed grid: resolve
+// is called once per acknowledged name and must return nil if the
+// registration is still discoverable. It returns the sorted names lost
+// — empty is the zero-acknowledged-write-loss invariant holding.
+func (cs *CrashStorm) Verify(resolve func(name string) error) (lost []string) {
+	for _, name := range cs.acked {
+		if err := resolve(name); err != nil {
+			lost = append(lost, name)
+		}
+	}
+	sort.Strings(lost)
+	return lost
+}

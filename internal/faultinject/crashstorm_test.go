@@ -1,0 +1,86 @@
+package faultinject
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The storm must be reproducible: same seed, same kill schedule.
+func TestCrashStormDeterministicSchedule(t *testing.T) {
+	run := func() ([]string, []int) {
+		var log []string
+		cs := &CrashStorm{
+			Register: func(i int) (string, error) {
+				log = append(log, fmt.Sprintf("reg%d", i))
+				return fmt.Sprintf("T%d", i), nil
+			},
+			Kill: func(site int) error {
+				log = append(log, fmt.Sprintf("kill%d", site))
+				return nil
+			},
+			Victims:       []int{3, 4, 5},
+			Kills:         2,
+			Registrations: 10,
+			Seed:          42,
+		}
+		if err := cs.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log, cs.Killed()
+	}
+	log1, killed1 := run()
+	log2, killed2 := run()
+	if !reflect.DeepEqual(log1, log2) {
+		t.Fatalf("schedule not deterministic:\n%v\n%v", log1, log2)
+	}
+	if len(killed1) != 2 || !reflect.DeepEqual(killed1, killed2) {
+		t.Fatalf("kills not deterministic: %v vs %v", killed1, killed2)
+	}
+}
+
+// Only acknowledged registrations enter the log Verify replays.
+func TestCrashStormVerifyReplaysOnlyAcked(t *testing.T) {
+	cs := &CrashStorm{
+		Register: func(i int) (string, error) {
+			if i%2 == 1 {
+				return "", fmt.Errorf("no quorum")
+			}
+			return fmt.Sprintf("T%d", i), nil
+		},
+		Kill:          func(int) error { return nil },
+		Registrations: 6,
+		Seed:          1,
+	}
+	if err := cs.Run(); err != nil {
+		t.Fatal(err)
+	}
+	acked := cs.Acked()
+	if want := []string{"T0", "T2", "T4"}; !reflect.DeepEqual(acked, want) {
+		t.Fatalf("acked = %v, want %v", acked, want)
+	}
+	lost := cs.Verify(func(name string) error {
+		if name == "T2" {
+			return fmt.Errorf("gone")
+		}
+		return nil
+	})
+	if want := []string{"T2"}; !reflect.DeepEqual(lost, want) {
+		t.Fatalf("lost = %v, want %v", lost, want)
+	}
+}
+
+// A kill callback failure aborts the storm — an unkilled victim would
+// invalidate the experiment.
+func TestCrashStormKillErrorAborts(t *testing.T) {
+	cs := &CrashStorm{
+		Register:      func(i int) (string, error) { return fmt.Sprintf("T%d", i), nil },
+		Kill:          func(int) error { return fmt.Errorf("refused") },
+		Victims:       []int{1},
+		Registrations: 5,
+		Seed:          7,
+	}
+	if err := cs.Run(); err == nil {
+		t.Fatal("expected kill error to abort the run")
+	}
+}

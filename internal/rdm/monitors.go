@@ -28,6 +28,14 @@ type MonitorIntervals struct {
 	// HistoryRollup paces the grid-wide series consolidation
 	// (RollupHistory); only super-peers act on it.
 	HistoryRollup time.Duration
+	// ReplicaCheck paces replica failure detection and promotion
+	// (CheckReplicas); only super-peers act on it. Failover completes
+	// within replSuspicionThreshold of these intervals plus one
+	// promotion round-trip.
+	ReplicaCheck time.Duration
+	// ReplicaRepair paces read repair and promoted-data hand-off
+	// (RepairReplicas); every replicating site acts on it.
+	ReplicaRepair time.Duration
 }
 
 // DefaultIntervals suits interactive use; tests call the single-pass
@@ -41,6 +49,8 @@ func DefaultIntervals() MonitorIntervals {
 		RegistrySync:  5 * time.Second,
 		HistorySample: 2 * time.Second,
 		HistoryRollup: 5 * time.Second,
+		ReplicaCheck:  2 * time.Second,
+		ReplicaRepair: 5 * time.Second,
 	}
 }
 
@@ -76,6 +86,16 @@ func (s *Service) StartMonitors(iv MonitorIntervals) {
 				s.RollupHistory()
 			}
 		})
+	}
+	if iv.ReplicaCheck > 0 && s.repl != nil && s.agent != nil {
+		go s.loop(iv.ReplicaCheck, func() {
+			if s.agent.IsSuperPeer() {
+				s.CheckReplicas()
+			}
+		})
+	}
+	if iv.ReplicaRepair > 0 && s.repl != nil {
+		go s.loop(iv.ReplicaRepair, func() { s.RepairReplicas() })
 	}
 }
 

@@ -295,6 +295,9 @@ func (s *Service) Mount(srv *transport.Server) {
 			return n, nil
 		},
 	}))
+	if s.repl != nil {
+		s.MountReplication(srv)
+	}
 }
 
 // loadStatusXML renders the site's admission-controller state for the

@@ -26,6 +26,7 @@ import (
 	"glare/internal/lease"
 	"glare/internal/mds"
 	"glare/internal/metrics"
+	"glare/internal/replicate"
 	"glare/internal/rrd"
 	"glare/internal/simclock"
 	"glare/internal/site"
@@ -125,6 +126,12 @@ type Config struct {
 	// retention ladder, alert rules, rollup set); the zero value enables
 	// it with defaults, Disabled turns it off.
 	History HistoryConfig
+	// ReplicaK is the registry replication factor: total copies of every
+	// ATR/ADR/lease entry, owner included, spread over the site's peer
+	// group. Registrations are acknowledged only after a write quorum
+	// (⌈(K+1)/2⌉) is durable. Zero or one disables replication (the
+	// pre-replication behaviour); needs Agent and Client.
+	ReplicaK int
 }
 
 // Service is one site's GLARE RDM.
@@ -166,6 +173,8 @@ type Service struct {
 
 	tel   *telemetry.Telemetry
 	store *store.Store
+	// repl is the quorum replicator (replication.go); nil when off.
+	repl *replicate.Replicator
 
 	// Telemetry history state (history.go).
 	historyCfg     HistoryConfig
@@ -183,11 +192,11 @@ type Service struct {
 	deployTel     deployCounters
 
 	mu             sync.Mutex
-	inflight       map[string]*buildCall        // in-flight builds by type
+	inflight       map[string]*buildCall         // in-flight builds by type
 	resume         map[string][]store.DeployStep // checkpointed steps by type
-	quarantined    map[string]*quarState        // failing types in cool-down
-	buildRoots     map[string][]string          // directory roots owned by in-flight builds
-	coordinatedFor int                          // community size the last election covered
+	quarantined    map[string]*quarState         // failing types in cool-down
+	buildRoots     map[string][]string           // directory roots owned by in-flight builds
+	coordinatedFor int                           // community size the last election covered
 	stop           chan struct{}
 	stopOnce       sync.Once
 }
@@ -309,6 +318,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Store != nil {
 		s.attachStore(cfg.Store)
 	}
+	// Replication after durability: the replicator wraps the journals the
+	// store just bound, so a mutation is durable locally before it fans out.
+	s.setupReplication(cfg)
 	return s, nil
 }
 

@@ -1,0 +1,568 @@
+package rdm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"glare/internal/epr"
+	"glare/internal/lease"
+	"glare/internal/replicate"
+	"glare/internal/store"
+	"glare/internal/superpeer"
+	"glare/internal/telemetry"
+	"glare/internal/transport"
+	"glare/internal/xmlutil"
+)
+
+// This file wires quorum replication (internal/replicate) under the RDM:
+// every ATR/ADR/lease mutation a site journals is intercepted at the
+// journal layer and fanned out to the site's replica set; registrations
+// additionally block on the write quorum before acknowledging the client.
+// Replicas keep the copies as shadow state ("replica:<origin>:<reg>"
+// registries riding the ordinary WAL), the super-peer promotes the
+// most-caught-up replica when an owner dies permanently, read repair
+// back-fills replicas that missed writes, and a promoted holder hands the
+// data back when the dead site's replacement rejoins.
+
+// Registry names on the replication wire.
+const (
+	replRegATR   = "atr"
+	replRegADR   = "adr"
+	replRegLease = "lease"
+)
+
+// replSuspicionThreshold is how many consecutive failed liveness probes
+// the replica monitor tolerates before declaring an owner permanently
+// lost and promoting — so failover completes within a bounded number of
+// suspicion intervals.
+const replSuspicionThreshold = 2
+
+// replicaRegPrefix keys the shadow registries inside the store.
+const replicaRegPrefix = "replica:"
+
+func replicaRegName(origin, reg string) string {
+	return replicaRegPrefix + origin + ":" + reg
+}
+
+// parseReplicaReg splits "replica:<origin>:<reg>" back apart.
+func parseReplicaReg(name string) (origin, reg string, ok bool) {
+	rest, found := strings.CutPrefix(name, replicaRegPrefix)
+	if !found {
+		return "", "", false
+	}
+	origin, reg, ok = strings.Cut(rest, ":")
+	return origin, reg, ok && origin != "" && reg != ""
+}
+
+// replJournal composes a registry's durable journal with the replication
+// fan-out: the local write lands first (it is the owner's quorum vote),
+// then the mutation ships to the replica set asynchronously. It satisfies
+// both atr.Journal and adr.Journal.
+type replJournal struct {
+	next replicate.Journal // the store's WAL adapter; nil on memory-only sites
+	repl *replicate.Replicator
+	reg  string
+}
+
+func (j replJournal) RecordPut(key string, doc *xmlutil.Node, lut, term time.Time) {
+	if j.next != nil {
+		j.next.RecordPut(key, doc, lut, term)
+	}
+	j.repl.ForwardPut(j.reg, key, doc, lut, term)
+}
+
+func (j replJournal) RecordDelete(key string) {
+	if j.next != nil {
+		j.next.RecordDelete(key)
+	}
+	j.repl.ForwardDelete(j.reg, key)
+}
+
+// replLeaseJournal is the lease-side composition. Tickets travel as JSON
+// inside a <LeaseTicket> node so they ride the same entry transport as
+// registry documents. Lease grants replicate asynchronously (no quorum
+// gate — a lease is a lost-on-failure reservation, not registry data),
+// but a promoted replica still revives unexpired tickets so clients keep
+// their reservations across an owner's death.
+type replLeaseJournal struct {
+	next lease.Journal
+	repl *replicate.Replicator
+}
+
+func (j replLeaseJournal) RecordAcquire(t lease.Ticket) {
+	if j.next != nil {
+		j.next.RecordAcquire(t)
+	}
+	j.repl.ForwardPut(replRegLease, strconv.FormatUint(t.ID, 10), leaseTicketDoc(t), t.Start, t.End)
+}
+
+func (j replLeaseJournal) RecordRelease(id uint64) {
+	if j.next != nil {
+		j.next.RecordRelease(id)
+	}
+	j.repl.ForwardDelete(replRegLease, strconv.FormatUint(id, 10))
+}
+
+func (j replLeaseJournal) RecordLimit(deployment string, max int) {
+	// Shared-lease limits are operator configuration, not acknowledged
+	// client state; they stay site-local.
+	if j.next != nil {
+		j.next.RecordLimit(deployment, max)
+	}
+}
+
+func leaseTicketDoc(t lease.Ticket) *xmlutil.Node {
+	b, _ := json.Marshal(t)
+	return xmlutil.NewNode("LeaseTicket", string(b))
+}
+
+func ticketFromDoc(doc *xmlutil.Node) (lease.Ticket, error) {
+	var t lease.Ticket
+	if doc == nil || doc.Name != "LeaseTicket" {
+		return t, fmt.Errorf("rdm: not a lease ticket document")
+	}
+	err := json.Unmarshal([]byte(doc.Text), &t)
+	return t, err
+}
+
+// setupReplication assembles the replicator and re-binds the registry and
+// lease journals through it. Runs after attachStore, so the wrapped
+// journals compose with (not replace) the WAL adapters, and the shadow
+// registries recovered from the WAL are replayed into the holder.
+func (s *Service) setupReplication(cfg Config) {
+	if cfg.ReplicaK <= 1 || s.agent == nil || s.client == nil {
+		return
+	}
+	var factory replicate.JournalFactory
+	if s.store != nil {
+		st := s.store
+		factory = func(origin, reg string) replicate.Journal {
+			return st.RegistryJournal(replicaRegName(origin, reg))
+		}
+	}
+	s.repl = replicate.New(replicate.Config{
+		Self: s.agent.Self(),
+		K:    cfg.ReplicaK,
+		View: s.view,
+		Call: func(ctx context.Context, address, op string, body *xmlutil.Node) (*xmlutil.Node, error) {
+			return s.call(ctx, nil, address, op, body)
+		},
+		Service:  ServiceName,
+		Journals: factory,
+		Tel:      s.tel,
+	})
+	var atrNext, adrNext replicate.Journal
+	var leaseNext lease.Journal
+	if s.store != nil {
+		atrNext = s.store.RegistryJournal(store.RegATR)
+		adrNext = s.store.RegistryJournal(store.RegADR)
+		leaseNext = s.store.LeaseJournal()
+		s.restoreReplicas(s.store.State())
+	}
+	s.ATR.SetJournal(replJournal{next: atrNext, repl: s.repl, reg: replRegATR})
+	s.ADR.SetJournal(replJournal{next: adrNext, repl: s.repl, reg: replRegADR})
+	s.Leases.SetJournal(replLeaseJournal{next: leaseNext, repl: s.repl})
+	// The overlay carries the factor: every coordinated view is stamped
+	// with it, so all sites derive the same replica-set assignment.
+	s.agent.SetReplicaK(cfg.ReplicaK)
+}
+
+// restoreReplicas replays the shadow registries ("replica:<origin>:<reg>")
+// out of the recovered store state into the holder. restoreFromStore only
+// reads the site's own atr/adr registries, so the two recoveries are
+// disjoint.
+func (s *Service) restoreReplicas(state *store.State) {
+	for name, entries := range state.Registries {
+		origin, reg, ok := parseReplicaReg(name)
+		if !ok {
+			continue
+		}
+		for key, e := range entries {
+			doc, err := xmlutil.ParseString(e.Doc)
+			if err != nil {
+				continue
+			}
+			s.repl.Holder().Restore(origin, reg, replicate.Entry{Key: key, Doc: doc, LUT: e.LUT, Term: e.Term})
+		}
+	}
+}
+
+// Replicator exposes the site's replicator (nil when replication is off).
+func (s *Service) Replicator() *replicate.Replicator { return s.repl }
+
+// MountReplication adds the replication wire operations to the RDM's
+// service table. Mount calls it when replication is enabled.
+func (s *Service) MountReplication(srv *transport.Server) {
+	srv.RegisterCtxService(ServiceName, s.tracedTable(map[string]transport.CtxHandler{
+		// Replicate applies one mutation from an owner. The epoch fence
+		// inside Apply rejects writes stamped with a view older than ours.
+		"Replicate": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			m, err := replicate.MutationFromXML(body)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.repl.Apply(m); err != nil {
+				return nil, err
+			}
+			return xmlutil.NewNode("Applied"), nil
+		},
+		// ReplicaFetch serves an origin's entries — our own registries when
+		// asked about ourselves (the canonical copy), otherwise whatever the
+		// holder shadows. Read repair and promotions pull through this.
+		"ReplicaFetch": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			origin := textOf(body)
+			if origin == "" {
+				return nil, fmt.Errorf("ReplicaFetch: needs an origin site name")
+			}
+			if origin == s.selfName() {
+				return replicate.EntriesToXML(origin, s.ownEntries()), nil
+			}
+			return replicate.EntriesToXML(origin, s.heldEntries(origin)), nil
+		},
+		"ReplicaStatus": func(_ context.Context, _ *telemetry.Span, _ *xmlutil.Node) (*xmlutil.Node, error) {
+			return s.ReplicaStatusXML(), nil
+		},
+		// ReplicaPromote orders this site to adopt a dead origin's entries
+		// as its own (sent by the super-peer to the most-caught-up holder).
+		"ReplicaPromote": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			origin := textOf(body)
+			if origin == "" {
+				return nil, fmt.Errorf("ReplicaPromote: needs an origin site name")
+			}
+			adopted := s.PromoteOrigin(origin)
+			resp := xmlutil.NewNode("Promoted")
+			resp.SetAttr("origin", origin)
+			resp.SetAttr("adopted", strconv.Itoa(adopted))
+			return resp, nil
+		},
+		// ReplicaHandOff delivers a promoted holder's copy of OUR data back
+		// to us — we are a dead site's replacement rejoining under its name.
+		"ReplicaHandOff": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			origin, regs, err := replicate.EntriesFromXML(body)
+			if err != nil {
+				return nil, err
+			}
+			if origin != s.selfName() {
+				return nil, fmt.Errorf("ReplicaHandOff: payload for %q delivered to %q", origin, s.selfName())
+			}
+			adopted := s.adoptEntries(regs)
+			resp := xmlutil.NewNode("HandedOff")
+			resp.SetAttr("adopted", strconv.Itoa(adopted))
+			return resp, nil
+		},
+	}))
+}
+
+// ownEntries snapshots this site's own registries in replication-entry
+// form (the canonical copy a replica repairs from). Lease tickets are not
+// enumerable from outside the lease service; they reach replicas through
+// the journal fan-out only.
+func (s *Service) ownEntries() map[string][]replicate.Entry {
+	out := map[string][]replicate.Entry{}
+	for _, name := range s.ATR.Names() {
+		doc, ok := s.ATR.LookupDocument(name)
+		if !ok {
+			continue
+		}
+		lut, term, ok := s.ATR.Timestamps(name)
+		if !ok {
+			continue
+		}
+		out[replRegATR] = append(out[replRegATR], replicate.Entry{Key: name, Doc: doc.Clone(), LUT: lut, Term: term})
+	}
+	for _, name := range s.ADR.Names() {
+		doc, ok := s.ADR.GetDocument(name)
+		if !ok {
+			continue
+		}
+		lut, term, ok := s.ADR.Timestamps(name)
+		if !ok {
+			continue
+		}
+		out[replRegADR] = append(out[replRegADR], replicate.Entry{Key: name, Doc: doc.Clone(), LUT: lut, Term: term})
+	}
+	return out
+}
+
+// heldEntries snapshots the holder's shadow copy of one origin.
+func (s *Service) heldEntries(origin string) map[string][]replicate.Entry {
+	h := s.repl.Holder()
+	out := map[string][]replicate.Entry{}
+	for _, reg := range []string{replRegATR, replRegADR, replRegLease} {
+		if es := h.Entries(origin, reg); len(es) > 0 {
+			out[reg] = es
+		}
+	}
+	return out
+}
+
+// adoptEntries folds replicated entries into this site's own registries,
+// newest copy wins. Adoption goes through Adopt — journaled like a
+// registration, so the adopted entries are durable here AND re-replicate
+// to this site's own replica set — and adopted types re-register with the
+// local index so resolution re-routes to the new owner transparently.
+func (s *Service) adoptEntries(regs map[string][]replicate.Entry) int {
+	adopted := 0
+	for _, e := range regs[replRegATR] {
+		if e.Doc == nil {
+			continue
+		}
+		if lut, _, ok := s.ATR.Timestamps(e.Key); ok && !e.LUT.After(lut) {
+			continue
+		}
+		s.ATR.Adopt(e.Key, e.Doc.Clone(), e.LUT, e.Term)
+		if s.localIndex != nil {
+			s.localIndex.Register(s.ATR.EPR(e.Key), e.Doc.Clone())
+		}
+		adopted++
+	}
+	for _, e := range regs[replRegADR] {
+		if e.Doc == nil {
+			continue
+		}
+		if lut, _, ok := s.ADR.Timestamps(e.Key); ok && !e.LUT.After(lut) {
+			continue
+		}
+		s.ADR.Adopt(e.Key, e.Doc.Clone(), e.LUT, e.Term)
+		adopted++
+	}
+	for _, e := range regs[replRegLease] {
+		t, err := ticketFromDoc(e.Doc)
+		if err != nil {
+			continue
+		}
+		if s.Leases.Restore(t) {
+			adopted++
+		}
+	}
+	return adopted
+}
+
+// PromoteOrigin makes this site the authoritative owner of a dead
+// origin's replicated entries. Idempotent: a second promotion of the same
+// origin is a no-op. Returns how many entries were adopted.
+func (s *Service) PromoteOrigin(origin string) int {
+	if s.repl == nil {
+		return 0
+	}
+	h := s.repl.Holder()
+	if h.Promoted(origin) {
+		return 0
+	}
+	adopted := s.adoptEntries(s.heldEntries(origin))
+	h.SetPromoted(origin, true)
+	s.repl.Promotions.Inc()
+	return adopted
+}
+
+// CheckReplicas is one replica-failure-detection pass, run by super-peers:
+// probe every group member, and once a member misses
+// replSuspicionThreshold consecutive probes, find the most-caught-up
+// holder of its data — judged by (entries held, newest LastUpdateTime),
+// both of which survive a holder's own restart — and promote it. Returns
+// how many promotions this pass ordered.
+func (s *Service) CheckReplicas() int {
+	if s.repl == nil || s.agent == nil || !s.agent.IsSuperPeer() {
+		return 0
+	}
+	view := s.view()
+	promotions := 0
+	for _, member := range view.Peers(s.selfName()) {
+		if s.agent.Ping(member) {
+			s.repl.ClearSuspicion(member.Name)
+			continue
+		}
+		if s.repl.Suspect(member.Name) < replSuspicionThreshold {
+			continue
+		}
+		if s.repl.Holder().Promoted(member.Name) {
+			continue
+		}
+		if s.promoteBestHolder(view, member) {
+			promotions++
+		}
+	}
+	return promotions
+}
+
+// promoteBestHolder gathers replica status for a dead owner from every
+// surviving member of its replica set (including this site) and promotes
+// the most-caught-up one.
+func (s *Service) promoteBestHolder(view superpeer.View, dead superpeer.SiteInfo) bool {
+	self := s.selfName()
+	type candidate struct {
+		site    superpeer.SiteInfo
+		entries int
+		lut     time.Time
+		isSelf  bool
+	}
+	var best *candidate
+	better := func(c *candidate) bool {
+		if best == nil {
+			return true
+		}
+		if c.entries != best.entries {
+			return c.entries > best.entries
+		}
+		return c.lut.After(best.lut)
+	}
+	for _, c := range replicate.ReplicaSet(view, dead.Name, s.repl.K()) {
+		if c.Name == dead.Name {
+			continue
+		}
+		if c.Name == self {
+			entries, lut, _ := s.repl.Holder().Status(dead.Name)
+			cc := &candidate{site: c, entries: entries, lut: lut, isSelf: true}
+			if better(cc) {
+				best = cc
+			}
+			continue
+		}
+		resp, err := s.call(context.Background(), nil, c.ServiceURL(ServiceName), "ReplicaStatus", nil)
+		if err != nil || resp == nil {
+			continue
+		}
+		for _, o := range resp.All("Origin") {
+			if o.AttrOr("name", "") != dead.Name {
+				continue
+			}
+			entries, _ := strconv.Atoi(o.AttrOr("entries", "0"))
+			lut, _ := time.Parse(epr.TimeLayout, o.AttrOr("lastLUT", ""))
+			cc := &candidate{site: c, entries: entries, lut: lut}
+			if better(cc) {
+				best = cc
+			}
+		}
+	}
+	if best == nil || best.entries == 0 {
+		return false
+	}
+	if best.isSelf {
+		s.PromoteOrigin(dead.Name)
+		return true
+	}
+	_, err := s.call(context.Background(), nil, best.site.ServiceURL(ServiceName), "ReplicaPromote",
+		xmlutil.NewNode("Origin", dead.Name))
+	return err == nil
+}
+
+// RepairReplicas is one read-repair pass, run by every replicating site:
+// for each group member whose replica set includes us, pull its entries —
+// from the member itself when alive (the canonical copy), else from its
+// fellow replicas — and back-fill anything we missed. Afterwards, any
+// origin we promoted that answers again (a replacement joined under the
+// dead site's name) gets its data handed back. Returns how many entries
+// were back-filled.
+func (s *Service) RepairReplicas() int {
+	if s.repl == nil {
+		return 0
+	}
+	view := s.view()
+	self := s.selfName()
+	repaired := 0
+	for _, member := range view.Peers(self) {
+		set := replicate.ReplicaSet(view, member.Name, s.repl.K())
+		if !replicate.Contains(set, self) {
+			continue
+		}
+		repaired += s.repairFrom(member, set)
+	}
+	s.handOffPromoted(view)
+	return repaired
+}
+
+func (s *Service) repairFrom(origin superpeer.SiteInfo, set []superpeer.SiteInfo) int {
+	self := s.selfName()
+	sources := []superpeer.SiteInfo{origin}
+	for _, rep := range set {
+		if rep.Name != self && rep.Name != origin.Name {
+			sources = append(sources, rep)
+		}
+	}
+	h := s.repl.Holder()
+	for _, src := range sources {
+		resp, err := s.call(context.Background(), nil, src.ServiceURL(ServiceName), "ReplicaFetch",
+			xmlutil.NewNode("Origin", origin.Name))
+		if err != nil || resp == nil {
+			continue
+		}
+		name, regs, perr := replicate.EntriesFromXML(resp)
+		if perr != nil || name != origin.Name {
+			continue
+		}
+		n := 0
+		for reg, entries := range regs {
+			for _, e := range entries {
+				if h.Has(origin.Name, reg, e.Key, e.LUT) {
+					continue
+				}
+				if h.Put(origin.Name, reg, e.Key, e.Doc, e.LUT, e.Term) {
+					n++
+					s.repl.ReadRepairs.Inc()
+				}
+			}
+		}
+		return n
+	}
+	return 0
+}
+
+// handOffPromoted pushes adopted entries back to origins that answer
+// again. The receiver adopts newest-wins, so repeating a hand-off is
+// harmless; the promoted flag clears only after a successful push.
+func (s *Service) handOffPromoted(view superpeer.View) {
+	h := s.repl.Holder()
+	for _, origin := range h.Origins() {
+		if !h.Promoted(origin) {
+			continue
+		}
+		var target superpeer.SiteInfo
+		for _, m := range view.Group {
+			if m.Name == origin {
+				target = m
+			}
+		}
+		if target.IsZero() || !s.agent.Ping(target) {
+			continue
+		}
+		body := replicate.EntriesToXML(origin, s.heldEntries(origin))
+		if _, err := s.call(context.Background(), nil, target.ServiceURL(ServiceName), "ReplicaHandOff", body); err != nil {
+			continue
+		}
+		h.SetPromoted(origin, false)
+		s.repl.HandOffs.Inc()
+	}
+}
+
+// ReplicaStatusXML renders this site's replication state for the wire —
+// the payload of the RDM "ReplicaStatus" operation and of
+// `glarectl replicas`.
+func (s *Service) ReplicaStatusXML() *xmlutil.Node {
+	n := xmlutil.NewNode("Replicas")
+	n.SetAttr("site", s.selfName())
+	if s.repl == nil {
+		n.SetAttr("enabled", "false")
+		return n
+	}
+	n.SetAttr("enabled", "true")
+	n.SetAttr("k", strconv.Itoa(s.repl.K()))
+	for _, rep := range s.repl.Replicas() {
+		n.Elem("Replica").SetAttr("name", rep.Name)
+	}
+	h := s.repl.Holder()
+	for _, origin := range h.Origins() {
+		entries, lastLUT, promoted := h.Status(origin)
+		o := n.Elem("Origin")
+		o.SetAttr("name", origin)
+		o.SetAttr("entries", strconv.Itoa(entries))
+		if !lastLUT.IsZero() {
+			o.SetAttr("lastLUT", lastLUT.Format(epr.TimeLayout))
+		}
+		o.SetAttr("promoted", strconv.FormatBool(promoted))
+	}
+	return n
+}

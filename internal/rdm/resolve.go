@@ -43,6 +43,15 @@ func (s *Service) RegisterType(t *activity.Type) (epr.EPR, error) {
 	if err != nil {
 		return epr.EPR{}, err
 	}
+	// Quorum gate: the local write already fanned out through the wrapped
+	// journal; the client is only acknowledged once enough replicas
+	// journaled the copy that the registration survives this site's
+	// permanent loss.
+	if s.repl != nil {
+		if qerr := s.repl.AwaitQuorum(replRegATR, t.Name); qerr != nil {
+			return epr.EPR{}, fmt.Errorf("rdm: type %q registered locally but not quorum-replicated: %w", t.Name, qerr)
+		}
+	}
 	if s.localIndex != nil {
 		s.localIndex.Register(e, t.ToXML())
 	}
@@ -55,7 +64,16 @@ func (s *Service) RegisterDeployment(d *activity.Deployment) (epr.EPR, error) {
 	if d.Site == "" {
 		d.Site = s.site.Attrs.Name
 	}
-	return s.ADR.Register(d)
+	e, err := s.ADR.Register(d)
+	if err != nil {
+		return epr.EPR{}, err
+	}
+	if s.repl != nil {
+		if qerr := s.repl.AwaitQuorum(replRegADR, d.Name); qerr != nil {
+			return epr.EPR{}, fmt.Errorf("rdm: deployment %q registered locally but not quorum-replicated: %w", d.Name, qerr)
+		}
+	}
+	return e, nil
 }
 
 // GetDeployments is the Request Manager's client entry point (Example 3):

@@ -120,6 +120,9 @@ func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
 		}
 		src := epr.New(target.ServiceURL(atr.ServiceName), atr.KeyName, name)
 		src.LastUpdateTime = lut
+		// Record where the entry came from: read repair and operators need
+		// the provenance of pulled copies, not just their freshness.
+		src.Extra = map[string]string{"OriginSite": target.Name}
 		if !s.typeCache.PutIfNewer("type:"+name, src, doc.Clone()) {
 			continue
 		}
@@ -130,6 +133,7 @@ func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
 		}
 		pulled++
 		s.syncPulled.Inc()
+		s.tel.Counter("glare_sync_entries_pulled_total", telemetry.L("source", target.Name)).Inc()
 	}
 	for _, n := range digest.All("Dep") {
 		name := n.AttrOr("name", "")
@@ -150,6 +154,7 @@ func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
 		}
 		src := epr.New(target.ServiceURL(adr.ServiceName), adr.KeyName, name)
 		src.LastUpdateTime = lut
+		src.Extra = map[string]string{"OriginSite": target.Name}
 		if !s.depCache.PutIfNewer("dep:"+name, src, doc.Clone()) {
 			continue
 		}
@@ -158,6 +163,7 @@ func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
 		}
 		pulled++
 		s.syncPulled.Inc()
+		s.tel.Counter("glare_sync_entries_pulled_total", telemetry.L("source", target.Name)).Inc()
 	}
 	return pulled
 }

@@ -1,0 +1,72 @@
+// Package replicate implements quorum-acknowledged replication of
+// registry mutations inside a site's peer group. Every ATR/ADR/lease
+// mutation an owner journals locally is forwarded to k−1 replicas chosen
+// deterministically from the epoch-fenced overlay view; a registration is
+// acknowledged to the client only once a write quorum (⌈(k+1)/2⌉ copies,
+// owner included) is durable. On permanent owner loss the super-peer
+// promotes the most-caught-up replica, and read repair back-fills
+// replicas that missed writes.
+//
+// The package is deliberately transport- and store-agnostic: callers
+// inject a CallFunc for the wire and a JournalFactory for durability, so
+// replicate imports neither internal/transport nor internal/store.
+package replicate
+
+import "glare/internal/superpeer"
+
+// Quorum returns the write quorum for k total copies: ⌈(k+1)/2⌉. The
+// owner's own durable write counts toward it, so a k=3 registration needs
+// one remote ack and survives any single copy's loss; k−1 simultaneous
+// permanent losses cannot take out every acknowledged copy once the
+// asynchronous fan-out to the full replica set has drained.
+func Quorum(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	return (k + 2) / 2
+}
+
+// ReplicaSet derives the owner's replica peers from the view: rank the
+// owner's group, then walk forward from the owner's position taking the
+// next k−1 members, wrapping around. Every site holding the same view
+// computes the same assignment — no replica-placement messages exist, the
+// epoch-fenced view IS the assignment, and it changes atomically with
+// view installs.
+func ReplicaSet(view superpeer.View, owner string, k int) []superpeer.SiteInfo {
+	if k <= 1 {
+		return nil
+	}
+	ranked := superpeer.RankSites(view.Group)
+	at := -1
+	for i, s := range ranked {
+		if s.Name == owner {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return nil
+	}
+	n := k - 1
+	if max := len(ranked) - 1; n > max {
+		n = max
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]superpeer.SiteInfo, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, ranked[(at+i)%len(ranked)])
+	}
+	return out
+}
+
+// Contains reports whether the replica set includes the named site.
+func Contains(set []superpeer.SiteInfo, name string) bool {
+	for _, s := range set {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}

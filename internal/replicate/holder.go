@@ -1,0 +1,199 @@
+package replicate
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"glare/internal/xmlutil"
+)
+
+// Entry is one replicated registry record as journaled at its origin.
+type Entry struct {
+	Key  string
+	Doc  *xmlutil.Node
+	LUT  time.Time
+	Term time.Time
+}
+
+// Journal receives a replica's applied mutations for durable replay; the
+// store's per-registry WAL satisfies it. Nil means memory-only.
+type Journal interface {
+	RecordPut(key string, doc *xmlutil.Node, lut, term time.Time)
+	RecordDelete(key string)
+}
+
+// JournalFactory mints the journal a replica writes an origin's entries
+// through. Implementations name the backing registry "replica:<origin>:<reg>"
+// so replica state rides the site's existing WAL and snapshots without any
+// new storage machinery.
+type JournalFactory func(origin, reg string) Journal
+
+type originState struct {
+	// regs maps a registry name ("atr", "adr", "lease") to its entries.
+	regs map[string]map[string]Entry
+	// promoted marks that this site adopted the origin's entries as its
+	// own after the origin was declared permanently lost.
+	promoted bool
+}
+
+// Holder is a site's store of replicated entries, keyed by origin site.
+// Entries applied here are shadow copies: they do not enter the site's own
+// registries until a promotion adopts them.
+type Holder struct {
+	mu      sync.Mutex
+	origins map[string]*originState
+	factory JournalFactory
+}
+
+// NewHolder creates a holder; factory may be nil for memory-only sites.
+func NewHolder(factory JournalFactory) *Holder {
+	return &Holder{origins: map[string]*originState{}, factory: factory}
+}
+
+func (h *Holder) origin(name string) *originState {
+	st := h.origins[name]
+	if st == nil {
+		st = &originState{regs: map[string]map[string]Entry{}}
+		h.origins[name] = st
+	}
+	return st
+}
+
+// Put applies an origin's mutation if it is new or at least as fresh as
+// the copy held (last-update time wins; equal times overwrite, so an
+// origin's own re-send converges). Returns whether the entry was applied.
+func (h *Holder) Put(origin, reg, key string, doc *xmlutil.Node, lut, term time.Time) bool {
+	h.mu.Lock()
+	st := h.origin(origin)
+	entries := st.regs[reg]
+	if entries == nil {
+		entries = map[string]Entry{}
+		st.regs[reg] = entries
+	}
+	if have, ok := entries[key]; ok && have.LUT.After(lut) {
+		h.mu.Unlock()
+		return false
+	}
+	entries[key] = Entry{Key: key, Doc: doc, LUT: lut, Term: term}
+	factory := h.factory
+	h.mu.Unlock()
+	if factory != nil {
+		if j := factory(origin, reg); j != nil {
+			d := doc
+			if d == nil {
+				d = xmlutil.NewNode("Empty")
+			}
+			j.RecordPut(key, d, lut, term)
+		}
+	}
+	return true
+}
+
+// Delete removes an origin's entry; returns whether one was held.
+func (h *Holder) Delete(origin, reg, key string) bool {
+	h.mu.Lock()
+	st := h.origin(origin)
+	entries := st.regs[reg]
+	_, ok := entries[key]
+	if ok {
+		delete(entries, key)
+	}
+	factory := h.factory
+	h.mu.Unlock()
+	if ok && factory != nil {
+		if j := factory(origin, reg); j != nil {
+			j.RecordDelete(key)
+		}
+	}
+	return ok
+}
+
+// Restore re-installs a journaled replica entry during crash recovery
+// without writing it back to the journal it just came from.
+func (h *Holder) Restore(origin, reg string, e Entry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.origin(origin)
+	if st.regs[reg] == nil {
+		st.regs[reg] = map[string]Entry{}
+	}
+	st.regs[reg][e.Key] = e
+}
+
+// Entries returns an origin's held entries for one registry, key-sorted.
+func (h *Holder) Entries(origin, reg string) []Entry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.origins[origin]
+	if st == nil {
+		return nil
+	}
+	out := make([]Entry, 0, len(st.regs[reg]))
+	for _, e := range st.regs[reg] {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Origins lists the sites this holder replicates, sorted.
+func (h *Holder) Origins() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.origins))
+	for name := range h.origins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Status summarizes how caught-up this holder is for an origin: total
+// entries held and the newest last-update time seen. Promotion compares
+// candidates on (entries, lastLUT) — unlike a sequence counter, both
+// survive a replica's own restart.
+func (h *Holder) Status(origin string) (entries int, lastLUT time.Time, promoted bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.origins[origin]
+	if st == nil {
+		return 0, time.Time{}, false
+	}
+	for _, reg := range st.regs {
+		for _, e := range reg {
+			entries++
+			if e.LUT.After(lastLUT) {
+				lastLUT = e.LUT
+			}
+		}
+	}
+	return entries, lastLUT, st.promoted
+}
+
+// Has reports whether an origin's entry is held at least as fresh as lut.
+func (h *Holder) Has(origin, reg, key string, lut time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.origins[origin]
+	if st == nil {
+		return false
+	}
+	e, ok := st.regs[reg][key]
+	return ok && !e.LUT.Before(lut)
+}
+
+// SetPromoted flags (or clears) an origin as promoted here.
+func (h *Holder) SetPromoted(origin string, v bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.origin(origin).promoted = v
+}
+
+// Promoted reports whether this site adopted the origin's entries.
+func (h *Holder) Promoted(origin string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.origins[origin]
+	return st != nil && st.promoted
+}

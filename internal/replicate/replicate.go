@@ -1,0 +1,358 @@
+package replicate
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"glare/internal/epr"
+	"glare/internal/superpeer"
+	"glare/internal/telemetry"
+	"glare/internal/xmlutil"
+)
+
+// CallFunc issues one wire operation against a service address; the rdm
+// service injects its deadline-propagating client call here.
+type CallFunc func(ctx context.Context, address, op string, body *xmlutil.Node) (*xmlutil.Node, error)
+
+// DefaultTimeout bounds a quorum wait and each replica send.
+const DefaultTimeout = 3 * time.Second
+
+// Config assembles a site's replicator.
+type Config struct {
+	// Self identifies the owning site.
+	Self superpeer.SiteInfo
+	// K is the configured replication factor (total copies, owner
+	// included); the effective factor is capped by the group size.
+	K int
+	// View returns the current epoch-fenced overlay view.
+	View func() superpeer.View
+	// Call issues wire operations (rides deadline propagation).
+	Call CallFunc
+	// Service is the wire service the replication ops are mounted on.
+	Service string
+	// Journals mints replica write-through journals; nil = memory-only.
+	Journals JournalFactory
+	// Timeout bounds quorum waits and replica sends (DefaultTimeout if 0).
+	Timeout time.Duration
+	// Tel binds the glare_replica_* instruments; nil is a no-op.
+	Tel *telemetry.Telemetry
+}
+
+// pendingWrite tracks one mutation's outstanding remote acknowledgements.
+type pendingWrite struct {
+	need        int // remote acks required for quorum (self already counted)
+	acks        int
+	outstanding int // sends still in flight
+	signaled    bool
+	done        chan struct{}
+}
+
+// Replicator fans a site's registry mutations out to its replica set and
+// gates registrations on the write quorum.
+type Replicator struct {
+	cfg    Config
+	holder *Holder
+
+	mu        sync.Mutex
+	seq       uint64
+	pending   map[string]*pendingWrite
+	suspicion map[string]int
+
+	// Instruments; exported so the rdm layer bumps promotion/repair
+	// counters without replicate owning those passes.
+	Writes, QuorumFailures, Applies, StaleEpoch *telemetry.Counter
+	Promotions, ReadRepairs, HandOffs           *telemetry.Counter
+	Lag                                         *telemetry.Gauge
+}
+
+// New creates a replicator; it is inert until mutations are forwarded.
+func New(cfg Config) *Replicator {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	r := &Replicator{
+		cfg:       cfg,
+		holder:    NewHolder(cfg.Journals),
+		pending:   map[string]*pendingWrite{},
+		suspicion: map[string]int{},
+
+		Writes:         cfg.Tel.Counter("glare_replica_writes_total"),
+		QuorumFailures: cfg.Tel.Counter("glare_replica_quorum_failures_total"),
+		Applies:        cfg.Tel.Counter("glare_replica_apply_total"),
+		StaleEpoch:     cfg.Tel.Counter("glare_replica_stale_epoch_rejected_total"),
+		Promotions:     cfg.Tel.Counter("glare_replica_promotions_total"),
+		ReadRepairs:    cfg.Tel.Counter("glare_replica_read_repairs_total"),
+		HandOffs:       cfg.Tel.Counter("glare_replica_handoffs_total"),
+		Lag:            cfg.Tel.Gauge("glare_replica_lag_entries"),
+	}
+	return r
+}
+
+// Holder exposes the replica store (wire handlers and promotion use it).
+func (r *Replicator) Holder() *Holder { return r.holder }
+
+// K returns the configured replication factor.
+func (r *Replicator) K() int { return r.cfg.K }
+
+// Replicas returns this site's current replica set.
+func (r *Replicator) Replicas() []superpeer.SiteInfo {
+	return ReplicaSet(r.cfg.View(), r.cfg.Self.Name, r.cfg.K)
+}
+
+// ForwardPut fans one put mutation out to the replica set asynchronously.
+// Called on the owner's journal path, after the local write is durable; a
+// following AwaitQuorum on the same (reg, key) blocks until the write
+// quorum acknowledged. The fan-out always targets the FULL replica set —
+// quorum only gates the client ack — so once sends drain, every replica
+// holds the entry and any k−1 simultaneous permanent losses still leave a
+// copy alive.
+func (r *Replicator) ForwardPut(reg, key string, doc *xmlutil.Node, lut, term time.Time) {
+	view := r.cfg.View()
+	replicas := ReplicaSet(view, r.cfg.Self.Name, r.cfg.K)
+	if len(replicas) == 0 {
+		return
+	}
+	r.Writes.Inc()
+	m := Mutation{Origin: r.cfg.Self.Name, Epoch: view.Epoch, Reg: reg, Key: key,
+		Doc: doc, LUT: lut, Term: term}
+	r.send(reg, key, m, replicas)
+}
+
+// ForwardDelete fans one delete mutation out to the replica set.
+func (r *Replicator) ForwardDelete(reg, key string) {
+	view := r.cfg.View()
+	replicas := ReplicaSet(view, r.cfg.Self.Name, r.cfg.K)
+	if len(replicas) == 0 {
+		return
+	}
+	r.Writes.Inc()
+	m := Mutation{Origin: r.cfg.Self.Name, Epoch: view.Epoch, Reg: reg, Key: key, Delete: true}
+	r.send(reg, key, m, replicas)
+}
+
+func (r *Replicator) send(reg, key string, m Mutation, replicas []superpeer.SiteInfo) {
+	pkey := reg + "|" + key
+	r.mu.Lock()
+	r.seq++
+	m.Seq = r.seq
+	// Effective k: the owner plus however many replicas the group yields.
+	need := Quorum(len(replicas)+1) - 1
+	p := &pendingWrite{need: need, outstanding: len(replicas), done: make(chan struct{})}
+	if need <= 0 {
+		p.signaled = true
+		close(p.done)
+	}
+	r.pending[pkey] = p
+	r.mu.Unlock()
+
+	body := m.ToXML()
+	for _, rep := range replicas {
+		rep := rep
+		r.Lag.Add(1)
+		go func() {
+			defer r.Lag.Add(-1)
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+			defer cancel()
+			_, err := r.cfg.Call(ctx, rep.ServiceURL(r.cfg.Service), "Replicate", body)
+			r.settle(pkey, p, err == nil)
+		}()
+	}
+}
+
+// settle records one replica send's outcome and garbage-collects the
+// pending entry once every send returned.
+func (r *Replicator) settle(pkey string, p *pendingWrite, acked bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if acked {
+		p.acks++
+	}
+	if !p.signaled && p.acks >= p.need {
+		p.signaled = true
+		close(p.done)
+	}
+	p.outstanding--
+	if p.outstanding <= 0 && r.pending[pkey] == p {
+		delete(r.pending, pkey)
+	}
+}
+
+// AwaitQuorum blocks until the most recent mutation of (reg, key) reached
+// its write quorum. Returns nil immediately when nothing is pending (no
+// replicas assigned, or the fan-out already drained with quorum). On
+// timeout or too many refusals the caller must fail the registration —
+// the client never sees an ack the grid cannot back.
+func (r *Replicator) AwaitQuorum(reg, key string) error {
+	pkey := reg + "|" + key
+	r.mu.Lock()
+	p := r.pending[pkey]
+	r.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	select {
+	case <-p.done:
+		return nil
+	case <-time.After(r.cfg.Timeout):
+	}
+	// Raced the last settle? Check once more before declaring failure.
+	select {
+	case <-p.done:
+		return nil
+	default:
+	}
+	r.QuorumFailures.Inc()
+	return fmt.Errorf("replicate: write quorum not reached for %s %q (need %d remote acks)",
+		reg, key, p.need)
+}
+
+// Apply installs an origin's mutation into the local holder. The epoch
+// fence is conservative: a mutation stamped with an older view epoch than
+// ours is rejected outright — its sender is partitioned or about to be
+// fenced, and refusing costs at most a spurious quorum failure at the
+// origin, never durability.
+func (r *Replicator) Apply(m Mutation) error {
+	if v := r.cfg.View(); m.Epoch < v.Epoch {
+		r.StaleEpoch.Inc()
+		return fmt.Errorf("replicate: stale epoch %d < view epoch %d from %s", m.Epoch, v.Epoch, m.Origin)
+	}
+	if m.Delete {
+		r.holder.Delete(m.Origin, m.Reg, m.Key)
+		r.Applies.Inc()
+		return nil
+	}
+	if r.holder.Put(m.Origin, m.Reg, m.Key, m.Doc, m.LUT, m.Term) {
+		r.Applies.Inc()
+	}
+	return nil
+}
+
+// Suspect bumps and returns a site's suspicion count (consecutive failed
+// liveness probes during replica checks).
+func (r *Replicator) Suspect(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.suspicion[name]++
+	return r.suspicion[name]
+}
+
+// ClearSuspicion resets a site's suspicion count after a successful probe.
+func (r *Replicator) ClearSuspicion(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.suspicion, name)
+}
+
+// Mutation is one replicated registry operation on the wire.
+type Mutation struct {
+	Origin string
+	Epoch  uint64
+	Seq    uint64
+	Delete bool
+	Reg    string
+	Key    string
+	Doc    *xmlutil.Node
+	LUT    time.Time
+	Term   time.Time
+}
+
+// ToXML renders the mutation for the Replicate wire op.
+func (m Mutation) ToXML() *xmlutil.Node {
+	n := xmlutil.NewNode("Replicate")
+	n.SetAttr("origin", m.Origin)
+	n.SetAttr("epoch", strconv.FormatUint(m.Epoch, 10))
+	n.SetAttr("seq", strconv.FormatUint(m.Seq, 10))
+	var op *xmlutil.Node
+	if m.Delete {
+		op = n.Elem("Delete")
+	} else {
+		op = n.Elem("Put")
+		op.SetAttr("lut", m.LUT.Format(epr.TimeLayout))
+		op.SetAttr("term", m.Term.Format(epr.TimeLayout))
+		if m.Doc != nil {
+			op.Add(m.Doc)
+		}
+	}
+	op.SetAttr("reg", m.Reg)
+	op.SetAttr("key", m.Key)
+	return n
+}
+
+// MutationFromXML parses a Replicate wire body.
+func MutationFromXML(n *xmlutil.Node) (Mutation, error) {
+	if n == nil || n.Name != "Replicate" {
+		return Mutation{}, fmt.Errorf("replicate: expected <Replicate>")
+	}
+	m := Mutation{Origin: n.AttrOr("origin", "")}
+	if m.Origin == "" {
+		return Mutation{}, fmt.Errorf("replicate: mutation without origin")
+	}
+	m.Epoch, _ = strconv.ParseUint(n.AttrOr("epoch", "0"), 10, 64)
+	m.Seq, _ = strconv.ParseUint(n.AttrOr("seq", "0"), 10, 64)
+	if op := n.First("Put"); op != nil {
+		m.Reg = op.AttrOr("reg", "")
+		m.Key = op.AttrOr("key", "")
+		m.LUT, _ = time.Parse(epr.TimeLayout, op.AttrOr("lut", ""))
+		m.Term, _ = time.Parse(epr.TimeLayout, op.AttrOr("term", ""))
+		if len(op.Children) > 0 {
+			m.Doc = op.Children[0]
+		}
+	} else if op := n.First("Delete"); op != nil {
+		m.Delete = true
+		m.Reg = op.AttrOr("reg", "")
+		m.Key = op.AttrOr("key", "")
+	} else {
+		return Mutation{}, fmt.Errorf("replicate: mutation without Put/Delete")
+	}
+	if m.Reg == "" || m.Key == "" {
+		return Mutation{}, fmt.Errorf("replicate: mutation without reg/key")
+	}
+	return m, nil
+}
+
+// EntriesToXML renders a fetch/hand-off payload: every held registry of
+// one origin.
+func EntriesToXML(origin string, regs map[string][]Entry) *xmlutil.Node {
+	n := xmlutil.NewNode("Entries")
+	n.SetAttr("origin", origin)
+	for reg, entries := range regs {
+		for _, e := range entries {
+			en := n.Elem("Entry")
+			en.SetAttr("reg", reg)
+			en.SetAttr("key", e.Key)
+			en.SetAttr("lut", e.LUT.Format(epr.TimeLayout))
+			en.SetAttr("term", e.Term.Format(epr.TimeLayout))
+			if e.Doc != nil {
+				en.Add(e.Doc)
+			}
+		}
+	}
+	return n
+}
+
+// EntriesFromXML parses a fetch/hand-off payload back into per-registry
+// entry lists.
+func EntriesFromXML(n *xmlutil.Node) (origin string, regs map[string][]Entry, err error) {
+	if n == nil || n.Name != "Entries" {
+		return "", nil, fmt.Errorf("replicate: expected <Entries>")
+	}
+	origin = n.AttrOr("origin", "")
+	regs = map[string][]Entry{}
+	for _, en := range n.All("Entry") {
+		reg := en.AttrOr("reg", "")
+		e := Entry{Key: en.AttrOr("key", "")}
+		if reg == "" || e.Key == "" {
+			return "", nil, fmt.Errorf("replicate: entry without reg/key")
+		}
+		e.LUT, _ = time.Parse(epr.TimeLayout, en.AttrOr("lut", ""))
+		e.Term, _ = time.Parse(epr.TimeLayout, en.AttrOr("term", ""))
+		if len(en.Children) > 0 {
+			e.Doc = en.Children[0]
+		}
+		regs[reg] = append(regs[reg], e)
+	}
+	return origin, regs, nil
+}

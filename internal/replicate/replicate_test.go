@@ -1,0 +1,248 @@
+package replicate
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"glare/internal/superpeer"
+	"glare/internal/telemetry"
+	"glare/internal/xmlutil"
+)
+
+func site(name string, rank uint64) superpeer.SiteInfo {
+	return superpeer.SiteInfo{Name: name, Rank: rank, BaseURL: "http://" + name}
+}
+
+func testView(names ...string) superpeer.View {
+	v := superpeer.View{Epoch: 3}
+	for i, n := range names {
+		v.Group = append(v.Group, site(n, uint64(100-i)))
+	}
+	v.SuperPeer = v.Group[0]
+	return v
+}
+
+func TestQuorum(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 5: 3}
+	for k, want := range cases {
+		if got := Quorum(k); got != want {
+			t.Errorf("Quorum(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestReplicaSetDeterministicWalk(t *testing.T) {
+	v := testView("a", "b", "c", "d")
+	// Ranked order is a(100), b(99), c(98), d(97).
+	got := ReplicaSet(v, "b", 3)
+	if len(got) != 2 || got[0].Name != "c" || got[1].Name != "d" {
+		t.Fatalf("ReplicaSet(b, 3) = %v", got)
+	}
+	// Wrap-around from the tail.
+	got = ReplicaSet(v, "d", 3)
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("ReplicaSet(d, 3) = %v", got)
+	}
+	// k capped by group size.
+	got = ReplicaSet(testView("a", "b"), "a", 5)
+	if len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("ReplicaSet small group = %v", got)
+	}
+	// Singleton group or k<=1: no replicas.
+	if got := ReplicaSet(testView("a"), "a", 3); got != nil {
+		t.Fatalf("singleton group got %v", got)
+	}
+	if got := ReplicaSet(v, "a", 1); got != nil {
+		t.Fatalf("k=1 got %v", got)
+	}
+	// Unknown owner: no replicas rather than a wrong guess.
+	if got := ReplicaSet(v, "zz", 3); got != nil {
+		t.Fatalf("unknown owner got %v", got)
+	}
+}
+
+func TestHolderFreshnessAndStatus(t *testing.T) {
+	h := NewHolder(nil)
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	doc := xmlutil.NewNode("Doc", "v1")
+	if !h.Put("s1", "atr", "povray", doc, t0, t0.Add(time.Hour)) {
+		t.Fatal("first put not applied")
+	}
+	// Older LUT must not overwrite.
+	if h.Put("s1", "atr", "povray", xmlutil.NewNode("Doc", "old"), t0.Add(-time.Minute), t0) {
+		t.Fatal("stale put applied")
+	}
+	// Newer LUT wins.
+	if !h.Put("s1", "atr", "povray", xmlutil.NewNode("Doc", "v2"), t0.Add(time.Minute), t0) {
+		t.Fatal("fresh put not applied")
+	}
+	h.Put("s1", "adr", "povray-dep", doc, t0.Add(2*time.Minute), t0)
+	n, last, promoted := h.Status("s1")
+	if n != 2 || !last.Equal(t0.Add(2*time.Minute)) || promoted {
+		t.Fatalf("Status = (%d, %v, %v)", n, last, promoted)
+	}
+	if !h.Has("s1", "atr", "povray", t0.Add(time.Minute)) {
+		t.Fatal("Has missed fresh entry")
+	}
+	if h.Has("s1", "atr", "povray", t0.Add(time.Hour)) {
+		t.Fatal("Has claimed freshness it lacks")
+	}
+	if !h.Delete("s1", "adr", "povray-dep") {
+		t.Fatal("delete missed held entry")
+	}
+	if n, _, _ := h.Status("s1"); n != 1 {
+		t.Fatalf("after delete Status entries = %d", n)
+	}
+	h.SetPromoted("s1", true)
+	if !h.Promoted("s1") {
+		t.Fatal("promoted flag lost")
+	}
+}
+
+type recordingJournal struct {
+	puts, deletes int32
+}
+
+func (j *recordingJournal) RecordPut(string, *xmlutil.Node, time.Time, time.Time) {
+	atomic.AddInt32(&j.puts, 1)
+}
+func (j *recordingJournal) RecordDelete(string) { atomic.AddInt32(&j.deletes, 1) }
+
+func TestHolderWritesThroughJournal(t *testing.T) {
+	j := &recordingJournal{}
+	h := NewHolder(func(origin, reg string) Journal {
+		if origin != "s1" || reg != "atr" {
+			t.Errorf("factory called with (%q, %q)", origin, reg)
+		}
+		return j
+	})
+	t0 := time.Now()
+	h.Put("s1", "atr", "x", nil, t0, t0)
+	h.Delete("s1", "atr", "x")
+	// Restore must NOT write back to the journal it replays from.
+	h.Restore("s1", "atr", Entry{Key: "x", LUT: t0})
+	if j.puts != 1 || j.deletes != 1 {
+		t.Fatalf("journal saw %d puts, %d deletes", j.puts, j.deletes)
+	}
+}
+
+func TestMutationRoundTrip(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 123456789, time.UTC)
+	m := Mutation{Origin: "s1", Epoch: 7, Seq: 42, Reg: "atr", Key: "povray",
+		Doc: xmlutil.NewNode("ActivityType", "x"), LUT: t0, Term: t0.Add(time.Hour)}
+	got, err := MutationFromXML(m.ToXML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != "s1" || got.Epoch != 7 || got.Seq != 42 || got.Reg != "atr" ||
+		got.Key != "povray" || !got.LUT.Equal(t0) || !got.Term.Equal(t0.Add(time.Hour)) ||
+		got.Doc == nil || got.Doc.Text != "x" {
+		t.Fatalf("round trip mangled mutation: %+v", got)
+	}
+	d := Mutation{Origin: "s1", Epoch: 7, Reg: "adr", Key: "dep", Delete: true}
+	got, err = MutationFromXML(d.ToXML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Delete || got.Reg != "adr" || got.Key != "dep" {
+		t.Fatalf("delete round trip: %+v", got)
+	}
+	if _, err := MutationFromXML(xmlutil.NewNode("Replicate")); err == nil {
+		t.Fatal("originless mutation accepted")
+	}
+}
+
+func TestEntriesRoundTrip(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	in := map[string][]Entry{
+		"atr": {{Key: "a", Doc: xmlutil.NewNode("T"), LUT: t0, Term: t0.Add(time.Hour)}},
+		"adr": {{Key: "b", LUT: t0.Add(time.Minute)}},
+	}
+	origin, out, err := EntriesFromXML(EntriesToXML("s2", in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != "s2" || len(out["atr"]) != 1 || len(out["adr"]) != 1 {
+		t.Fatalf("entries round trip: origin=%q out=%v", origin, out)
+	}
+	if out["atr"][0].Key != "a" || !out["atr"][0].LUT.Equal(t0) || out["atr"][0].Doc == nil {
+		t.Fatalf("atr entry mangled: %+v", out["atr"][0])
+	}
+}
+
+func quorumReplicator(t *testing.T, k int, call CallFunc) *Replicator {
+	t.Helper()
+	v := testView("self", "r1", "r2")
+	return New(Config{
+		Self: v.Group[0], K: k,
+		View:    func() superpeer.View { return v },
+		Call:    call,
+		Service: "RDM",
+		Timeout: 500 * time.Millisecond,
+		Tel:     telemetry.New("self"),
+	})
+}
+
+func TestAwaitQuorumSucceedsWithOneRemoteAck(t *testing.T) {
+	var calls int32
+	r := quorumReplicator(t, 3, func(ctx context.Context, addr, op string, body *xmlutil.Node) (*xmlutil.Node, error) {
+		// One replica acks, the other is down: 2 of 3 copies = quorum at k=3.
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return xmlutil.NewNode("OK"), nil
+		}
+		return nil, errors.New("unreachable")
+	})
+	r.ForwardPut("atr", "povray", xmlutil.NewNode("T"), time.Now(), time.Now().Add(time.Hour))
+	if err := r.AwaitQuorum("atr", "povray"); err != nil {
+		t.Fatalf("quorum should hold with one remote ack: %v", err)
+	}
+}
+
+func TestAwaitQuorumFailsWhenAllReplicasDown(t *testing.T) {
+	r := quorumReplicator(t, 3, func(ctx context.Context, addr, op string, body *xmlutil.Node) (*xmlutil.Node, error) {
+		return nil, errors.New("unreachable")
+	})
+	r.ForwardPut("atr", "povray", xmlutil.NewNode("T"), time.Now(), time.Now().Add(time.Hour))
+	if err := r.AwaitQuorum("atr", "povray"); err == nil {
+		t.Fatal("quorum reported with zero remote acks")
+	}
+	if r.QuorumFailures.Value() == 0 {
+		t.Fatal("quorum failure not counted")
+	}
+}
+
+func TestAwaitQuorumNoReplicasIsTrivial(t *testing.T) {
+	v := testView("self")
+	r := New(Config{Self: v.Group[0], K: 3,
+		View: func() superpeer.View { return v },
+		Call: func(ctx context.Context, addr, op string, body *xmlutil.Node) (*xmlutil.Node, error) {
+			t.Fatal("no call expected for a singleton group")
+			return nil, nil
+		},
+		Timeout: 100 * time.Millisecond})
+	r.ForwardPut("atr", "x", nil, time.Now(), time.Now())
+	if err := r.AwaitQuorum("atr", "x"); err != nil {
+		t.Fatalf("singleton group must self-quorum: %v", err)
+	}
+}
+
+func TestApplyEpochFence(t *testing.T) {
+	r := quorumReplicator(t, 3, nil)
+	m := Mutation{Origin: "s9", Epoch: 2, Reg: "atr", Key: "x", LUT: time.Now()}
+	if err := r.Apply(m); err == nil {
+		t.Fatal("stale-epoch mutation accepted")
+	}
+	if r.StaleEpoch.Value() == 0 {
+		t.Fatal("stale epoch not counted")
+	}
+	m.Epoch = 3
+	if err := r.Apply(m); err != nil {
+		t.Fatalf("current-epoch mutation rejected: %v", err)
+	}
+	if n, _, _ := r.Holder().Status("s9"); n != 1 {
+		t.Fatalf("applied mutation not held, entries=%d", n)
+	}
+}

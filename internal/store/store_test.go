@@ -306,3 +306,74 @@ func TestDeployCheckpointRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot lost checkpoints: %+v", got)
 	}
 }
+
+// TestBootFromSnapshotOnly pins recovery when the snapshot is the ONLY
+// artifact left: every WAL segment (including the post-snapshot seal
+// segment) has been deleted — the shape a backup-restore or an aggressive
+// cleanup leaves behind. The store must boot the full flattened state
+// from the snapshot alone and resume the sequence from the snapshot's
+// seal, not from zero.
+func TestBootFromSnapshotOnly(t *testing.T) {
+	dir := t.TempDir()
+	clock := simclock.NewVirtual(time.Time{})
+	lut := clock.Now()
+
+	s := mustOpen(t, Options{Dir: dir, Clock: clock, SnapshotEvery: -1})
+	tk := lease.Ticket{ID: 7, Deployment: "jpovray", Client: "c1",
+		Kind: lease.Exclusive, Start: lut, End: lut.Add(time.Hour)}
+	appendAll(t, s,
+		put(RegATR, "POVray", "<Properties>povray</Properties>", lut),
+		put(RegADR, "jpovray", "<Properties>jpovray</Properties>", lut),
+		Record{Op: OpLeaseAcquire, Ticket: &tk},
+		put(RegATR, "Ant", "<Properties>ant</Properties>", lut),
+		Record{Op: OpDelete, Reg: RegATR, Key: "Ant"},
+	)
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := s.Status().LastSeq
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segments, _, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segments) == 0 {
+		t.Fatal("expected a fresh segment after the snapshot")
+	}
+	for _, seg := range segments {
+		if err := os.Remove(filepath.Join(dir, seg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	re := mustOpen(t, Options{Dir: dir, Clock: clock, SnapshotEvery: -1})
+	st := re.State()
+	atr := st.Registries[RegATR]
+	if len(atr) != 1 || atr["POVray"].Doc != "<Properties>povray</Properties>" {
+		t.Fatalf("atr from snapshot alone = %v", atr)
+	}
+	if _, ok := atr["Ant"]; ok {
+		t.Fatal("deleted entry resurrected from snapshot")
+	}
+	if got := st.Registries[RegADR]["jpovray"].Doc; got != "<Properties>jpovray</Properties>" {
+		t.Fatalf("adr doc = %q", got)
+	}
+	if got, ok := st.Leases.Tickets[tk.ID]; !ok || got.Client != "c1" {
+		t.Fatalf("ticket from snapshot = %+v ok=%v", got, ok)
+	}
+	status := re.Status()
+	if !status.HasSnapshot || status.ReplayRecords != 0 {
+		t.Fatalf("status after snapshot-only boot = %+v", status)
+	}
+	// The sequence resumes above the snapshot seal, so records written
+	// after the restore never collide with pre-snapshot sequence numbers.
+	if err := re.Append(put(RegATR, "Java", "<Properties/>", lut)); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Status().LastSeq; got <= wantSeq {
+		t.Fatalf("lastSeq after snapshot-only boot = %d, want > %d", got, wantSeq)
+	}
+}

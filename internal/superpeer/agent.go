@@ -61,7 +61,8 @@ type Agent struct {
 	view View
 	// bestCommunity is the strength of the strongest community whose
 	// coordinator this agent acknowledged; used to arbitrate between
-	// notifications from multiple indices.
+	// notifications from multiple indices. It lives only for the current
+	// election window — installing a view resets it.
 	bestCommunity int
 	onViewChange  []func(View)
 	// suspicion counts consecutive missed super-peer probes; recovery
@@ -69,6 +70,10 @@ type Agent struct {
 	// chaos does not trigger an election storm.
 	suspicion  int
 	suspicionK int
+	// replicaK is this site's configured registry replication factor; the
+	// election coordinator stamps it into every view it assigns, so the
+	// whole overlay agrees on one K per epoch.
+	replicaK int
 }
 
 // DefaultPingTimeout bounds one liveness probe. Failure detection must be
@@ -109,6 +114,20 @@ func (a *Agent) SetPingTimeout(d time.Duration) {
 		d = DefaultPingTimeout
 	}
 	a.pingTimeout = d
+}
+
+// SetReplicaK declares the registry replication factor this site wants
+// (total copies per entry, owner included). The value only takes effect
+// grid-wide when this site coordinates an election: the assigned views
+// carry it, and takeovers and merges preserve it. Call during site
+// assembly.
+func (a *Agent) SetReplicaK(k int) {
+	if k < 0 {
+		k = 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.replicaK = k
 }
 
 // Self returns this agent's site info.
@@ -168,6 +187,12 @@ func (a *Agent) setView(v View) bool {
 	}
 	wasSuper := a.role == RoleSuperPeer
 	a.view = v
+	// An installed view closes the election window: the smaller-community
+	// commitment arbitrated between rival coordinators of THIS round and
+	// must not veto future rounds (a community that grows by one site
+	// notifies with a larger strength, which a stale commitment would
+	// reject forever).
+	a.bestCommunity = 0
 	if v.SuperPeer.Name == a.self.Name {
 		a.role = RoleSuperPeer
 	} else {
@@ -334,9 +359,13 @@ func (a *Agent) Coordinate(sites []SiteInfo, cfg CoordinatorConfig) (views map[s
 	if len(responding) == 0 {
 		return nil, fmt.Errorf("superpeer: no site acknowledged the election")
 	}
+	a.mu.Lock()
+	replicaK := a.replicaK
+	a.mu.Unlock()
 	views = PartitionGroups(responding, cfg.GroupSize)
 	for name, v := range views {
 		v.Epoch = epoch
+		v.ReplicaK = replicaK
 		views[name] = v
 	}
 	// Distribute assignments; the coordinator applies its own locally.
@@ -618,7 +647,7 @@ func (a *Agent) RunTakeover(downName string) error {
 			newSupers = append(newSupers, s)
 		}
 	}
-	newView := View{Epoch: view.Epoch + 1, Group: survivors, SuperPeer: a.self, SuperPeers: newSupers}
+	newView := View{Epoch: view.Epoch + 1, Group: survivors, SuperPeer: a.self, SuperPeers: newSupers, ReplicaK: view.ReplicaK}
 	a.takeovers.Inc()
 	if !a.setView(newView) {
 		return fmt.Errorf("superpeer: takeover view lost against a newer install")

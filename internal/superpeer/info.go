@@ -75,6 +75,12 @@ type View struct {
 	SuperPeer SiteInfo
 	// SuperPeers lists every super-peer in the VO (the super-group).
 	SuperPeers []SiteInfo
+	// ReplicaK is the registry replication factor the election coordinator
+	// stamped into this view (total copies per entry, owner included). The
+	// view carries it so every member derives the same per-site replica-set
+	// assignment from the same epoch-fenced membership; zero means
+	// replication is off.
+	ReplicaK int
 }
 
 // Clone deep-copies the view.
@@ -84,6 +90,7 @@ func (v View) Clone() View {
 		Group:      append([]SiteInfo(nil), v.Group...),
 		SuperPeer:  v.SuperPeer,
 		SuperPeers: append([]SiteInfo(nil), v.SuperPeers...),
+		ReplicaK:   v.ReplicaK,
 	}
 }
 
@@ -148,7 +155,11 @@ func MergeViews(winner, loser View) View {
 	if loser.Epoch > epoch {
 		epoch = loser.Epoch
 	}
-	return View{Epoch: epoch + 1, Group: RankSites(group), SuperPeer: winner.SuperPeer, SuperPeers: RankSites(supers)}
+	k := winner.ReplicaK
+	if loser.ReplicaK > k {
+		k = loser.ReplicaK
+	}
+	return View{Epoch: epoch + 1, Group: RankSites(group), SuperPeer: winner.SuperPeer, SuperPeers: RankSites(supers), ReplicaK: k}
 }
 
 // Peers returns the group members excluding the named site.
@@ -178,6 +189,9 @@ func (v View) ToXML() *xmlutil.Node {
 	n.SetAttr("epoch", strconv.FormatUint(v.Epoch, 10))
 	n.SetAttr("superPeer", v.SuperPeer.Name)
 	n.SetAttr("superPeerURL", v.SuperPeer.BaseURL)
+	if v.ReplicaK > 0 {
+		n.SetAttr("replicaK", strconv.Itoa(v.ReplicaK))
+	}
 	for _, s := range v.Group {
 		n.Add(s.ToXML())
 	}
@@ -195,6 +209,7 @@ func ViewFromXML(n *xmlutil.Node) (View, error) {
 	}
 	var v View
 	v.Epoch, _ = strconv.ParseUint(n.AttrOr("epoch", "0"), 10, 64)
+	v.ReplicaK, _ = strconv.Atoi(n.AttrOr("replicaK", "0"))
 	for _, c := range n.All("Site") {
 		s, err := SiteInfoFromXML(c)
 		if err != nil {

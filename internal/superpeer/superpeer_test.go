@@ -403,3 +403,31 @@ func TestQuickPartitionInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCoordinateGrowingCommunity replays the daemon join sequence: the
+// coordinator elects over {0,1}, then site 2 joins and it re-elects over
+// all three. The smaller-community commitment from the first round must
+// not outlive that election — before the reset in setView, site 1 would
+// refuse every later (larger) election forever and strand itself on the
+// old epoch with a disagreeing replica set.
+func TestCoordinateGrowingCommunity(t *testing.T) {
+	h := newHarness(t, 3)
+	if _, err := h.agents[0].Coordinate(h.infos[:2], CoordinatorConfig{GroupSize: 3}); err != nil {
+		t.Fatal(err)
+	}
+	views, err := h.agents[0].Coordinate(h.infos, CoordinatorConfig{GroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 3 {
+		t.Fatalf("second election assigned %d views, want 3: %v", len(views), views)
+	}
+	for i, a := range h.agents {
+		if got := a.View().Epoch; got != 2 {
+			t.Fatalf("agent %d at epoch %d after the grow election, want 2", i, got)
+		}
+		if got := len(a.View().Group); got != 3 {
+			t.Fatalf("agent %d sees a group of %d, want 3", i, got)
+		}
+	}
+}

@@ -59,7 +59,11 @@ func DefaultClassify(service, operation string) Class {
 	switch operation {
 	case "ViewStatus", "Ping":
 		return ClassControl
-	case "RegistryDigest", "HistoryXport", "StoreStatus", "GetLUT":
+	// Replication is infrastructure traffic: a quorum write or a failover
+	// hand-off must not queue behind the very client load it protects.
+	case "Replicate", "ReplicaFetch", "ReplicaPromote", "ReplicaHandOff":
+		return ClassControl
+	case "RegistryDigest", "HistoryXport", "StoreStatus", "GetLUT", "ReplicaStatus":
 		return ClassBulk
 	}
 	return ClassInteractive

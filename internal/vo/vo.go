@@ -13,7 +13,9 @@ import (
 	"crypto/tls"
 	"fmt"
 	"net/url"
+	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"glare/internal/cog"
@@ -91,6 +93,11 @@ type Options struct {
 	// executed immediately regardless of load (pre-PR-7 behaviour, and the
 	// baseline for overload experiments).
 	AdmissionOff bool
+	// ReplicaK is the registry replication factor: every site's ATR/ADR/
+	// lease mutations are journaled on ReplicaK group members (itself
+	// included) and registrations acknowledge only after a write quorum.
+	// Zero or one keeps replication off.
+	ReplicaK int
 }
 
 // Node is one Grid site's full stack.
@@ -131,8 +138,17 @@ type VO struct {
 
 	// opts is the (defaults-filled) build configuration, retained so
 	// RestartSite can rebuild a site exactly as Build did.
-	opts    Options
+	opts Options
+	// mu guards the lifecycle state below: concurrent Stop/Restart/Kill/
+	// Replace calls serialize instead of racing a live listener.
+	mu      sync.Mutex
 	stopped map[int]bool
+	// killed marks sites destroyed permanently (KillSite): their data
+	// directory is gone and only ReplaceSite may bring the slot back.
+	killed map[int]bool
+	// restarting marks sites whose stack is being rebuilt, so a second
+	// RestartSite gets a clear error instead of racing the first.
+	restarting map[int]bool
 	// deployChaos holds each site's step-fault injector across restarts.
 	deployChaos map[int]*faultinject.DeployChaos
 }
@@ -167,6 +183,8 @@ func Build(opts Options) (*VO, error) {
 	v := &VO{
 		Clock: clock, Repo: repo, Resolver: resolver, opts: opts,
 		stopped:     map[int]bool{},
+		killed:      map[int]bool{},
+		restarting:  map[int]bool{},
 		deployChaos: map[int]*faultinject.DeployChaos{},
 	}
 	if opts.ChaosSeed != 0 {
@@ -328,6 +346,7 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 		Deploy:            opts.Deploy,
 		DeployHook:        chaos.Step,
 		History:           opts.History,
+		ReplicaK:          opts.ReplicaK,
 	})
 	if err != nil {
 		if durable != nil {
@@ -352,16 +371,92 @@ func (v *VO) Node(i int) *Node { return v.Nodes[i] }
 
 // StopSite simulates a site failure: its container stops answering.
 func (v *VO) StopSite(i int) {
+	v.mu.Lock()
 	if v.stopped[i] {
+		v.mu.Unlock()
 		return
 	}
 	v.stopped[i] = true
+	v.mu.Unlock()
 	v.Nodes[i].RDM.Stop()
 	v.Nodes[i].Server.Close()
 }
 
 // Stopped reports whether a site was stopped.
-func (v *VO) Stopped(i int) bool { return v.stopped[i] }
+func (v *VO) Stopped(i int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stopped[i]
+}
+
+// Killed reports whether a site was permanently destroyed.
+func (v *VO) Killed(i int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.killed[i]
+}
+
+// KillSite simulates PERMANENT site loss: the container stops answering
+// and — unlike StopSite — the site's durable state is destroyed, so
+// RestartSite can never bring it back. This is the disaster quorum
+// replication exists for; ReplaceSite later joins a fresh, empty site
+// under the same name and address, and promoted replicas hand the data
+// back. Site 0 is refused: it holds the community index.
+func (v *VO) KillSite(i int) error {
+	v.mu.Lock()
+	switch {
+	case i <= 0 || i >= len(v.Nodes):
+		v.mu.Unlock()
+		return fmt.Errorf("vo: cannot kill site %d (site 0 holds the community index)", i)
+	case v.killed[i]:
+		v.mu.Unlock()
+		return fmt.Errorf("vo: site %d is already killed", i)
+	}
+	v.killed[i] = true
+	alreadyStopped := v.stopped[i]
+	v.stopped[i] = true
+	v.mu.Unlock()
+	if !alreadyStopped {
+		v.Nodes[i].RDM.Stop()
+		v.Nodes[i].Server.Close()
+	}
+	if v.opts.DataDir != "" {
+		if err := os.RemoveAll(filepath.Join(v.opts.DataDir, fmt.Sprintf("site-%02d", i+1))); err != nil {
+			return fmt.Errorf("vo: destroying site %d state: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReplaceSite joins a fresh, empty replacement for a killed site, reusing
+// the dead site's name and host:port so the overlay view and every minted
+// EPR keep routing. The replacement owns nothing until promoted holders
+// hand the dead site's data back (see rdm.RepairReplicas).
+func (v *VO) ReplaceSite(i int) error {
+	v.mu.Lock()
+	switch {
+	case i <= 0 || i >= len(v.Nodes):
+		v.mu.Unlock()
+		return fmt.Errorf("vo: cannot replace site %d", i)
+	case !v.killed[i]:
+		v.mu.Unlock()
+		return fmt.Errorf("vo: site %d was not killed; use RestartSite for stopped sites", i)
+	case v.restarting[i]:
+		v.mu.Unlock()
+		return fmt.Errorf("vo: site %d is already being rebuilt", i)
+	}
+	v.restarting[i] = true
+	v.mu.Unlock()
+	err := v.rebuildSite(i)
+	v.mu.Lock()
+	delete(v.restarting, i)
+	if err == nil {
+		delete(v.killed, i)
+		delete(v.stopped, i)
+	}
+	v.mu.Unlock()
+	return err
+}
 
 // RestartSite rebuilds a stopped site's full stack on its original
 // host:port — the glared-crashed-and-came-back path. With Options.DataDir
@@ -372,12 +467,37 @@ func (v *VO) Stopped(i int) bool { return v.stopped[i] }
 // index, whose aggregated entries are rebuilt by anti-entropy rather than
 // journaled.
 func (v *VO) RestartSite(i int) error {
-	if i <= 0 || i >= len(v.Nodes) {
+	v.mu.Lock()
+	switch {
+	case i <= 0 || i >= len(v.Nodes):
+		v.mu.Unlock()
 		return fmt.Errorf("vo: cannot restart site %d (site 0 holds the community index)", i)
-	}
-	if !v.stopped[i] {
+	case v.killed[i]:
+		v.mu.Unlock()
+		return fmt.Errorf("vo: site %d was killed permanently; use ReplaceSite", i)
+	case !v.stopped[i]:
+		v.mu.Unlock()
 		return fmt.Errorf("vo: site %d is not stopped", i)
+	case v.restarting[i]:
+		v.mu.Unlock()
+		return fmt.Errorf("vo: site %d is already being restarted", i)
 	}
+	v.restarting[i] = true
+	v.mu.Unlock()
+	err := v.rebuildSite(i)
+	v.mu.Lock()
+	delete(v.restarting, i)
+	if err == nil {
+		delete(v.stopped, i)
+	}
+	v.mu.Unlock()
+	return err
+}
+
+// rebuildSite rebuilds a site's full stack on its original host:port and
+// re-joins it to the aggregation hierarchy exactly as Build wired it.
+// Callers hold the lifecycle markers (restarting/stopped/killed).
+func (v *VO) rebuildSite(i int) error {
 	old := v.Nodes[i]
 	if old.Client != nil {
 		old.Client.CloseIdle()
@@ -387,8 +507,6 @@ func (v *VO) RestartSite(i int) error {
 		return err
 	}
 	v.Nodes[i] = node
-	delete(v.stopped, i)
-	// Re-join the aggregation hierarchy exactly as Build wired it.
 	node.Index.AddUpstream(v.Community)
 	siteEPR := epr.New(node.Info.ServiceURL(rdm.ServiceName), "SiteKey", node.Info.Name)
 	siteEPR.LastUpdateTime = v.Clock.Now()

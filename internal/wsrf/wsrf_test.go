@@ -287,3 +287,41 @@ func TestConcurrentHomeAccess(t *testing.T) {
 		t.Fatalf("len = %d, want %d", h.Len(), 16*25)
 	}
 }
+
+// TestRestoreExpiredResource pins the recovery-meets-lifetime corner: a
+// journal can legitimately replay a resource whose scheduled termination
+// time passed while the site was down. Restore must install it verbatim
+// (recovery is not the place for lifecycle policy, and it must not stamp
+// "now"), and the next SweepExpired pass — not the restore — destroys it.
+func TestRestoreExpiredResource(t *testing.T) {
+	start := time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+	v := simclock.NewVirtual(start)
+	h := newHome(v)
+
+	lut := start.Add(-2 * time.Hour)
+	term := start.Add(-time.Hour) // already in the past at restore time
+	r := h.Restore("stale", xmlutil.MustParse(`<P>old</P>`), lut, term)
+	if got := h.Find("stale"); got != r {
+		t.Fatal("expired resource must still be installed by Restore")
+	}
+	if !r.LastUpdate().Equal(lut) {
+		t.Fatalf("Restore stamped LastUpdate %v, want journaled %v", r.LastUpdate(), lut)
+	}
+	if !r.Expired(v.Now()) {
+		t.Fatal("restored resource should report expired")
+	}
+
+	// A fresh resource with a future termination must survive the sweep
+	// that reaps the stale one.
+	h.Restore("fresh", xmlutil.MustParse(`<P>new</P>`), start, start.Add(time.Hour))
+	swept := h.SweepExpired()
+	if len(swept) != 1 || swept[0] != "stale" {
+		t.Fatalf("SweepExpired = %v, want [stale]", swept)
+	}
+	if h.Find("stale") != nil {
+		t.Fatal("expired resource survived the sweep")
+	}
+	if h.Find("fresh") == nil {
+		t.Fatal("unexpired resource reaped by the sweep")
+	}
+}
