@@ -373,16 +373,25 @@ func (s *Service) CheckReplicas() int {
 	promotions := 0
 	for _, member := range view.Peers(s.selfName()) {
 		if s.agent.Ping(member) {
+			// Clears the suspicion count AND any recorded promotion order:
+			// the site answers again, so a later death re-promotes.
 			s.repl.ClearSuspicion(member.Name)
 			continue
 		}
 		if s.repl.Suspect(member.Name) < replSuspicionThreshold {
 			continue
 		}
-		if s.repl.Holder().Promoted(member.Name) {
+		// Completion is tracked on the super-peer side (PromotionOrdered):
+		// the promoted best holder is usually a REMOTE site, so the local
+		// holder's flag cannot tell a done promotion from a pending one —
+		// relying on it would re-gather status and re-send ReplicaPromote
+		// on every pass forever. The holder check still short-circuits the
+		// self-promotion case after a super-peer restart.
+		if s.repl.PromotionOrdered(member.Name) || s.repl.Holder().Promoted(member.Name) {
 			continue
 		}
 		if s.promoteBestHolder(view, member) {
+			s.repl.MarkPromotionOrdered(member.Name)
 			promotions++
 		}
 	}

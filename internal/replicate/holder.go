@@ -32,6 +32,11 @@ type JournalFactory func(origin, reg string) Journal
 type originState struct {
 	// regs maps a registry name ("atr", "adr", "lease") to its entries.
 	regs map[string]map[string]Entry
+	// tombs records, per registry, the delete stamp of keys removed by a
+	// replicated delete. Fan-out goroutines impose no arrival order, so a
+	// put older than the key's tombstone is an out-of-order straggler the
+	// origin already deleted — it must not resurrect the entry.
+	tombs map[string]map[string]time.Time
 	// promoted marks that this site adopted the origin's entries as its
 	// own after the origin was declared permanently lost.
 	promoted bool
@@ -54,7 +59,7 @@ func NewHolder(factory JournalFactory) *Holder {
 func (h *Holder) origin(name string) *originState {
 	st := h.origins[name]
 	if st == nil {
-		st = &originState{regs: map[string]map[string]Entry{}}
+		st = &originState{regs: map[string]map[string]Entry{}, tombs: map[string]map[string]time.Time{}}
 		h.origins[name] = st
 	}
 	return st
@@ -62,24 +67,33 @@ func (h *Holder) origin(name string) *originState {
 
 // Put applies an origin's mutation if it is new or at least as fresh as
 // the copy held (last-update time wins; equal times overwrite, so an
-// origin's own re-send converges). Returns whether the entry was applied.
+// origin's own re-send converges). A put at or before the key's tombstone
+// is an out-of-order straggler of a delete and is dropped. The journal
+// write happens under the mutex so the WAL records mutations in exactly
+// their in-memory application order — concurrent puts of one key cannot
+// journal reversed and replay the stale copy after a restart. Returns
+// whether the entry was applied.
 func (h *Holder) Put(origin, reg, key string, doc *xmlutil.Node, lut, term time.Time) bool {
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	st := h.origin(origin)
+	if tomb, ok := st.tombs[reg][key]; ok {
+		if !lut.After(tomb) {
+			return false
+		}
+		delete(st.tombs[reg], key) // the key legitimately re-registered
+	}
 	entries := st.regs[reg]
 	if entries == nil {
 		entries = map[string]Entry{}
 		st.regs[reg] = entries
 	}
 	if have, ok := entries[key]; ok && have.LUT.After(lut) {
-		h.mu.Unlock()
 		return false
 	}
 	entries[key] = Entry{Key: key, Doc: doc, LUT: lut, Term: term}
-	factory := h.factory
-	h.mu.Unlock()
-	if factory != nil {
-		if j := factory(origin, reg); j != nil {
+	if h.factory != nil {
+		if j := h.factory(origin, reg); j != nil {
 			d := doc
 			if d == nil {
 				d = xmlutil.NewNode("Empty")
@@ -90,19 +104,35 @@ func (h *Holder) Put(origin, reg, key string, doc *xmlutil.Node, lut, term time.
 	return true
 }
 
-// Delete removes an origin's entry; returns whether one was held.
-func (h *Holder) Delete(origin, reg, key string) bool {
+// Delete removes an origin's entry and leaves a tombstone stamped with
+// the delete's LUT (the origin's clock at delete time), so a straggler
+// put of an older state cannot resurrect it. A delete older than the
+// held copy is itself the straggler — the key was re-registered after
+// this delete was issued — and is ignored. A zero lut (no stamp on the
+// wire) deletes unconditionally without a tombstone, matching the
+// pre-stamp behavior. Returns whether an entry was held and removed.
+func (h *Holder) Delete(origin, reg, key string, lut time.Time) bool {
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	st := h.origin(origin)
 	entries := st.regs[reg]
-	_, ok := entries[key]
+	e, ok := entries[key]
+	if !lut.IsZero() {
+		if ok && e.LUT.After(lut) {
+			return false
+		}
+		if st.tombs[reg] == nil {
+			st.tombs[reg] = map[string]time.Time{}
+		}
+		if lut.After(st.tombs[reg][key]) {
+			st.tombs[reg][key] = lut
+		}
+	}
 	if ok {
 		delete(entries, key)
 	}
-	factory := h.factory
-	h.mu.Unlock()
-	if ok && factory != nil {
-		if j := factory(origin, reg); j != nil {
+	if ok && h.factory != nil {
+		if j := h.factory(origin, reg); j != nil {
 			j.RecordDelete(key)
 		}
 	}
@@ -110,13 +140,18 @@ func (h *Holder) Delete(origin, reg, key string) bool {
 }
 
 // Restore re-installs a journaled replica entry during crash recovery
-// without writing it back to the journal it just came from.
+// without writing it back to the journal it just came from. Freshest
+// copy wins, so replaying a WAL that holds several generations of one
+// key cannot leave the stale one installed.
 func (h *Holder) Restore(origin, reg string, e Entry) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	st := h.origin(origin)
 	if st.regs[reg] == nil {
 		st.regs[reg] = map[string]Entry{}
+	}
+	if have, ok := st.regs[reg][e.Key]; ok && have.LUT.After(e.LUT) {
+		return
 	}
 	st.regs[reg][e.Key] = e
 }

@@ -47,6 +47,7 @@ type pendingWrite struct {
 	acks        int
 	outstanding int // sends still in flight
 	signaled    bool
+	failed      bool // drained with acks < need; kept until AwaitQuorum consumes it
 	done        chan struct{}
 }
 
@@ -60,12 +61,16 @@ type Replicator struct {
 	seq       uint64
 	pending   map[string]*pendingWrite
 	suspicion map[string]int
+	// ordered tracks, on the super-peer, the dead sites whose promotion
+	// has already been carried out — the promoted best holder is usually
+	// a REMOTE site, so the local holder's flag cannot record completion.
+	ordered map[string]bool
 
 	// Instruments; exported so the rdm layer bumps promotion/repair
 	// counters without replicate owning those passes.
-	Writes, QuorumFailures, Applies, StaleEpoch *telemetry.Counter
-	Promotions, ReadRepairs, HandOffs           *telemetry.Counter
-	Lag                                         *telemetry.Gauge
+	Writes, QuorumFailures, Applies, StaleEpoch  *telemetry.Counter
+	Misrouted, Promotions, ReadRepairs, HandOffs *telemetry.Counter
+	Lag                                          *telemetry.Gauge
 }
 
 // New creates a replicator; it is inert until mutations are forwarded.
@@ -78,11 +83,13 @@ func New(cfg Config) *Replicator {
 		holder:    NewHolder(cfg.Journals),
 		pending:   map[string]*pendingWrite{},
 		suspicion: map[string]int{},
+		ordered:   map[string]bool{},
 
 		Writes:         cfg.Tel.Counter("glare_replica_writes_total"),
 		QuorumFailures: cfg.Tel.Counter("glare_replica_quorum_failures_total"),
 		Applies:        cfg.Tel.Counter("glare_replica_apply_total"),
 		StaleEpoch:     cfg.Tel.Counter("glare_replica_stale_epoch_rejected_total"),
+		Misrouted:      cfg.Tel.Counter("glare_replica_misrouted_rejected_total"),
 		Promotions:     cfg.Tel.Counter("glare_replica_promotions_total"),
 		ReadRepairs:    cfg.Tel.Counter("glare_replica_read_repairs_total"),
 		HandOffs:       cfg.Tel.Counter("glare_replica_handoffs_total"),
@@ -121,7 +128,9 @@ func (r *Replicator) ForwardPut(reg, key string, doc *xmlutil.Node, lut, term ti
 	r.send(reg, key, m, replicas)
 }
 
-// ForwardDelete fans one delete mutation out to the replica set.
+// ForwardDelete fans one delete mutation out to the replica set. The
+// delete is stamped with the owner's clock so replicas can order it
+// against puts of the same key that arrive out of order (see Holder).
 func (r *Replicator) ForwardDelete(reg, key string) {
 	view := r.cfg.View()
 	replicas := ReplicaSet(view, r.cfg.Self.Name, r.cfg.K)
@@ -129,7 +138,8 @@ func (r *Replicator) ForwardDelete(reg, key string) {
 		return
 	}
 	r.Writes.Inc()
-	m := Mutation{Origin: r.cfg.Self.Name, Epoch: view.Epoch, Reg: reg, Key: key, Delete: true}
+	m := Mutation{Origin: r.cfg.Self.Name, Epoch: view.Epoch, Reg: reg, Key: key,
+		Delete: true, LUT: time.Now()}
 	r.send(reg, key, m, replicas)
 }
 
@@ -162,8 +172,11 @@ func (r *Replicator) send(reg, key string, m Mutation, replicas []superpeer.Site
 	}
 }
 
-// settle records one replica send's outcome and garbage-collects the
-// pending entry once every send returned.
+// settle records one replica send's outcome. A fan-out that drains WITH
+// quorum forgets its pending entry (a missing entry then means success);
+// one that drains WITHOUT quorum must never be confused with that, so it
+// stays behind as a terminal failed result until AwaitQuorum consumes it
+// or the next mutation of the same key replaces it.
 func (r *Replicator) settle(pkey string, p *pendingWrite, acked bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -175,16 +188,24 @@ func (r *Replicator) settle(pkey string, p *pendingWrite, acked bool) {
 		close(p.done)
 	}
 	p.outstanding--
-	if p.outstanding <= 0 && r.pending[pkey] == p {
-		delete(r.pending, pkey)
+	if p.outstanding > 0 {
+		return
 	}
+	if p.signaled {
+		if r.pending[pkey] == p {
+			delete(r.pending, pkey)
+		}
+		return
+	}
+	p.failed = true
+	close(p.done)
 }
 
 // AwaitQuorum blocks until the most recent mutation of (reg, key) reached
 // its write quorum. Returns nil immediately when nothing is pending (no
 // replicas assigned, or the fan-out already drained with quorum). On
-// timeout or too many refusals the caller must fail the registration —
-// the client never sees an ack the grid cannot back.
+// timeout or a fan-out that drained short of quorum the caller must fail
+// the registration — the client never sees an ack the grid cannot back.
 func (r *Replicator) AwaitQuorum(reg, key string) error {
 	pkey := reg + "|" + key
 	r.mu.Lock()
@@ -195,32 +216,50 @@ func (r *Replicator) AwaitQuorum(reg, key string) error {
 	}
 	select {
 	case <-p.done:
-		return nil
 	case <-time.After(r.cfg.Timeout):
+		// Raced the last settle? Check once more before declaring failure.
+		select {
+		case <-p.done:
+		default:
+			r.QuorumFailures.Inc()
+			return fmt.Errorf("replicate: write quorum not reached for %s %q within %v (need %d remote acks)",
+				reg, key, r.cfg.Timeout, p.need)
+		}
 	}
-	// Raced the last settle? Check once more before declaring failure.
-	select {
-	case <-p.done:
-		return nil
-	default:
+	r.mu.Lock()
+	failed := p.failed
+	if failed && r.pending[pkey] == p {
+		delete(r.pending, pkey) // consume the terminal failed result
 	}
-	r.QuorumFailures.Inc()
-	return fmt.Errorf("replicate: write quorum not reached for %s %q (need %d remote acks)",
-		reg, key, p.need)
+	r.mu.Unlock()
+	if failed {
+		r.QuorumFailures.Inc()
+		return fmt.Errorf("replicate: write quorum not reached for %s %q (%d of %d remote acks)",
+			reg, key, p.acks, p.need)
+	}
+	return nil
 }
 
-// Apply installs an origin's mutation into the local holder. The epoch
-// fence is conservative: a mutation stamped with an older view epoch than
-// ours is rejected outright — its sender is partitioned or about to be
-// fenced, and refusing costs at most a spurious quorum failure at the
-// origin, never durability.
+// Apply installs an origin's mutation into the local holder. Both fences
+// are conservative — refusing costs at most a spurious quorum failure at
+// the origin, never durability: a mutation stamped with an older view
+// epoch than ours is rejected outright (its sender is partitioned or
+// about to be fenced), and a mutation from an origin whose replica set
+// does not include this site is rejected so a misconfigured or stale
+// sender cannot seed shadow state that promotion would later treat as a
+// legitimate caught-up copy.
 func (r *Replicator) Apply(m Mutation) error {
-	if v := r.cfg.View(); m.Epoch < v.Epoch {
+	v := r.cfg.View()
+	if m.Epoch < v.Epoch {
 		r.StaleEpoch.Inc()
 		return fmt.Errorf("replicate: stale epoch %d < view epoch %d from %s", m.Epoch, v.Epoch, m.Origin)
 	}
+	if !Contains(ReplicaSet(v, m.Origin, r.cfg.K), r.cfg.Self.Name) {
+		r.Misrouted.Inc()
+		return fmt.Errorf("replicate: %s is not in %s's replica set at epoch %d", r.cfg.Self.Name, m.Origin, v.Epoch)
+	}
 	if m.Delete {
-		r.holder.Delete(m.Origin, m.Reg, m.Key)
+		r.holder.Delete(m.Origin, m.Reg, m.Key, m.LUT)
 		r.Applies.Inc()
 		return nil
 	}
@@ -239,14 +278,39 @@ func (r *Replicator) Suspect(name string) int {
 	return r.suspicion[name]
 }
 
-// ClearSuspicion resets a site's suspicion count after a successful probe.
+// ClearSuspicion resets a site's suspicion count after a successful
+// probe. The site answering again also clears any recorded promotion
+// order — should it die a second time, its data must be re-promoted.
 func (r *Replicator) ClearSuspicion(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.suspicion, name)
+	delete(r.ordered, name)
 }
 
-// Mutation is one replicated registry operation on the wire.
+// MarkPromotionOrdered records that this super-peer already ordered a
+// promotion for a dead site, so failure-detection passes stop re-running
+// status gathering and re-sending ReplicaPromote every interval.
+func (r *Replicator) MarkPromotionOrdered(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ordered[name] = true
+}
+
+// PromotionOrdered reports whether a promotion was already ordered for a
+// dead site (and it has not answered a probe since).
+func (r *Replicator) PromotionOrdered(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ordered[name]
+}
+
+// Mutation is one replicated registry operation on the wire. Ordering
+// between mutations of the same key is decided by LUT (the owner stamps
+// puts with the registry's last-update time and deletes with its clock),
+// NOT by Seq: the owner's in-memory sequence restarts from zero when the
+// owner restarts, while LUTs keep advancing. Seq is a per-origin tracing
+// aid only. For deletes, LUT is the tombstone stamp.
 type Mutation struct {
 	Origin string
 	Epoch  uint64
@@ -268,6 +332,9 @@ func (m Mutation) ToXML() *xmlutil.Node {
 	var op *xmlutil.Node
 	if m.Delete {
 		op = n.Elem("Delete")
+		if !m.LUT.IsZero() {
+			op.SetAttr("lut", m.LUT.Format(epr.TimeLayout))
+		}
 	} else {
 		op = n.Elem("Put")
 		op.SetAttr("lut", m.LUT.Format(epr.TimeLayout))
@@ -304,6 +371,7 @@ func MutationFromXML(n *xmlutil.Node) (Mutation, error) {
 		m.Delete = true
 		m.Reg = op.AttrOr("reg", "")
 		m.Key = op.AttrOr("key", "")
+		m.LUT, _ = time.Parse(epr.TimeLayout, op.AttrOr("lut", ""))
 	} else {
 		return Mutation{}, fmt.Errorf("replicate: mutation without Put/Delete")
 	}

@@ -90,7 +90,7 @@ func TestHolderFreshnessAndStatus(t *testing.T) {
 	if h.Has("s1", "atr", "povray", t0.Add(time.Hour)) {
 		t.Fatal("Has claimed freshness it lacks")
 	}
-	if !h.Delete("s1", "adr", "povray-dep") {
+	if !h.Delete("s1", "adr", "povray-dep", t0.Add(3*time.Minute)) {
 		t.Fatal("delete missed held entry")
 	}
 	if n, _, _ := h.Status("s1"); n != 1 {
@@ -121,11 +121,62 @@ func TestHolderWritesThroughJournal(t *testing.T) {
 	})
 	t0 := time.Now()
 	h.Put("s1", "atr", "x", nil, t0, t0)
-	h.Delete("s1", "atr", "x")
+	h.Delete("s1", "atr", "x", t0.Add(time.Second))
 	// Restore must NOT write back to the journal it replays from.
 	h.Restore("s1", "atr", Entry{Key: "x", LUT: t0})
 	if j.puts != 1 || j.deletes != 1 {
 		t.Fatalf("journal saw %d puts, %d deletes", j.puts, j.deletes)
+	}
+}
+
+// TestHolderTombstoneOrdering pins the out-of-order fan-out cases: the
+// replica must converge to the origin's final state no matter which
+// order a key's put and delete arrive in.
+func TestHolderTombstoneOrdering(t *testing.T) {
+	h := NewHolder(nil)
+	t1 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	t2 := t1.Add(time.Minute)
+	t3 := t2.Add(time.Minute)
+
+	// Delete (stamped t2) arrives BEFORE the put it follows (t1): the
+	// straggler put must not resurrect the deleted entry.
+	h.Delete("s1", "atr", "gone", t2)
+	if h.Put("s1", "atr", "gone", xmlutil.NewNode("Doc"), t1, t1.Add(time.Hour)) {
+		t.Fatal("put older than tombstone resurrected a deleted entry")
+	}
+	if n, _, _ := h.Status("s1"); n != 0 {
+		t.Fatalf("entries after straggler put = %d, want 0", n)
+	}
+	// A genuinely newer put (a re-registration at t3) clears the tombstone.
+	if !h.Put("s1", "atr", "gone", xmlutil.NewNode("Doc", "v2"), t3, t3.Add(time.Hour)) {
+		t.Fatal("re-registration newer than tombstone dropped")
+	}
+
+	// Reversed pair the other way: the held copy (t3) is newer than a
+	// straggler delete stamped t2, so the delete must be ignored.
+	if h.Delete("s1", "atr", "gone", t2) {
+		t.Fatal("delete older than the held entry applied")
+	}
+	if !h.Has("s1", "atr", "gone", t3) {
+		t.Fatal("newer entry lost to a straggler delete")
+	}
+
+	// Unstamped delete (zero lut, pre-stamp wire format): unconditional.
+	if !h.Delete("s1", "atr", "gone", time.Time{}) {
+		t.Fatal("unstamped delete missed held entry")
+	}
+}
+
+// TestRestoreKeepsFreshest: replaying a WAL holding several generations
+// of one key must leave the newest installed regardless of replay order.
+func TestRestoreKeepsFreshest(t *testing.T) {
+	h := NewHolder(nil)
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	h.Restore("s1", "atr", Entry{Key: "x", Doc: xmlutil.NewNode("Doc", "new"), LUT: t0.Add(time.Minute)})
+	h.Restore("s1", "atr", Entry{Key: "x", Doc: xmlutil.NewNode("Doc", "old"), LUT: t0})
+	es := h.Entries("s1", "atr")
+	if len(es) != 1 || es[0].Doc.Text != "new" {
+		t.Fatalf("stale WAL generation won the restore: %+v", es)
 	}
 }
 
@@ -214,6 +265,43 @@ func TestAwaitQuorumFailsWhenAllReplicasDown(t *testing.T) {
 	}
 }
 
+// TestAwaitQuorumFailsAfterDrainWithoutQuorum pins the settle/await race:
+// when every send fails FAST (connection refused to down replicas), the
+// fan-out drains before the caller reaches AwaitQuorum. The drained-
+// without-quorum result must persist as a terminal failure — a missing
+// pending entry must never be read as success, or the client would be
+// acked with zero remote copies.
+func TestAwaitQuorumFailsAfterDrainWithoutQuorum(t *testing.T) {
+	r := quorumReplicator(t, 3, func(ctx context.Context, addr, op string, body *xmlutil.Node) (*xmlutil.Node, error) {
+		return nil, errors.New("connection refused")
+	})
+	r.ForwardPut("atr", "povray", xmlutil.NewNode("T"), time.Now(), time.Now().Add(time.Hour))
+	// The in-flight gauge hits zero only after every goroutine has run
+	// settle, so this waits out the full drain before awaiting.
+	for i := 0; r.Lag.Value() != 0; i++ {
+		if i > 1000 {
+			t.Fatal("fan-out never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if err := r.AwaitQuorum("atr", "povray"); err == nil {
+		t.Fatal("drained-without-quorum fan-out acknowledged")
+	}
+	// The failure is terminal, not a timeout: it must surface immediately.
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Fatalf("terminal quorum failure took %v (timed out instead)", elapsed)
+	}
+	if r.QuorumFailures.Value() == 0 {
+		t.Fatal("quorum failure not counted")
+	}
+	// The terminal result is consumed: a later await of the same key (a
+	// new mutation would have replaced the entry anyway) is clean.
+	if err := r.AwaitQuorum("atr", "povray"); err != nil {
+		t.Fatalf("consumed failure resurfaced: %v", err)
+	}
+}
+
 func TestAwaitQuorumNoReplicasIsTrivial(t *testing.T) {
 	v := testView("self")
 	r := New(Config{Self: v.Group[0], K: 3,
@@ -231,7 +319,8 @@ func TestAwaitQuorumNoReplicasIsTrivial(t *testing.T) {
 
 func TestApplyEpochFence(t *testing.T) {
 	r := quorumReplicator(t, 3, nil)
-	m := Mutation{Origin: "s9", Epoch: 2, Reg: "atr", Key: "x", LUT: time.Now()}
+	// "r1" is a real group member whose replica set includes "self".
+	m := Mutation{Origin: "r1", Epoch: 2, Reg: "atr", Key: "x", LUT: time.Now()}
 	if err := r.Apply(m); err == nil {
 		t.Fatal("stale-epoch mutation accepted")
 	}
@@ -242,7 +331,34 @@ func TestApplyEpochFence(t *testing.T) {
 	if err := r.Apply(m); err != nil {
 		t.Fatalf("current-epoch mutation rejected: %v", err)
 	}
-	if n, _, _ := r.Holder().Status("s9"); n != 1 {
+	if n, _, _ := r.Holder().Status("r1"); n != 1 {
 		t.Fatalf("applied mutation not held, entries=%d", n)
+	}
+}
+
+// TestApplyRejectsNonReplicaOrigin: a mutation from an origin whose
+// replica set (under OUR view) does not include this site must not seed
+// shadow state — promotion would later treat it as a caught-up copy.
+func TestApplyRejectsNonReplicaOrigin(t *testing.T) {
+	// K=2 over (self, r1, r2) ranked in that order: r1's single replica
+	// is r2, so self is NOT in r1's set; r2's set wraps around to self.
+	r := quorumReplicator(t, 2, nil)
+	m := Mutation{Origin: "r1", Epoch: 3, Reg: "atr", Key: "x", LUT: time.Now()}
+	if err := r.Apply(m); err == nil {
+		t.Fatal("mutation from a non-replica origin accepted")
+	}
+	if r.Misrouted.Value() == 0 {
+		t.Fatal("misrouted mutation not counted")
+	}
+	if n, _, _ := r.Holder().Status("r1"); n != 0 {
+		t.Fatalf("rejected mutation still seeded %d entries", n)
+	}
+	// An unknown origin (not in the view at all) is equally rejected.
+	if err := r.Apply(Mutation{Origin: "s9", Epoch: 3, Reg: "atr", Key: "x", LUT: time.Now()}); err == nil {
+		t.Fatal("mutation from an unknown origin accepted")
+	}
+	m.Origin = "r2"
+	if err := r.Apply(m); err != nil {
+		t.Fatalf("mutation from a legitimate origin rejected: %v", err)
 	}
 }
