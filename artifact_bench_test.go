@@ -1,0 +1,115 @@
+// Artifact-grid benchmarks: the origin traffic a flash install costs on a
+// cold grid (empty caches everywhere) versus a warm one (every site's CAS
+// already holds the release) — the numbers CI publishes as
+// BENCH_artifact.json so an origin-traffic regression shows up as a
+// metric shift, not just a test flake.
+package glare
+
+import (
+	"sync"
+	"testing"
+
+	"glare/internal/gridftp"
+)
+
+const benchFlashSites = 5
+
+// benchFlashGrid builds one elected K-site peer group with the Table 1
+// applications registered.
+func benchFlashGrid(b *testing.B) *Grid {
+	b.Helper()
+	g, err := NewGrid(GridOptions{Sites: benchFlashSites, GroupSize: benchFlashSites})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Elect(); err != nil {
+		g.Close()
+		b.Fatal(err)
+	}
+	if err := g.Client(0).RegisterTypes(EvaluationTypes()...); err != nil {
+		g.Close()
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchFlashRound has every site deploy (then undeploy) the release
+// concurrently and returns the origin transfers and bytes the round added.
+func benchFlashRound(b *testing.B, g *Grid) (transfers int, bytes int64) {
+	b.Helper()
+	t0, b0 := benchOriginTotals(g)
+	var wg sync.WaitGroup
+	reports := make([]*DeployReport, benchFlashSites)
+	errs := make([]error, benchFlashSites)
+	for i := 0; i < benchFlashSites; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = g.Client(i).Deploy("Wien2k", MethodExpect)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < benchFlashSites; i++ {
+		if errs[i] != nil {
+			b.Fatal(errs[i])
+		}
+		for _, d := range reports[i].Deployments {
+			if err := g.Client(i).Undeploy(d.Name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	t1, b1 := benchOriginTotals(g)
+	return t1 - t0, b1 - b0
+}
+
+func benchOriginTotals(g *Grid) (transfers int, bytes int64) {
+	for i := 0; i < g.Sites(); i++ {
+		st := g.vo.Nodes[i].RDM.FTP.SourceStats()[gridftp.OriginSource]
+		transfers += st.Transfers
+		bytes += st.Bytes
+	}
+	return transfers, bytes
+}
+
+// BenchmarkArtifactFlashInstallCold measures the origin traffic of a flash
+// install on a grid whose artifact caches are empty: every iteration
+// builds a fresh grid, so the rendezvous home's pull-through is the only
+// thing standing between K installing sites and K origin transfers.
+func BenchmarkArtifactFlashInstallCold(b *testing.B) {
+	var transfers int
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := benchFlashGrid(b)
+		b.StartTimer()
+		tr, by := benchFlashRound(b, g)
+		transfers += tr
+		bytes += by
+		b.StopTimer()
+		g.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(transfers)/float64(b.N), "origin_transfers/op")
+	b.ReportMetric(float64(bytes)/float64(b.N), "origin_bytes/op")
+}
+
+// BenchmarkArtifactFlashInstallWarm measures the same round against a grid
+// already primed by one flash install: every transfer step is a local CAS
+// hit, so origin traffic should be zero — well under the 25%-of-cold
+// acceptance bound.
+func BenchmarkArtifactFlashInstallWarm(b *testing.B) {
+	g := benchFlashGrid(b)
+	defer g.Close()
+	benchFlashRound(b, g) // prime every site's CAS
+	var transfers int
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, by := benchFlashRound(b, g)
+		transfers += tr
+		bytes += by
+	}
+	b.ReportMetric(float64(transfers)/float64(b.N), "origin_transfers/op")
+	b.ReportMetric(float64(bytes)/float64(b.N), "origin_bytes/op")
+}

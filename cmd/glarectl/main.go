@@ -99,6 +99,8 @@ func main() {
 		err = buildsCmd(cli, siteBase)
 	case "replicas":
 		err = replicasCmd(cli, siteBase)
+	case "artifacts":
+		err = artifactsCmd(cli, siteBase)
 	default:
 		usage()
 	}
@@ -156,6 +158,10 @@ commands:
                                      replication state: replication factor,
                                      the site's own replica set, and the
                                      origins it holds shadow copies for
+  artifacts                          probe every community site's content-
+                                     addressed artifact cache: occupancy,
+                                     hit/miss, peer vs origin fetches,
+                                     bytes saved, and held blobs
                                      (entry counts, freshness, promotions)`)
 	os.Exit(2)
 }
@@ -567,6 +573,62 @@ func replicasCmd(cli *transport.Client, siteBase string) error {
 		}
 		fmt.Printf("%-*s  %3s  %-28s  %s\n", wide, s.Name,
 			resp.AttrOr("k", "?"), dash(set), dash(holds))
+	}
+	return nil
+}
+
+// artifactsCmd probes the content-addressed artifact cache of every site
+// registered in the community index and prints one row per site: cache
+// occupancy against its byte budget, hit/miss counts, how many blobs came
+// from peers versus origin, verification failures and the transfer bytes
+// the cache saved. Sites with the artifact grid disabled show as "off";
+// unreachable sites as "-".
+func artifactsCmd(cli *transport.Client, siteBase string) error {
+	sites := communitySites(cli, siteBase)
+	if len(sites) == 0 {
+		sites = []superpeer.SiteInfo{{Name: siteBase, BaseURL: siteBase}}
+	}
+	wide := len("SITE")
+	for _, s := range sites {
+		if len(s.Name) > wide {
+			wide = len(s.Name)
+		}
+	}
+	fmt.Printf("%-*s  %5s  %-17s  %5s  %5s  %5s  %5s  %6s  %10s  %s\n", wide,
+		"SITE", "BLOBS", "BYTES/BUDGET", "HITS", "MISS", "PEER", "ORIG", "BADVFY", "SAVED", "HOLDINGS")
+	for _, s := range sites {
+		resp, err := cli.Call(s.ServiceURL(rdm.ServiceName), "ArtifactStatus", nil)
+		if err != nil {
+			fmt.Printf("%-*s  %5s  %-17s  %5s  %5s  %5s  %5s  %6s  %10s  %s\n", wide,
+				s.Name, "-", "-", "-", "-", "-", "-", "-", "-", err.Error())
+			continue
+		}
+		if resp.AttrOr("enabled", "false") != "true" {
+			fmt.Printf("%-*s  %5s  %-17s  %5s  %5s  %5s  %5s  %6s  %10s  %s\n", wide,
+				s.Name, "off", "-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		var holdings []string
+		for _, b := range resp.All("Blob") {
+			h := b.AttrOr("artifact", b.AttrOr("sum", "?"))
+			if len(h) > 24 {
+				h = h[:24]
+			}
+			if b.AttrOr("corrupt", "false") == "true" {
+				h += "!"
+			}
+			holdings = append(holdings, h)
+		}
+		hold := "-"
+		if len(holdings) > 0 {
+			hold = strings.Join(holdings, ",")
+		}
+		fmt.Printf("%-*s  %5s  %-17s  %5s  %5s  %5s  %5s  %6s  %10s  %s\n", wide, s.Name,
+			resp.AttrOr("entries", "?"),
+			resp.AttrOr("bytes", "?")+"/"+resp.AttrOr("budget", "?"),
+			resp.AttrOr("hits", "?"), resp.AttrOr("misses", "?"),
+			resp.AttrOr("peerFetches", "?"), resp.AttrOr("originFetches", "?"),
+			resp.AttrOr("verifyFailures", "?"), resp.AttrOr("bytesSaved", "?"), hold)
 	}
 	return nil
 }

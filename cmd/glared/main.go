@@ -50,6 +50,7 @@ func main() {
 	historyRet := flag.String("history-ret", "", "telemetry-history retention archives as comma-separated [cf:]STEPSxROWS items, e.g. avg:1x600,avg:60x1440,max:10x600 (empty = defaults)")
 	admission := flag.Bool("admission", true, "enable the overload admission controller (priority classes, deadline-aware queueing, AIMD limits)")
 	replicas := flag.Int("replicas", 0, "total copies of every registration kept in the peer group, owner included; writes are acknowledged at a quorum (0 or 1 = no replication)")
+	casBudget := flag.Int64("cas-budget", 0, "content-addressed artifact cache byte budget (0 = default, negative = disable the artifact grid)")
 	flag.Parse()
 
 	historyCfg, err := historyConfig(*historyStep, *historyRet)
@@ -126,8 +127,9 @@ func main() {
 			MaxConcurrent: *maxBuilds,
 			QueueDepth:    *buildQueue,
 		},
-		History:  historyCfg,
-		ReplicaK: *replicas,
+		History:   historyCfg,
+		ReplicaK:  *replicas,
+		CASBudget: *casBudget,
 	})
 	if err != nil {
 		fatal(err)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"glare/internal/activity"
+	"glare/internal/cas"
 	"glare/internal/lease"
 	"glare/internal/rdm"
 	"glare/internal/rrd"
@@ -205,6 +206,10 @@ type GridOptions struct {
 	// simultaneous permanent site losses cannot lose acknowledged writes.
 	// Zero or one disables replication.
 	Replicas int
+	// CASBudget is each site's content-addressed artifact store byte
+	// budget. Zero selects the default budget; negative disables the
+	// artifact grid, so every transfer goes to origin.
+	CASBudget int64
 }
 
 // Grid is a running Virtual Organization.
@@ -241,6 +246,7 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 		AdmissionOff:      opts.AdmissionOff,
 		ScanDelayPerEntry: opts.ScanDelayPerEntry,
 		ReplicaK:          opts.Replicas,
+		CASBudget:         opts.CASBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -281,6 +287,35 @@ func (g *Grid) Telemetry(i int) *Telemetry {
 		return nil
 	}
 	return g.vo.Nodes[i].Tel
+}
+
+// ArtifactStats reports site i's content-addressed artifact store state:
+// occupancy, hit/miss, peer vs origin fetch counts, verify failures.
+func (g *Grid) ArtifactStats(i int) rdm.ArtifactStats {
+	if i < 0 || i >= len(g.vo.Nodes) {
+		return rdm.ArtifactStats{}
+	}
+	return g.vo.Nodes[i].RDM.ArtifactStats()
+}
+
+// CorruptArtifact flips the stored content sum of a blob held in site i's
+// CAS — fault injection for the rotted-peer-copy path: the next reader
+// verifies, rejects the copy, and falls back down the ladder.
+func (g *Grid) CorruptArtifact(i int, algo, sum string) bool {
+	if i < 0 || i >= len(g.vo.Nodes) {
+		return false
+	}
+	return g.vo.Nodes[i].RDM.CorruptArtifact(cas.Key{Algo: algo, Sum: sum})
+}
+
+// OriginFetches reports, per source URL, how many origin transfers site
+// i's direct GridFTP client has performed — the quantity the artifact
+// grid bounds during a flash install.
+func (g *Grid) OriginFetches(i int) map[string]int {
+	if i < 0 || i >= len(g.vo.Nodes) {
+		return nil
+	}
+	return g.vo.Nodes[i].RDM.FTP.OriginFetches()
 }
 
 // OverloadStatus reports site i's admission-controller state, one entry

@@ -111,6 +111,11 @@ type StepRunner struct {
 	Overhead time.Duration
 }
 
+// FTP exposes the kit's proxied transfer client, so a caller that
+// intercepts transfer steps (the artifact grid) still pays CoG transfer
+// costs and books the bytes against this kit's tallies.
+func (sr *StepRunner) FTP() *gridftp.Client { return sr.ftp }
+
 // Open brings up the CoG kit against the target site.
 func (r *Runner) Open(target *site.Site) *StepRunner {
 	sw := simclock.NewStopwatch(r.clock)
@@ -168,5 +173,6 @@ func (r *Runner) transfer(ftp *gridftp.Client, target *site.Site, c deployfile.C
 	}
 	src, dst := f[1], f[2]
 	dstPath := strings.TrimPrefix(dst, "file://")
-	return ftp.FetchChecked(src, target, dstPath, deployfile.MD5OfStep(c.Step))
+	algo, sum := deployfile.ChecksumOfStep(c.Step)
+	return ftp.FetchSum(src, target, dstPath, algo, sum)
 }

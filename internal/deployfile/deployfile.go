@@ -287,7 +287,23 @@ func (b *Build) Resolve(base map[string]string) ([]Command, error) {
 	return out, nil
 }
 
+// ChecksumOfStep returns the declared download checksum of a transfer
+// step: the sha256sum property when present, else md5sum. The algo names
+// the algorithm ("sha256" or "md5"); both are empty when the step declares
+// no checksum.
+func ChecksumOfStep(s *Step) (algo, sum string) {
+	if v := s.Property("sha256sum"); v != "" {
+		return "sha256", v
+	}
+	if v := s.Property("md5sum"); v != "" {
+		return "md5", v
+	}
+	return "", ""
+}
+
 // MD5OfStep returns the md5sum property for download verification.
+//
+// Deprecated: use ChecksumOfStep, which also honors sha256sum.
 func MD5OfStep(s *Step) string { return s.Property("md5sum") }
 
 func expand(s string, lookup func(string) string) string {

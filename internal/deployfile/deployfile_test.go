@@ -241,3 +241,21 @@ func TestAbsentTimeoutDefaultsToCap(t *testing.T) {
 		t.Fatalf("declared timeout = %v", b.Steps[0].Timeout)
 	}
 }
+
+func TestChecksumOfStepPrefersSHA256(t *testing.T) {
+	md5Only := &Step{Props: []KV{{Name: "md5sum", Value: "abc123"}}}
+	if algo, sum := ChecksumOfStep(md5Only); algo != "md5" || sum != "abc123" {
+		t.Fatalf("md5-only step = %q/%q", algo, sum)
+	}
+	both := &Step{Props: []KV{
+		{Name: "md5sum", Value: "abc123"},
+		{Name: "sha256sum", Value: "def456"},
+	}}
+	if algo, sum := ChecksumOfStep(both); algo != "sha256" || sum != "def456" {
+		t.Fatalf("dual-sum step = %q/%q, want sha256 preferred", algo, sum)
+	}
+	none := &Step{}
+	if algo, sum := ChecksumOfStep(none); algo != "" || sum != "" {
+		t.Fatalf("sumless step = %q/%q", algo, sum)
+	}
+}

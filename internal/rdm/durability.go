@@ -24,6 +24,9 @@ func (s *Service) attachStore(st *store.Store) {
 	s.Leases.SetJournal(st.LeaseJournal())
 	s.deployJournal = st.DeployJournal()
 	s.historyJournal = st.HistoryJournal()
+	if s.cas != nil {
+		s.casJournal = st.CASJournal()
+	}
 }
 
 // restoreFromStore replays a recovered journal state into the site's
@@ -91,6 +94,11 @@ func (s *Service) restoreFromStore(state *store.State) {
 			_ = s.history.RestoreSeries(d)
 		}
 	}
+
+	// Content-addressed artifact store: re-offer every blob the WAL says
+	// this site held, so a restarted site resumes builds (and serves
+	// peers) without re-fetching a byte.
+	s.restoreCAS(state)
 }
 
 // Store returns the site's durable store, or nil when durability is off.

@@ -177,6 +177,17 @@ func (s *Service) Mount(srv *transport.Server) {
 			// (name → LastUpdateTime) registry summary.
 			return s.RegistryDigest(), nil
 		},
+		"ArtifactFetch": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
+			// Artifact grid: serve a held blob's verified metadata, or
+			// pull it through from origin when the caller elected this
+			// site the blob's rendezvous home.
+			return s.artifactFetchXML(body)
+		},
+		"ArtifactStatus": func(context.Context, *telemetry.Span, *xmlutil.Node) (*xmlutil.Node, error) {
+			// CAS summary for `glarectl artifacts`: holdings, hit/miss,
+			// bytes saved. Answers enabled="false" when the CAS is off.
+			return s.ArtifactStatusXML(), nil
+		},
 		"HistoryXport": func(_ context.Context, _ *telemetry.Span, body *xmlutil.Node) (*xmlutil.Node, error) {
 			// Ring-archive export for `glarectl history` and the
 			// super-peer rollup.

@@ -19,6 +19,7 @@ import (
 	"glare/internal/adr"
 	"glare/internal/atr"
 	"glare/internal/cache"
+	"glare/internal/cas"
 	"glare/internal/cog"
 	"glare/internal/deployfile"
 	"glare/internal/gram"
@@ -132,6 +133,11 @@ type Config struct {
 	// (⌈(K+1)/2⌉) is durable. Zero or one disables replication (the
 	// pre-replication behaviour); needs Agent and Client.
 	ReplicaK int
+	// CASBudget is the byte budget of the site's content-addressed
+	// artifact store (internal/cas). Zero selects cas.DefaultBudget;
+	// negative disables the CAS entirely (every transfer goes to origin,
+	// the pre-artifact-grid behaviour).
+	CASBudget int64
 }
 
 // Service is one site's GLARE RDM.
@@ -190,6 +196,14 @@ type Service struct {
 	gate          *buildGate
 	deployJournal deployJournal
 	deployTel     deployCounters
+
+	// Content-addressed artifact store state (artifacts.go).
+	cas        *cas.Store
+	casLoc     *artifactLocations
+	casJournal casJournal
+	casTel     casCounters
+	casMu      sync.Mutex
+	casFlight  map[cas.Key]*casPull
 
 	mu             sync.Mutex
 	inflight       map[string]*buildCall         // in-flight builds by type
@@ -298,6 +312,16 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.degraded = tel.Counter("glare_rdm_resolve_degraded_total")
 	s.syncPulled = tel.Counter("glare_sync_entries_pulled_total")
+	// Content-addressed artifact store: assembled before the durable store
+	// attaches so recovery can re-offer the blobs the site held. The
+	// gridftp tallies feed the same telemetry bundle.
+	s.FTP.SetTelemetry(tel)
+	if cfg.CASBudget >= 0 {
+		s.cas = cas.New(clock, cfg.CASBudget)
+		s.casLoc = newArtifactLocations()
+		s.casTel = newCASCounters(tel)
+		s.casFlight = make(map[cas.Key]*casPull)
+	}
 	// Telemetry history: ring archives, alert engine and /healthz digest.
 	// Assembled before the store attaches so recovery can re-seed the
 	// rings.

@@ -160,6 +160,13 @@ func TestDeployMethodsProduceTable1Shape(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The artifact grid retains the blob across Undeploy; drop it so the
+	// CoG run pays the paper's calibrated transfer cost again.
+	if s.cas != nil {
+		for _, e := range s.cas.Holdings() {
+			s.cas.Delete(e.Key)
+		}
+	}
 	cogRep, err := s.DeployLocal(wien, MethodCoG)
 	if err != nil {
 		t.Fatal(err)
@@ -469,12 +476,14 @@ func TestDeployFailureNotifiesAdmin(t *testing.T) {
 func TestDeployFailsOnCorruptDownload(t *testing.T) {
 	s, _ := single(t)
 	resolver := workload.NewResolver(s.Site().Repo)
-	// Corrupt the md5 in a synthesized deploy-file.
+	// Corrupt the declared checksums in a synthesized deploy-file (both
+	// algorithms — ChecksumOfStep prefers sha256 when present).
 	a, _ := s.Site().Repo.ByName("Ant")
 	build := workload.SynthesizeBuild(a)
 	for i := range build.Steps {
 		for j := range build.Steps[i].Props {
-			if build.Steps[i].Props[j].Name == "md5sum" {
+			switch build.Steps[i].Props[j].Name {
+			case "md5sum", "sha256sum":
 				build.Steps[i].Props[j].Value = "corrupted"
 			}
 		}
@@ -495,7 +504,7 @@ func TestDeployFailsOnCorruptDownload(t *testing.T) {
 	}
 	s2.RegisterType(ty)
 	if _, err := s2.DeployLocal(ty, MethodExpect); err == nil ||
-		!strings.Contains(err.Error(), "md5") {
+		!strings.Contains(err.Error(), "mismatch") {
 		t.Fatalf("corrupt download: %v", err)
 	}
 }

@@ -49,6 +49,9 @@ func (s *Service) RegistryDigest() *xmlutil.Node {
 		e.SetAttr("type", d.Type)
 		e.SetAttr("lut", lut.Format(epr.TimeLayout))
 	}
+	// Artifact-grid holdings ride the same digest: one <Blob> element per
+	// known (blob, holder) location.
+	s.appendBlobDigest(n)
 	return n
 }
 
@@ -165,6 +168,9 @@ func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
 		s.syncPulled.Inc()
 		s.tel.Counter("glare_sync_entries_pulled_total", telemetry.L("source", target.Name)).Inc()
 	}
+	// Blob locations are metadata-only (no document fetch): fold the
+	// remote's view of who holds what into the location table.
+	s.mergeBlobDigest(digest)
 	return pulled
 }
 

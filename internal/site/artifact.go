@@ -2,6 +2,7 @@ package site
 
 import (
 	"crypto/md5"
+	"crypto/sha256"
 	"fmt"
 	"sync"
 	"time"
@@ -56,6 +57,25 @@ type Artifact struct {
 func (a *Artifact) MD5() string {
 	sum := md5.Sum([]byte(a.Name + "@" + a.Version + "#" + a.URL))
 	return fmt.Sprintf("%x", sum)
+}
+
+// SHA256 returns the archive's sha256 content fingerprint, for deploy-files
+// that declare a sha256sum step property instead of md5sum.
+func (a *Artifact) SHA256() string {
+	sum := sha256.Sum256([]byte(a.Name + "@" + a.Version + "#" + a.URL))
+	return fmt.Sprintf("%x", sum)
+}
+
+// Checksum returns the fingerprint for the named algorithm ("md5" or
+// "sha256"; empty defaults to md5). Unknown algorithms return "".
+func (a *Artifact) Checksum(algo string) string {
+	switch algo {
+	case "", "md5":
+		return a.MD5()
+	case "sha256":
+		return a.SHA256()
+	}
+	return ""
 }
 
 // Binaries returns the relative paths of executables in the install tree.

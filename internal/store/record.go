@@ -51,6 +51,13 @@ const (
 	// form of history (fixed-size, so snapshots stay bounded no matter how
 	// many batches the WAL absorbed).
 	OpHistorySeries
+	// OpCASPut records a verified blob entering the site's content-
+	// addressed artifact store. Appended after OpHistorySeries so existing
+	// journals keep their wire values.
+	OpCASPut
+	// OpCASDelete records a CAS entry leaving the store (eviction or
+	// verify-failure purge); Key carries the "algo:sum" blob ID.
+	OpCASDelete
 )
 
 // String renders the op name.
@@ -78,6 +85,10 @@ func (o Op) String() string {
 		return "history-batch"
 	case OpHistorySeries:
 		return "history-series"
+	case OpCASPut:
+		return "cas-put"
+	case OpCASDelete:
+		return "cas-delete"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -119,7 +130,29 @@ type Record struct {
 	HistoryBatch *rrd.Batch `json:"hbatch,omitempty"`
 	// HistorySeries is one series' full ring dump (history-series only).
 	HistorySeries *rrd.SeriesDump `json:"hseries,omitempty"`
+	// CAS is the blob metadata (cas-put only); Key carries the "algo:sum"
+	// blob ID for both cas-put and cas-delete.
+	CAS *CASBlob `json:"cas,omitempty"`
 }
+
+// CASBlob is one content-addressed artifact-store entry as journaled. The
+// simulated grid moves no real bytes, so the WAL form is the metadata the
+// CAS needs to re-offer the blob after a restart: size for budget and
+// transfer-cost accounting, the filesystem fingerprint for
+// materialization, and the content sum observed at ingest.
+type CASBlob struct {
+	Algo     string    `json:"algo"`
+	Sum      string    `json:"sum"`
+	Actual   string    `json:"actual,omitempty"` // observed content sum; equals Sum for healthy copies
+	Size     int64     `json:"size"`
+	MD5      string    `json:"md5,omitempty"`
+	Artifact string    `json:"artifact,omitempty"`
+	URL      string    `json:"url,omitempty"`
+	Added    time.Time `json:"added,omitempty"`
+}
+
+// ID returns the blob's "algo:sum" key.
+func (b CASBlob) ID() string { return b.Algo + ":" + b.Sum }
 
 // DeployStep is one completed step of an on-demand build, journaled so an
 // interrupted deployment can resume at the first incomplete step after a
@@ -223,6 +256,8 @@ type State struct {
 	// first history record is applied, so sites without history pay
 	// nothing.
 	History *rrd.Store
+	// CAS maps "algo:sum" blob IDs to held artifact-store entries.
+	CAS map[string]CASBlob
 }
 
 func newState() *State {
@@ -233,6 +268,7 @@ func newState() *State {
 			Limits:  map[string]int{},
 		},
 		Deploys: map[string][]DeployStep{},
+		CAS:     map[string]CASBlob{},
 	}
 }
 
@@ -292,6 +328,15 @@ func (st *State) apply(r Record) {
 		if r.HistorySeries != nil {
 			_ = st.history().RestoreSeries(*r.HistorySeries)
 		}
+	case OpCASPut:
+		if r.CAS != nil {
+			if st.CAS == nil {
+				st.CAS = map[string]CASBlob{}
+			}
+			st.CAS[r.CAS.ID()] = *r.CAS
+		}
+	case OpCASDelete:
+		delete(st.CAS, r.Key)
 	}
 }
 
@@ -316,6 +361,7 @@ func (st *State) liveRecords() int {
 	if st.History != nil {
 		n += st.History.Len()
 	}
+	n += len(st.CAS)
 	return n
 }
 
@@ -352,6 +398,10 @@ func (st *State) records() []Record {
 			out = append(out, Record{Op: OpHistorySeries, Key: d.Def.Name, HistorySeries: &d})
 		}
 	}
+	for _, b := range st.CAS {
+		b := b
+		out = append(out, Record{Op: OpCASPut, Key: b.ID(), CAS: &b})
+	}
 	return out
 }
 
@@ -378,6 +428,9 @@ func (st *State) clone() *State {
 	}
 	if st.History != nil {
 		out.History = st.History.Clone()
+	}
+	for id, b := range st.CAS {
+		out.CAS[id] = b
 	}
 	return out
 }

@@ -657,3 +657,21 @@ func (l *HistoryLog) RecordCreate(def rrd.SeriesDef) {
 func (l *HistoryLog) RecordBatch(b rrd.Batch) {
 	_ = l.s.Append(Record{Op: OpHistoryBatch, HistoryBatch: &b})
 }
+
+// CASLog journals the content-addressed artifact store's mutations, so
+// RestartSite can re-offer every verified blob the site held without
+// re-fetching a byte.
+type CASLog struct{ s *Store }
+
+// CASJournal returns the artifact-store journal adapter.
+func (s *Store) CASJournal() *CASLog { return &CASLog{s: s} }
+
+// RecordPut journals a verified blob's ingest.
+func (l *CASLog) RecordPut(b CASBlob) {
+	_ = l.s.Append(Record{Op: OpCASPut, Key: b.ID(), CAS: &b})
+}
+
+// RecordDelete journals a blob leaving the store (eviction or purge).
+func (l *CASLog) RecordDelete(id string) {
+	_ = l.s.Append(Record{Op: OpCASDelete, Key: id})
+}

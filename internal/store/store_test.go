@@ -377,3 +377,50 @@ func TestBootFromSnapshotOnly(t *testing.T) {
 		t.Fatalf("lastSeq after snapshot-only boot = %d, want > %d", got, wantSeq)
 	}
 }
+
+func TestCASBlobRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clock := simclock.NewVirtual(time.Time{})
+	added := clock.Now().Add(time.Minute)
+
+	s := mustOpen(t, Options{Dir: dir, Clock: clock, SnapshotEvery: -1})
+	j := s.CASJournal()
+	j.RecordPut(CASBlob{Algo: "sha256", Sum: "aaa", Actual: "aaa", Size: 5 << 20,
+		MD5: "m1", Artifact: "Ant", URL: "http://repo/ant.tgz", Added: added})
+	j.RecordPut(CASBlob{Algo: "md5", Sum: "bbb", Actual: "bbb", Size: 1 << 20, Artifact: "POVray"})
+	j.RecordPut(CASBlob{Algo: "md5", Sum: "ccc", Actual: "ccc", Size: 2 << 20})
+	j.RecordDelete("md5:ccc") // evicted: must not survive replay
+	// Re-ingest after corruption: last write wins.
+	j.RecordPut(CASBlob{Algo: "md5", Sum: "bbb", Actual: "rot-bbb", Size: 1 << 20, Artifact: "POVray"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, Options{Dir: dir, Clock: clock, SnapshotEvery: -1})
+	st := re.State()
+	if len(st.CAS) != 2 {
+		t.Fatalf("CAS blobs after replay = %+v", st.CAS)
+	}
+	ant := st.CAS["sha256:aaa"]
+	if ant.Artifact != "Ant" || ant.Size != 5<<20 || !ant.Added.Equal(added) || ant.URL != "http://repo/ant.tgz" {
+		t.Fatalf("ant blob = %+v", ant)
+	}
+	if got := st.CAS["md5:bbb"]; got.Actual != "rot-bbb" {
+		t.Fatalf("re-ingested blob = %+v, want last write to win", got)
+	}
+	if _, ok := st.CAS["md5:ccc"]; ok {
+		t.Fatal("deleted blob survived replay")
+	}
+
+	// Blobs are part of the snapshot image, not just the WAL.
+	if err := re.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	third := mustOpen(t, Options{Dir: dir, Clock: clock, SnapshotEvery: -1})
+	if got := third.State().CAS; len(got) != 2 || got["sha256:aaa"].Artifact != "Ant" {
+		t.Fatalf("snapshot lost CAS blobs: %+v", got)
+	}
+}

@@ -63,7 +63,11 @@ func DefaultClassify(service, operation string) Class {
 	// hand-off must not queue behind the very client load it protects.
 	case "Replicate", "ReplicaFetch", "ReplicaPromote", "ReplicaHandOff":
 		return ClassControl
-	case "RegistryDigest", "HistoryXport", "StoreStatus", "GetLUT", "ReplicaStatus":
+	case "RegistryDigest", "HistoryXport", "StoreStatus", "GetLUT", "ReplicaStatus",
+		"ArtifactFetch", "ArtifactStatus":
+		// Artifact-grid traffic is bulk: a blob fetch must not starve
+		// interactive resolution, and brownout shedding it only sends the
+		// requester down the ladder to origin.
 		return ClassBulk
 	}
 	return ClassInteractive

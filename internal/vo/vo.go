@@ -98,6 +98,10 @@ type Options struct {
 	// included) and registrations acknowledge only after a write quorum.
 	// Zero or one keeps replication off.
 	ReplicaK int
+	// CASBudget is each site's content-addressed artifact store byte
+	// budget: zero selects the cas package default, negative disables the
+	// artifact grid.
+	CASBudget int64
 }
 
 // Node is one Grid site's full stack.
@@ -347,6 +351,7 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 		DeployHook:        chaos.Step,
 		History:           opts.History,
 		ReplicaK:          opts.ReplicaK,
+		CASBudget:         opts.CASBudget,
 	})
 	if err != nil {
 		if durable != nil {

@@ -55,6 +55,7 @@ func SynthesizeBuild(a *site.Artifact) *deployfile.Build {
 			{Name: "source", Value: a.URL},
 			{Name: "destination", Value: "file://" + workDir + "/" + lower + ".tgz"},
 			{Name: "md5sum", Value: a.MD5()},
+			{Name: "sha256sum", Value: a.SHA256()},
 		},
 	}
 	expand := deployfile.Step{
