@@ -382,13 +382,13 @@ func statusCmd(cli *transport.Client, siteBase string) error {
 			wide = len(s.Name)
 		}
 	}
-	fmt.Printf("%-*s  %-10s  %5s  %8s  %8s  %8s  %s\n", wide,
-		"SITE", "ROLE", "EPOCH", "INFLIGHT", "QUEUED", "SHED", "SUPER-PEER")
+	fmt.Printf("%-*s  %-10s  %5s  %8s  %8s  %8s  %8s  %s\n", wide,
+		"SITE", "ROLE", "EPOCH", "INFLIGHT", "QUEUED", "SHED", "SKEW", "SUPER-PEER")
 	for _, s := range sites {
 		resp, err := cli.Call(s.PeerURL(), "ViewStatus", nil)
 		if err != nil {
-			fmt.Printf("%-*s  %-10s  %5s  %8s  %8s  %8s  %s\n", wide, s.Name,
-				"-", "-", "-", "-", "-", "- ("+err.Error()+")")
+			fmt.Printf("%-*s  %-10s  %5s  %8s  %8s  %8s  %8s  %s\n", wide, s.Name,
+				"-", "-", "-", "-", "-", "-", "- ("+err.Error()+")")
 			continue
 		}
 		superPeer := resp.AttrOr("superPeer", "")
@@ -396,11 +396,23 @@ func statusCmd(cli *transport.Client, siteBase string) error {
 			superPeer = "(unassigned)"
 		}
 		inflight, queued, shed := loadColumns(cli, s)
-		fmt.Printf("%-*s  %-10s  %5s  %8s  %8s  %8s  %s\n", wide, s.Name,
+		fmt.Printf("%-*s  %-10s  %5s  %8s  %8s  %8s  %8s  %s\n", wide, s.Name,
 			resp.AttrOr("role", "?"), resp.AttrOr("epoch", "?"),
-			inflight, queued, shed, superPeer)
+			inflight, queued, shed, skewColumn(resp), superPeer)
 	}
 	return nil
+}
+
+// skewColumn renders the worst clock-skew observation a site reported in
+// its ViewStatus: the signed offset (in ms) of the most-disagreeing peer's
+// HLC stamps against the probed site's own clock. Sites without skew
+// surveillance (older builds) render as a dash.
+func skewColumn(resp *xmlutil.Node) string {
+	ms := resp.AttrOr("skewMs", "")
+	if ms == "" {
+		return "-"
+	}
+	return ms + "ms"
 }
 
 // loadColumns probes a site's admission controller (the RDM "LoadStatus"

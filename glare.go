@@ -495,6 +495,31 @@ func (g *Grid) ClearBuildFaults(i int) {
 	g.vo.Nodes[i].Deploy.Clear()
 }
 
+// SkewSite displaces site i's wall clock by offset (negative runs slow):
+// every timestamp the site reads — registry LastUpdateTimes, lease grants,
+// expiry sweeps — is shifted, while timers and sleeps still follow the
+// shared grid clock. Clock skew is always armed (no ChaosSeed needed) and
+// survives RestartSite/ReplaceSite.
+func (g *Grid) SkewSite(i int, offset time.Duration) { g.vo.SkewSite(i, offset) }
+
+// DriftSite makes site i's clock wander at rate seconds gained per second
+// of grid time (negative falls behind), on top of any fixed skew.
+func (g *Grid) DriftSite(i int, rate float64) { g.vo.DriftSite(i, rate) }
+
+// ClockOffset reports site i's current total clock displacement (skew plus
+// accrued drift) from the shared grid clock.
+func (g *Grid) ClockOffset(i int) time.Duration { return g.vo.ClockOffset(i) }
+
+// RestoreClock zeroes site i's skew and drift.
+func (g *Grid) RestoreClock(i int) { g.vo.RestoreClock(i) }
+
+// SkewGrid arms a deterministic seeded skew schedule across every site:
+// offsets drawn uniformly from [-max, +max] plus a small drift in the same
+// direction. Returns the offsets applied, keyed by site name.
+func (g *Grid) SkewGrid(seed int64, max time.Duration) map[string]time.Duration {
+	return g.vo.ScheduleSkew(seed, max)
+}
+
 // SuperPeerOf returns the current super-peer site name seen by site i.
 func (g *Grid) SuperPeerOf(i int) string {
 	return g.vo.Nodes[i].Agent.View().SuperPeer.Name
@@ -664,6 +689,13 @@ func (c *Client) CheckReplicas() int { return c.svc.CheckReplicas() }
 // replaced origin that answers again. It returns the number of entries
 // repaired. Tests call it directly; StartMonitors paces it.
 func (c *Client) RepairReplicas() int { return c.svc.RepairReplicas() }
+
+// SyncRegistries runs one anti-entropy reconciliation pass from this site
+// (normally paced by StartMonitors on super-peers): exchange registry
+// digests with the overlay, pull entries that are missing or newer there
+// into the two-level cache, and re-register local types with the index.
+// It returns the number of entries pulled.
+func (c *Client) SyncRegistries() int { return c.svc.SyncRegistries() }
 
 // Types lists the activity types registered on this site.
 func (c *Client) Types() []string { return c.svc.ATR.Names() }

@@ -43,6 +43,7 @@ type Registry struct {
 	types   *atr.Registry
 	broker  *wsrf.Broker
 	clock   simclock.Clock
+	stamp   func() time.Time // ordering-stamp source; nil = clock.Now
 	journal Journal
 
 	// Hot-path counters; nil (no-op) until SetTelemetry is called.
@@ -80,6 +81,23 @@ func (r *Registry) SetTelemetry(tel *telemetry.Telemetry) {
 // SetJournal binds the durability journal; call during site assembly,
 // before serving traffic.
 func (r *Registry) SetJournal(j Journal) { r.journal = j }
+
+// SetStamp binds the source of LastUpdateTime stamps — the site's hybrid
+// logical clock — so cross-site newest-wins comparisons (anti-entropy,
+// replication) survive wall-clock skew. Call during site assembly, before
+// serving traffic. Expiry sweeps stay on the physical clock.
+func (r *Registry) SetStamp(fn func() time.Time) {
+	r.stamp = fn
+	r.home.SetStamp(fn)
+}
+
+// now returns the next ordering stamp.
+func (r *Registry) now() time.Time {
+	if r.stamp != nil {
+		return r.stamp()
+	}
+	return r.clock.Now()
+}
 
 // journalPut journals a deployment's current document and timestamps.
 func (r *Registry) journalPut(name string) {
@@ -264,7 +282,7 @@ func (r *Registry) UpdateMetrics(name string, m activity.Metrics) error {
 		return err
 	}
 	d.Metrics = m
-	res.Replace(r.clock.Now(), d.ToXML())
+	res.Replace(r.now(), d.ToXML())
 	r.journalPut(name)
 	// Refresh the EPR registered in the type resource (LUT changed).
 	if err := r.types.AddDeploymentRef(d.Type, r.home.EPR(name)); err != nil {

@@ -49,6 +49,7 @@ type Registry struct {
 	group   *wsrf.ServiceGroup
 	broker  *wsrf.Broker
 	clock   simclock.Clock
+	stamp   func() time.Time // ordering-stamp source; nil = clock.Now
 	journal Journal
 
 	// Hot-path counters; nil (no-op) until SetTelemetry is called.
@@ -90,6 +91,23 @@ func (r *Registry) SetTelemetry(tel *telemetry.Telemetry) {
 // before serving traffic. Mutations journal the resulting document so a
 // restarted site replays to exactly this state.
 func (r *Registry) SetJournal(j Journal) { r.journal = j }
+
+// SetStamp binds the source of LastUpdateTime stamps — the site's hybrid
+// logical clock — so cross-site newest-wins comparisons (anti-entropy,
+// replication) survive wall-clock skew. Call during site assembly, before
+// serving traffic. Expiry sweeps stay on the physical clock.
+func (r *Registry) SetStamp(fn func() time.Time) {
+	r.stamp = fn
+	r.home.SetStamp(fn)
+}
+
+// now returns the next ordering stamp.
+func (r *Registry) now() time.Time {
+	if r.stamp != nil {
+		return r.stamp()
+	}
+	return r.clock.Now()
+}
 
 // journalPut journals a resource's current document and timestamps.
 func (r *Registry) journalPut(name string) {
@@ -264,7 +282,7 @@ func (r *Registry) AddDeploymentRef(typeName string, dep epr.EPR) error {
 	if res == nil {
 		return fmt.Errorf("atr: no such type %q", typeName)
 	}
-	res.Update(r.clock.Now(), func(doc *xmlutil.Node) {
+	res.Update(r.now(), func(doc *xmlutil.Node) {
 		refs := doc.First("DeploymentRefs")
 		if refs == nil {
 			refs = doc.Elem("DeploymentRefs")
@@ -290,7 +308,7 @@ func (r *Registry) RemoveDeploymentRef(typeName, deploymentKey string) {
 	if res == nil {
 		return
 	}
-	res.Update(r.clock.Now(), func(doc *xmlutil.Node) {
+	res.Update(r.now(), func(doc *xmlutil.Node) {
 		refs := doc.First("DeploymentRefs")
 		if refs == nil {
 			return
@@ -332,7 +350,7 @@ func (r *Registry) MarkDeployed(typeName, siteName string) error {
 	if res == nil {
 		return fmt.Errorf("atr: no such type %q", typeName)
 	}
-	res.Update(r.clock.Now(), func(doc *xmlutil.Node) {
+	res.Update(r.now(), func(doc *xmlutil.Node) {
 		for _, d := range doc.All("DeployedOn") {
 			if d.Text == siteName {
 				return

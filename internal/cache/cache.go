@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"glare/internal/epr"
+	"glare/internal/hlc"
 	"glare/internal/simclock"
 	"glare/internal/telemetry"
 	"glare/internal/xmlutil"
@@ -104,14 +105,20 @@ func (c *Cache) Put(key string, source epr.EPR, doc *xmlutil.Node) {
 }
 
 // PutIfNewer stores the resource only when no entry exists for key or the
-// offered source LastUpdateTime is strictly newer than the cached one. It
-// is the anti-entropy write path: concurrent syncs against several peers
-// may offer the same resource, and only the freshest copy must win.
-// Reports whether the entry was written.
+// offered copy orders strictly after the cached one: source LastUpdateTime
+// first, origin site name (the "OriginSite" extra reference property) as
+// the deterministic tiebreak for equal stamps. It is the anti-entropy
+// write path: concurrent syncs against several peers may offer the same
+// resource, and every site must converge on the same winner — equal-stamp
+// conflicts are real under hybrid logical clocks, whose instants only
+// totally order together with the stamping site's name. Reports whether
+// the entry was written.
 func (c *Cache) PutIfNewer(key string, source epr.EPR, doc *xmlutil.Node) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok && !source.LastUpdateTime.After(e.Source.LastUpdateTime) {
+	if e, ok := c.entries[key]; ok && !hlc.Newer(
+		source.LastUpdateTime, source.Extra["OriginSite"],
+		e.Source.LastUpdateTime, e.Source.Extra["OriginSite"]) {
 		return false
 	}
 	c.entries[key] = &Entry{Key: key, Source: source, Doc: doc, Fetched: c.clock.Now()}

@@ -1,0 +1,77 @@
+package lease
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"glare/internal/simclock"
+)
+
+// Lease semantics under clock skew, pinned: a lease's window is measured
+// ENTIRELY in the granting site's clock frame — Acquire stamps
+// [now, now+d) from the granter's clock and every later validity check
+// (Authorize, conflict detection, expiry) reads the SAME clock. A fixed
+// absolute offset therefore cancels: a site running 10 minutes fast
+// grants leases that last exactly d of real time, never d minus the
+// skew. Holders never compare the ticket's absolute Start/End against
+// their own clocks; they hold the ticket ID and let the granter judge
+// validity, so a granter/holder disagreement about what time it is
+// cannot expire a lease early from the holder's perspective.
+func TestLeaseWindowIsGranterFrame(t *testing.T) {
+	base := simclock.NewVirtual(time.Time{})
+	fast := simclock.NewSkewed(base)
+	fast.SetOffset(10 * time.Minute) // granter runs 10 minutes fast
+
+	s := NewService(fast)
+	tk, err := s.Acquire("jpovray", "sched-1", Exclusive, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ticket's absolute stamps live in the granter's (skewed) frame.
+	if got := tk.End.Sub(tk.Start); got != time.Hour {
+		t.Fatalf("lease window = %v, want 1h", got)
+	}
+
+	// 50 real minutes later — 10 minutes shy of expiry in ANY frame,
+	// because both grant and check use the granter's clock and the fixed
+	// offset cancels. A naive implementation that had stamped End from a
+	// true clock but checked with the fast one would expire here.
+	base.Advance(50 * time.Minute)
+	if err := s.Authorize(tk.ID, "sched-1", "jpovray"); err != nil {
+		t.Fatalf("lease expired early under +10m granter skew: %v", err)
+	}
+	if _, err := s.Acquire("jpovray", "rival", Exclusive, time.Hour); !errors.Is(err, ErrConflict) {
+		t.Fatalf("exclusive lease not enforced at minute 50: %v", err)
+	}
+
+	// Past the full hour of real time the lease lapses — skew shifts the
+	// window's absolute stamps, not its duration.
+	base.Advance(11 * time.Minute)
+	if _, err := s.Acquire("jpovray", "rival", Exclusive, time.Hour); err != nil {
+		t.Fatalf("lease outlived its window under skew: %v", err)
+	}
+}
+
+// A slow granter is the symmetric case: the window still spans exactly d
+// of real time. Only drift (a clock running at the wrong RATE) changes a
+// lease's real-time length, and then proportionally to the drift.
+func TestLeaseWindowSlowGranter(t *testing.T) {
+	base := simclock.NewVirtual(time.Time{})
+	slow := simclock.NewSkewed(base)
+	slow.SetOffset(-10 * time.Minute)
+
+	s := NewService(slow)
+	tk, err := s.Acquire("jpovray", "sched-1", Exclusive, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Advance(29 * time.Minute)
+	if err := s.Authorize(tk.ID, "sched-1", "jpovray"); err != nil {
+		t.Fatalf("lease expired early under -10m granter skew: %v", err)
+	}
+	base.Advance(2 * time.Minute)
+	if err := s.Authorize(tk.ID, "sched-1", "jpovray"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("expired lease still authorized under negative skew: %v", err)
+	}
+}

@@ -180,7 +180,7 @@ func (s *Service) casIngest(e cas.Entry) {
 		return
 	}
 	if e.Added.IsZero() {
-		e.Added = s.clock.Now()
+		e.Added = s.hlc.Now()
 	}
 	evicted, stored := s.cas.Put(e)
 	self := s.selfName()
@@ -405,7 +405,7 @@ func (s *Service) fetchFromPeer(ftp *gridftp.Client, peer superpeer.SiteInfo, ke
 	artifact := resp.AttrOr("artifact", "")
 	ftp.PeerCopy(peer.Name, s.site, dst, size, md5, artifact)
 	s.casTel.peerFetches.Inc()
-	s.casLoc.Note(key, peer.Name, s.clock.Now())
+	s.casLoc.Note(key, peer.Name, s.hlc.Now())
 	s.casIngest(cas.Entry{Key: key, Sum: key.Sum, Size: size, MD5: md5, Artifact: artifact, URL: srcURL})
 	return true
 }
@@ -457,7 +457,7 @@ func (s *Service) casOriginIngest(key cas.Key, url string) (cas.Entry, error) {
 		return cas.Entry{}, &gridftp.ChecksumError{URL: url, Algo: key.Algo, Want: key.Sum, Got: got}
 	}
 	s.casTel.originFetches.Inc()
-	e := cas.Entry{Key: key, Sum: key.Sum, Size: a.SizeBytes, MD5: a.MD5(), Artifact: a.Name, URL: url, Added: s.clock.Now()}
+	e := cas.Entry{Key: key, Sum: key.Sum, Size: a.SizeBytes, MD5: a.MD5(), Artifact: a.Name, URL: url, Added: s.hlc.Now()}
 	s.casIngest(e)
 	return e, nil
 }

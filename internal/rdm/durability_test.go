@@ -59,7 +59,8 @@ func TestRDMRecoversRegistriesAndLeases(t *testing.T) {
 	if _, err := s1.RegisterDeployment(d); err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.ADR.SetTermination("jpovray", v.Now().Add(24*time.Hour)); err != nil {
+	wantTerm := v.Now().Add(24 * time.Hour)
+	if err := s1.ADR.SetTermination("jpovray", wantTerm); err != nil {
 		t.Fatal(err)
 	}
 	tk, err := s1.Leases.Acquire("jpovray", "sched-1", lease.Exclusive, time.Hour)
@@ -94,7 +95,7 @@ func TestRDMRecoversRegistriesAndLeases(t *testing.T) {
 	// The termination time survived too: advancing past it expires the
 	// recovered resource like it would have the original.
 	if res := s2.ADR.Home().Find("jpovray"); res == nil ||
-		!res.TerminationTime().Equal(wantLUT.Add(24*time.Hour)) {
+		!res.TerminationTime().Equal(wantTerm) {
 		t.Fatal("termination time lost in recovery")
 	}
 	// The unexpired lease is still held by its client…

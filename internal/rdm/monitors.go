@@ -36,6 +36,9 @@ type MonitorIntervals struct {
 	// ReplicaRepair paces read repair and promoted-data hand-off
 	// (RepairReplicas); every replicating site acts on it.
 	ReplicaRepair time.Duration
+	// ClockSkew paces the clock-skew gauge refresh (CheckClockSkew); every
+	// site acts on it.
+	ClockSkew time.Duration
 }
 
 // DefaultIntervals suits interactive use; tests call the single-pass
@@ -51,6 +54,7 @@ func DefaultIntervals() MonitorIntervals {
 		HistoryRollup: 5 * time.Second,
 		ReplicaCheck:  2 * time.Second,
 		ReplicaRepair: 5 * time.Second,
+		ClockSkew:     5 * time.Second,
 	}
 }
 
@@ -96,6 +100,9 @@ func (s *Service) StartMonitors(iv MonitorIntervals) {
 	}
 	if iv.ReplicaRepair > 0 && s.repl != nil {
 		go s.loop(iv.ReplicaRepair, func() { s.RepairReplicas() })
+	}
+	if iv.ClockSkew > 0 {
+		go s.loop(iv.ClockSkew, func() { s.CheckClockSkew() })
 	}
 }
 
@@ -242,6 +249,20 @@ func (s *Service) CheckDeployments() (alive int, removed []string) {
 	s.EnforceDeploymentFloor()
 	s.tel.Gauge("glare_rdm_deployments_alive").Set(int64(alive))
 	return alive, removed
+}
+
+// CheckClockSkew is one clock-surveillance pass: publish the worst clock
+// offset this site has observed against any peer (sender HLC stamps vs the
+// local physical clock, signed — positive means that peer's stamps run
+// ahead of us) and the HLC's logical-counter watermark. A large offset
+// means real skew somewhere (here or there); a climbing logical counter
+// means the HLC is absorbing stamps from a clock ahead of ours. Returns
+// the worst-offset peer and its offset.
+func (s *Service) CheckClockSkew() (peer string, offset time.Duration) {
+	peer, offset = s.hlc.MaxPeerOffset()
+	s.tel.Gauge("glare_clock_offset_ms").Set(offset.Milliseconds())
+	s.tel.Gauge("glare_clock_hlc_logical").Set(int64(s.hlc.Logical()))
+	return peer, offset
 }
 
 // EnforceDeploymentFloor reinstalls types that fell below their provider's

@@ -24,6 +24,7 @@ import (
 	"glare/internal/deployfile"
 	"glare/internal/gram"
 	"glare/internal/gridftp"
+	"glare/internal/hlc"
 	"glare/internal/lease"
 	"glare/internal/mds"
 	"glare/internal/metrics"
@@ -138,13 +139,28 @@ type Config struct {
 	// negative disables the CAS entirely (every transfer goes to origin,
 	// the pre-artifact-grid behaviour).
 	CASBudget int64
+	// SkewAlarm is the clock-disagreement bound beyond which an observed
+	// peer offset (sender HLC stamp vs this site's physical clock) raises
+	// the skew alarm (glare_clock_skew_detected_total). Zero uses
+	// DefaultSkewAlarm; negative disables the alarm.
+	SkewAlarm time.Duration
 }
+
+// DefaultSkewAlarm is the default clock-disagreement alarm bound: wide
+// enough to absorb network latency between stamp and observation, far
+// tighter than the multi-minute skews operators must hear about.
+const DefaultSkewAlarm = 10 * time.Second
 
 // Service is one site's GLARE RDM.
 type Service struct {
 	site   *site.Site
 	clock  simclock.Clock
 	client *transport.Client
+	// hlc is the site's hybrid logical clock: the source of every ordering
+	// stamp (registry LastUpdateTimes, replication mutations, blob location
+	// notes), merged with peer stamps piggybacked on the wire so newest-wins
+	// comparisons survive wall-clock skew. Expiry decisions stay on clock.
+	hlc *hlc.Clock
 
 	ATR    *atr.Registry
 	ADR    *adr.Registry
@@ -168,6 +184,10 @@ type Service struct {
 	// syncPulled counts registry entries pulled by anti-entropy passes
 	// (glare_sync_entries_pulled_total).
 	syncPulled *telemetry.Counter
+	// skewDetected counts peer stamps that disagreed with this site's
+	// physical clock beyond the alarm bound
+	// (glare_clock_skew_detected_total).
+	skewDetected *telemetry.Counter
 
 	deployFiles func(url string) (*deployfile.Build, error)
 	costs       DeployCosts
@@ -233,6 +253,7 @@ func New(cfg Config) (*Service, error) {
 		cfg.Costs = DefaultDeployCosts()
 	}
 	broker := wsrf.NewBroker(clock)
+	hybrid := hlc.New(cfg.Site.Attrs.Name, clock)
 	var agentSelf superpeer.SiteInfo
 	if cfg.Agent != nil {
 		agentSelf = cfg.Agent.Self()
@@ -247,10 +268,14 @@ func New(cfg Config) (*Service, error) {
 	if tel == nil {
 		tel = telemetry.New(cfg.Site.Attrs.Name)
 	}
+	// Trace-span wall timestamps follow the site's injected clock (skew and
+	// all); span durations stay real-time measurements.
+	tel.SetClock(clock.Now)
 	s := &Service{
 		site:        cfg.Site,
 		clock:       clock,
 		client:      cfg.Client,
+		hlc:         hybrid,
 		ATR:         typesReg,
 		ADR:         depsReg,
 		Leases:      lease.NewService(clock),
@@ -284,6 +309,12 @@ func New(cfg Config) (*Service, error) {
 	// assembles, so one /metrics page covers the whole stack.
 	s.ATR.SetTelemetry(tel)
 	s.ADR.SetTelemetry(tel)
+	// Ordering stamps come from the hybrid logical clock: a registration
+	// accepted after any message exchange orders after every stamp that
+	// message carried, however skewed this site's wall clock is. Expiry
+	// sweeps and lease validity stay on the site's physical clock.
+	s.ATR.SetStamp(hybrid.Now)
+	s.ADR.SetStamp(hybrid.Now)
 	if cfg.Agent != nil {
 		cfg.Agent.SetTelemetry(tel)
 	}
@@ -312,12 +343,35 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.degraded = tel.Counter("glare_rdm_resolve_degraded_total")
 	s.syncPulled = tel.Counter("glare_sync_entries_pulled_total")
+	// Clock-skew surveillance: every envelope exchange lets the HLC compare
+	// the sender's stamp against this site's physical clock; disagreements
+	// beyond the alarm bound count on glare_clock_skew_detected_total and
+	// surface in the overlay's ViewStatus (the `glarectl status` SKEW
+	// column). The worst observation per peer is retained for the
+	// CheckClockSkew monitor pass.
+	s.skewDetected = tel.Counter("glare_clock_skew_detected_total")
+	skewAlarm := cfg.SkewAlarm
+	if skewAlarm == 0 {
+		skewAlarm = DefaultSkewAlarm
+	}
+	if skewAlarm > 0 {
+		hybrid.SetSkewBound(skewAlarm)
+		hybrid.OnSkew(func(peer string, offset time.Duration) {
+			s.skewDetected.Inc()
+		})
+	}
+	if cfg.Agent != nil {
+		cfg.Agent.SetSkewSource(hybrid.MaxPeerOffset)
+	}
 	// Content-addressed artifact store: assembled before the durable store
 	// attaches so recovery can re-offer the blobs the site held. The
 	// gridftp tallies feed the same telemetry bundle.
 	s.FTP.SetTelemetry(tel)
 	if cfg.CASBudget >= 0 {
-		s.cas = cas.New(clock, cfg.CASBudget)
+		// The CAS stamps entry Added times, which double as blob-location
+		// LUTs in the anti-entropy digest — ordering fields, so they come
+		// from the HLC (which also keeps LRU recency strictly monotonic).
+		s.cas = cas.New(hybrid, cfg.CASBudget)
 		s.casLoc = newArtifactLocations()
 		s.casTel = newCASCounters(tel)
 		s.casFlight = make(map[cas.Key]*casPull)
@@ -362,6 +416,11 @@ func (s *Service) Agent() *superpeer.Agent { return s.agent }
 
 // Clock returns the service clock.
 func (s *Service) Clock() simclock.Clock { return s.clock }
+
+// HLC returns the site's hybrid logical clock. The transport layer
+// piggybacks its stamps on every envelope and merges the stamps it
+// receives, so any message exchange bounds inter-site divergence.
+func (s *Service) HLC() *hlc.Clock { return s.hlc }
 
 // SetCacheDisabled toggles local caching (Fig. 12 configurations).
 func (s *Service) SetCacheDisabled(off bool) {

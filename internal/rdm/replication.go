@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"glare/internal/epr"
+	"glare/internal/hlc"
 	"glare/internal/lease"
 	"glare/internal/replicate"
 	"glare/internal/store"
@@ -91,13 +92,20 @@ func (j replJournal) RecordDelete(key string) {
 type replLeaseJournal struct {
 	next lease.Journal
 	repl *replicate.Replicator
+	// now is the site's HLC: the replication LUT for a grant comes from it
+	// rather than from the ticket's Start so that the later release
+	// tombstone (also HLC-stamped) always orders after the grant, however
+	// skewed the granting site's wall clock is. The ticket itself keeps its
+	// physical-clock Start/End — lease validity is judged in the granter's
+	// own time frame (see lease.Service).
+	now func() time.Time
 }
 
 func (j replLeaseJournal) RecordAcquire(t lease.Ticket) {
 	if j.next != nil {
 		j.next.RecordAcquire(t)
 	}
-	j.repl.ForwardPut(replRegLease, strconv.FormatUint(t.ID, 10), leaseTicketDoc(t), t.Start, t.End)
+	j.repl.ForwardPut(replRegLease, strconv.FormatUint(t.ID, 10), leaseTicketDoc(t), j.now(), t.End)
 }
 
 func (j replLeaseJournal) RecordRelease(id uint64) {
@@ -153,6 +161,7 @@ func (s *Service) setupReplication(cfg Config) {
 		},
 		Service:  ServiceName,
 		Journals: factory,
+		Now:      s.hlc.Now,
 		Tel:      s.tel,
 	})
 	var atrNext, adrNext replicate.Journal
@@ -165,7 +174,7 @@ func (s *Service) setupReplication(cfg Config) {
 	}
 	s.ATR.SetJournal(replJournal{next: atrNext, repl: s.repl, reg: replRegATR})
 	s.ADR.SetJournal(replJournal{next: adrNext, repl: s.repl, reg: replRegADR})
-	s.Leases.SetJournal(replLeaseJournal{next: leaseNext, repl: s.repl})
+	s.Leases.SetJournal(replLeaseJournal{next: leaseNext, repl: s.repl, now: s.hlc.Now})
 	// The overlay carries the factor: every coordinated view is stamped
 	// with it, so all sites derive the same replica-set assignment.
 	s.agent.SetReplicaK(cfg.ReplicaK)
@@ -417,7 +426,9 @@ func (s *Service) promoteBestHolder(view superpeer.View, dead superpeer.SiteInfo
 		if c.entries != best.entries {
 			return c.entries > best.entries
 		}
-		return c.lut.After(best.lut)
+		// Site name breaks exact LUT ties so every super-peer — whichever
+		// one runs the pass — promotes the same holder deterministically.
+		return hlc.Newer(c.lut, c.site.Name, best.lut, best.site.Name)
 	}
 	for _, c := range replicate.ReplicaSet(view, dead.Name, s.repl.K()) {
 		if c.Name == dead.Name {

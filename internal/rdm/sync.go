@@ -9,6 +9,7 @@ import (
 	"glare/internal/adr"
 	"glare/internal/atr"
 	"glare/internal/epr"
+	"glare/internal/hlc"
 	"glare/internal/superpeer"
 	"glare/internal/telemetry"
 	"glare/internal/xmlutil"
@@ -111,10 +112,11 @@ func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
 		if name == "" || perr != nil {
 			continue
 		}
-		if local, ok := s.ATR.LUT(name); ok && !lut.After(local) {
-			continue // we own a same-or-newer copy
+		if local, ok := s.ATR.LUT(name); ok && !hlc.Newer(lut, target.Name, local, s.selfName()) {
+			continue // we own a copy that orders same-or-newer (HLC, site)
 		}
-		if e, ok := s.typeCache.Peek("type:" + name); ok && !lut.After(e.Source.LastUpdateTime) {
+		if e, ok := s.typeCache.Peek("type:" + name); ok &&
+			!hlc.Newer(lut, target.Name, e.Source.LastUpdateTime, e.Source.Extra["OriginSite"]) {
 			continue // cache already carries this version
 		}
 		doc, err := s.call(context.Background(), sp, target.ServiceURL(atr.ServiceName), "GetType", xmlutil.NewNode("Name", name))
@@ -145,11 +147,12 @@ func (s *Service) syncWith(sp *telemetry.Span, target superpeer.SiteInfo) int {
 		if name == "" || perr != nil {
 			continue
 		}
-		if local, ok := s.ADR.LUT(name); ok && !lut.After(local) {
-			continue
+		if local, ok := s.ADR.LUT(name); ok && !hlc.Newer(lut, target.Name, local, s.selfName()) {
+			continue // we own a copy that orders same-or-newer (HLC, site)
 		}
-		if e, ok := s.depCache.Peek("dep:" + name); ok && !lut.After(e.Source.LastUpdateTime) {
-			continue
+		if e, ok := s.depCache.Peek("dep:" + name); ok &&
+			!hlc.Newer(lut, target.Name, e.Source.LastUpdateTime, e.Source.Extra["OriginSite"]) {
+			continue // cache already carries this version
 		}
 		doc, err := s.call(context.Background(), sp, target.ServiceURL(adr.ServiceName), "Get", xmlutil.NewNode("Name", name))
 		if err != nil || doc == nil {

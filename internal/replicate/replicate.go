@@ -37,6 +37,11 @@ type Config struct {
 	Journals JournalFactory
 	// Timeout bounds quorum waits and replica sends (DefaultTimeout if 0).
 	Timeout time.Duration
+	// Now is the ordering-stamp source for delete tombstones — the site's
+	// hybrid logical clock, so a tombstone always orders after the put it
+	// deletes however skewed the site's wall clock is. Nil falls back to
+	// the wall clock (pre-HLC behaviour).
+	Now func() time.Time
 	// Tel binds the glare_replica_* instruments; nil is a no-op.
 	Tel *telemetry.Telemetry
 }
@@ -77,6 +82,9 @@ type Replicator struct {
 func New(cfg Config) *Replicator {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
 	r := &Replicator{
 		cfg:       cfg,
@@ -129,8 +137,10 @@ func (r *Replicator) ForwardPut(reg, key string, doc *xmlutil.Node, lut, term ti
 }
 
 // ForwardDelete fans one delete mutation out to the replica set. The
-// delete is stamped with the owner's clock so replicas can order it
-// against puts of the same key that arrive out of order (see Holder).
+// delete is stamped with the owner's ordering clock (Config.Now) so
+// replicas can order it against puts of the same key that arrive out of
+// order (see Holder); an HLC stamp source guarantees the tombstone orders
+// after the put it deletes even on a skewed site.
 func (r *Replicator) ForwardDelete(reg, key string) {
 	view := r.cfg.View()
 	replicas := ReplicaSet(view, r.cfg.Self.Name, r.cfg.K)
@@ -139,7 +149,7 @@ func (r *Replicator) ForwardDelete(reg, key string) {
 	}
 	r.Writes.Inc()
 	m := Mutation{Origin: r.cfg.Self.Name, Epoch: view.Epoch, Reg: reg, Key: key,
-		Delete: true, LUT: time.Now()}
+		Delete: true, LUT: r.cfg.Now()}
 	r.send(reg, key, m, replicas)
 }
 

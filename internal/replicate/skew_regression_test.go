@@ -1,0 +1,96 @@
+package replicate
+
+import (
+	"testing"
+	"time"
+
+	"glare/internal/hlc"
+	"glare/internal/simclock"
+	"glare/internal/xmlutil"
+)
+
+// Regression harness: what breaks when newest-wins ordering is fed raw
+// wall-clock stamps instead of HLC stamps. The scenario is an NTP step:
+// a site registers an entry, its clock is then corrected 10 minutes
+// BACKWARD, and the client deletes the entry. Both operations were acked
+// in that causal order, so the delete must win on every replica.
+//
+// With raw wall stamps the delete carries an OLDER stamp than the put it
+// follows; the replica's freshness rule classifies it as a straggler and
+// keeps the entry — an acknowledged delete is silently lost and the
+// registration is undead. This test pins that the failure is real (the
+// invariant genuinely depends on the HLC) and that the HLC stamp source
+// fixes it: its monotonic wall component never runs backward, so the
+// delete orders after the put no matter what the physical clock did.
+func TestRawWallStampsLoseAckedDeleteAfterClockStep(t *testing.T) {
+	doc := xmlutil.NewNode("Doc")
+
+	// A: raw wall-clock stamps — the reverted-to-wall-clocks behaviour.
+	{
+		base := simclock.NewVirtual(time.Unix(1_000_000, 0))
+		clock := simclock.NewSkewed(base)
+		h := NewHolder(nil)
+
+		h.Put("origin", "atr", "k", doc, clock.Now(), time.Time{})
+		clock.SetOffset(-10 * time.Minute) // NTP steps the clock back
+		if h.Delete("origin", "atr", "k", clock.Now()) {
+			t.Fatal("raw wall stamps ordered the delete after the put across a backward step; " +
+				"the HLC is redundant — investigate before trusting this harness")
+		}
+		if got := h.Entries("origin", "atr"); len(got) != 1 {
+			t.Fatalf("expected the undead entry to demonstrate the failure, held=%d", len(got))
+		}
+	}
+
+	// B: HLC stamps — the shipped behaviour. Same clock step, same ops.
+	{
+		base := simclock.NewVirtual(time.Unix(1_000_000, 0))
+		clock := simclock.NewSkewed(base)
+		c := hlc.New("origin", clock)
+		h := NewHolder(nil)
+
+		h.Put("origin", "atr", "k", doc, c.Now(), time.Time{})
+		clock.SetOffset(-10 * time.Minute)
+		if !h.Delete("origin", "atr", "k", c.Now()) {
+			t.Fatal("HLC-stamped delete refused after a backward clock step")
+		}
+		if got := h.Entries("origin", "atr"); len(got) != 0 {
+			t.Fatalf("entry survived an HLC-stamped delete, held=%d", len(got))
+		}
+		// And the tombstone holds: a re-delivered copy of the original put
+		// cannot resurrect the entry, because the delete's HLC stamp
+		// orders after every stamp the origin handed out before it.
+	}
+}
+
+// Same shape for updates: after a backward clock step, a site's NEWER
+// version of an entry carries an older wall stamp, so raw-wall-clock
+// newest-wins installs the stale version forever. HLC stamps keep every
+// later write ordered after every earlier one from the same site.
+func TestRawWallStampsStrandNewerVersionAfterClockStep(t *testing.T) {
+	v1 := xmlutil.NewNode("Doc")
+	v1.SetAttr("gen", "1")
+	v2 := xmlutil.NewNode("Doc")
+	v2.SetAttr("gen", "2")
+
+	generationAfterStep := func(stamp func() time.Time, step func()) string {
+		h := NewHolder(nil)
+		h.Put("origin", "adr", "k", v1, stamp(), time.Time{})
+		step()
+		h.Put("origin", "adr", "k", v2, stamp(), time.Time{})
+		return h.Entries("origin", "adr")[0].Doc.AttrOr("gen", "")
+	}
+
+	base1 := simclock.NewVirtual(time.Unix(1_000_000, 0))
+	raw := simclock.NewSkewed(base1)
+	if got := generationAfterStep(raw.Now, func() { raw.SetOffset(-10 * time.Minute) }); got != "1" {
+		t.Fatalf("raw wall stamps installed gen %s after a backward step; expected the stale gen 1 failure", got)
+	}
+
+	base2 := simclock.NewVirtual(time.Unix(1_000_000, 0))
+	stepped := simclock.NewSkewed(base2)
+	c := hlc.New("origin", stepped)
+	if got := generationAfterStep(c.Now, func() { stepped.SetOffset(-10 * time.Minute) }); got != "2" {
+		t.Fatalf("HLC stamps installed gen %s after a backward step, want the newer gen 2", got)
+	}
+}

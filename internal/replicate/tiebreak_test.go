@@ -1,0 +1,80 @@
+package replicate
+
+import (
+	"testing"
+	"time"
+
+	"glare/internal/xmlutil"
+)
+
+// Equal-stamp conflict rules, pinned. Under hybrid logical clocks a
+// replica can legitimately receive a put and a delete carrying the same
+// stamp only through re-delivery of the same origin event (the origin's
+// HLC never hands out one stamp twice for distinct events), so the rules
+// below make re-delivery idempotent and keep deletes sticky:
+//
+//   - a put against an equal-stamp tombstone loses (delete wins ties),
+//   - a put against an equal-stamp entry overwrites (re-delivery installs
+//     the same state; last write is as good as the first),
+//   - a delete against an equal-stamp entry removes it (delete wins ties).
+func TestEqualStampDeleteBeatsPut(t *testing.T) {
+	h := NewHolder(nil)
+	stamp := time.Unix(100, 0).UTC()
+
+	if !h.Put("origin", "atr", "k", xmlutil.NewNode("Doc"), stamp, time.Time{}) {
+		t.Fatal("initial put refused")
+	}
+	if !h.Delete("origin", "atr", "k", stamp) {
+		t.Fatal("equal-stamp delete refused; delete must win ties")
+	}
+	// The tombstone now carries stamp; a re-delivered put at the same
+	// stamp must NOT resurrect the entry.
+	if h.Put("origin", "atr", "k", xmlutil.NewNode("Doc"), stamp, time.Time{}) {
+		t.Fatal("equal-stamp put resurrected a tombstoned key")
+	}
+	if got := h.Entries("origin", "atr"); len(got) != 0 {
+		t.Fatalf("entries after equal-stamp put vs tombstone = %d, want 0", len(got))
+	}
+	// Only a strictly newer put (a real re-registration, which the
+	// origin's HLC guarantees orders after its own delete) clears it.
+	if !h.Put("origin", "atr", "k", xmlutil.NewNode("Doc"), stamp.Add(time.Nanosecond), time.Time{}) {
+		t.Fatal("strictly newer put refused after tombstone")
+	}
+}
+
+func TestEqualStampPutOverwrites(t *testing.T) {
+	h := NewHolder(nil)
+	stamp := time.Unix(100, 0).UTC()
+
+	first := xmlutil.NewNode("Doc")
+	first.SetAttr("gen", "1")
+	second := xmlutil.NewNode("Doc")
+	second.SetAttr("gen", "2")
+
+	if !h.Put("origin", "adr", "k", first, stamp, time.Time{}) {
+		t.Fatal("initial put refused")
+	}
+	if !h.Put("origin", "adr", "k", second, stamp, time.Time{}) {
+		t.Fatal("equal-stamp put refused; re-delivery must stay idempotent")
+	}
+	got := h.Entries("origin", "adr")
+	if len(got) != 1 || got[0].Doc.AttrOr("gen", "") != "2" {
+		t.Fatalf("equal-stamp put did not overwrite: %+v", got)
+	}
+}
+
+func TestEqualStampRestoreKeepsLatestReplay(t *testing.T) {
+	h := NewHolder(nil)
+	stamp := time.Unix(100, 0).UTC()
+
+	a := xmlutil.NewNode("Doc")
+	a.SetAttr("gen", "a")
+	b := xmlutil.NewNode("Doc")
+	b.SetAttr("gen", "b")
+	h.Restore("origin", "atr", Entry{Key: "k", Doc: a, LUT: stamp})
+	h.Restore("origin", "atr", Entry{Key: "k", Doc: b, LUT: stamp})
+	got := h.Entries("origin", "atr")
+	if len(got) != 1 || got[0].Doc.AttrOr("gen", "") != "b" {
+		t.Fatalf("equal-stamp restore did not keep the later replay: %+v", got)
+	}
+}

@@ -1,0 +1,83 @@
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Skewed is a per-site view of a base clock displaced by a fixed offset and
+// an optional drift rate. It models the fault domain GLARE's registries
+// actually live in: autonomous sites whose wall clocks disagree by minutes
+// and wander apart over time.
+//
+// Only Now is displaced. Sleep and After delegate to the base clock, so
+// waiters registered through a skewed view still fire when the shared
+// virtual clock advances — skew corrupts what a site *reads*, not how long
+// its timers genuinely take.
+type Skewed struct {
+	mu     sync.Mutex
+	base   Clock
+	offset time.Duration // fixed displacement, including folded-in past drift
+	drift  float64       // additional seconds gained per base second
+	anchor time.Time     // base instant drift accrues from
+}
+
+// NewSkewed wraps base in a skew view with zero initial displacement.
+func NewSkewed(base Clock) *Skewed {
+	return &Skewed{base: base, anchor: base.Now()}
+}
+
+// Now returns the base instant displaced by the configured offset plus the
+// drift accrued since it was set.
+func (s *Skewed) Now() time.Time {
+	bt := s.base.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return bt.Add(s.displacement(bt))
+}
+
+func (s *Skewed) displacement(bt time.Time) time.Duration {
+	d := s.offset
+	if s.drift != 0 {
+		d += time.Duration(float64(bt.Sub(s.anchor)) * s.drift)
+	}
+	return d
+}
+
+// Sleep delegates to the base clock.
+func (s *Skewed) Sleep(d time.Duration) { s.base.Sleep(d) }
+
+// After delegates to the base clock.
+func (s *Skewed) After(d time.Duration) <-chan time.Time { return s.base.After(d) }
+
+// SetOffset fixes the view's displacement. Accrued drift is folded into the
+// new offset's baseline first, so an active drift rate keeps accruing from
+// now rather than jumping.
+func (s *Skewed) SetOffset(d time.Duration) {
+	bt := s.base.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.anchor = bt
+	s.offset = d
+}
+
+// SetDrift sets the drift rate in seconds gained per base-clock second
+// (e.g. 0.001 gains one millisecond per second; negative rates fall
+// behind). Drift accrued under the previous rate is folded into the fixed
+// offset so the displacement is continuous across the change.
+func (s *Skewed) SetDrift(rate float64) {
+	bt := s.base.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.offset = s.displacement(bt)
+	s.anchor = bt
+	s.drift = rate
+}
+
+// Offset reports the view's current total displacement from the base clock.
+func (s *Skewed) Offset() time.Duration {
+	bt := s.base.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.displacement(bt)
+}

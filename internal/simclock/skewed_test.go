@@ -1,0 +1,57 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSkewedOffsetDisplacesOnlyNow(t *testing.T) {
+	base := NewVirtual(time.Time{})
+	s := NewSkewed(base)
+	if !s.Now().Equal(base.Now()) {
+		t.Fatal("fresh view must match the base clock")
+	}
+	s.SetOffset(10 * time.Minute)
+	if got := s.Now().Sub(base.Now()); got != 10*time.Minute {
+		t.Fatalf("displacement = %v, want 10m", got)
+	}
+	// Waiters registered through the view fire on base-clock advances: skew
+	// changes what the site reads, not how long its timers take.
+	done := s.After(time.Second)
+	base.Advance(time.Second)
+	select {
+	case <-done:
+	default:
+		t.Fatal("After waiter did not fire through the base clock")
+	}
+	s.SetOffset(-3 * time.Minute)
+	if got := s.Offset(); got != -3*time.Minute {
+		t.Fatalf("offset = %v, want -3m", got)
+	}
+}
+
+func TestSkewedDriftAccruesWithBaseTime(t *testing.T) {
+	base := NewVirtual(time.Time{})
+	s := NewSkewed(base)
+	s.SetDrift(0.01) // gains 10ms per second
+	base.Advance(100 * time.Second)
+	if got := s.Offset(); got != time.Second {
+		t.Fatalf("accrued drift = %v, want 1s after 100s at 1%%", got)
+	}
+	// Changing the rate folds accrued drift into the offset: displacement is
+	// continuous, and the new rate accrues from now.
+	s.SetDrift(-0.01)
+	if got := s.Offset(); got != time.Second {
+		t.Fatalf("displacement jumped across a rate change: %v", got)
+	}
+	base.Advance(50 * time.Second)
+	if got := s.Offset(); got != 500*time.Millisecond {
+		t.Fatalf("displacement = %v, want 500ms (1s minus 50s at -1%%)", got)
+	}
+	// SetOffset re-anchors: the fixed part replaces everything accrued.
+	s.SetOffset(time.Minute)
+	base.Advance(10 * time.Second)
+	if got := s.Offset(); got != time.Minute-100*time.Millisecond {
+		t.Fatalf("displacement = %v, want 1m less 10s of -1%% drift", got)
+	}
+}

@@ -74,6 +74,10 @@ type Agent struct {
 	// election coordinator stamps it into every view it assigns, so the
 	// whole overlay agrees on one K per epoch.
 	replicaK int
+	// skewSource reports the worst clock-skew observation this site has
+	// made against any peer (peer name, signed offset); nil hides the
+	// ViewStatus skew columns. Set during site assembly.
+	skewSource func() (string, time.Duration)
 }
 
 // DefaultPingTimeout bounds one liveness probe. Failure detection must be
@@ -128,6 +132,16 @@ func (a *Agent) SetReplicaK(k int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.replicaK = k
+}
+
+// SetSkewSource wires the probe behind the ViewStatus skew columns: fn
+// reports the peer with the largest observed clock offset against this
+// site's physical clock, and that offset (positive: the peer's stamps run
+// ahead of us). Call during site assembly.
+func (a *Agent) SetSkewSource(fn func() (string, time.Duration)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.skewSource = fn
 }
 
 // Self returns this agent's site info.
@@ -495,10 +509,16 @@ func (a *Agent) handleViewStatus(*xmlutil.Node) (*xmlutil.Node, error) {
 	a.mu.Lock()
 	v := a.view.Clone()
 	role := a.role
+	skew := a.skewSource
 	a.mu.Unlock()
 	n := v.ToXML()
 	n.SetAttr("role", role.String())
 	n.SetAttr("name", a.self.Name)
+	if skew != nil {
+		peer, off := skew()
+		n.SetAttr("skewMs", fmt.Sprintf("%d", off.Milliseconds()))
+		n.SetAttr("skewPeer", peer)
+	}
 	return n, nil
 }
 

@@ -39,6 +39,17 @@ func New(site string) *Telemetry {
 	}
 }
 
+// SetClock routes trace-span wall timestamps through the given reading —
+// the owning site's injected (possibly virtual, possibly skewed) clock —
+// so /tracez shows grid time, not the host's. Uptime and span durations
+// stay on real time: both are measurements of elapsed host time.
+func (t *Telemetry) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.tracer.SetClock(now)
+}
+
 // Site returns the owning site's name.
 func (t *Telemetry) Site() string {
 	if t == nil {

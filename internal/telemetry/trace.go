@@ -23,7 +23,12 @@ type Span struct {
 	SpanID   string
 	ParentID string
 	Note     string
-	start    time.Time
+	// start is a real (monotonic) reading used only to measure Duration;
+	// wall is the owning site's clock reading shown as the record's Start,
+	// so /tracez timestamps follow injected virtual time and exhibit the
+	// site's clock skew instead of hiding it.
+	start time.Time
+	wall  time.Time
 }
 
 // SetNote attaches a short free-form annotation (e.g. the activity type
@@ -56,7 +61,7 @@ func (sp *Span) End(err error) {
 		SpanID:   sp.SpanID,
 		ParentID: sp.ParentID,
 		Note:     sp.Note,
-		Start:    sp.start,
+		Start:    sp.wall,
 		Duration: time.Since(sp.start),
 	}
 	if err != nil {
@@ -87,6 +92,32 @@ type Tracer struct {
 	ring  []SpanRecord
 	next  int
 	total uint64
+	// now supplies span wall timestamps; nil falls back to time.Now.
+	// Durations always come from real monotonic readings regardless.
+	now func() time.Time
+}
+
+// SetClock routes span wall timestamps through the given reading (the
+// owning site's — possibly virtual, possibly skewed — clock). Durations
+// keep using real monotonic time: latency is a measurement, not a claim
+// about what time it is.
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+func (t *Tracer) wallNow() time.Time {
+	t.mu.Lock()
+	now := t.now
+	t.mu.Unlock()
+	if now == nil {
+		return time.Now()
+	}
+	return now()
 }
 
 // NewTracer creates a tracer retaining up to DefaultSpanRing spans.
@@ -110,7 +141,7 @@ func (t *Tracer) StartSpan(name string, parent *Span) *Span {
 	if t == nil {
 		return nil
 	}
-	sp := &Span{tracer: t, Name: name, SpanID: newID(), start: time.Now()}
+	sp := &Span{tracer: t, Name: name, SpanID: newID(), start: time.Now(), wall: t.wallNow()}
 	if parent != nil {
 		sp.TraceID = parent.TraceID
 		sp.ParentID = parent.SpanID
@@ -127,7 +158,7 @@ func (t *Tracer) StartRemote(name, traceID, parentSpanID string) *Span {
 	if t == nil {
 		return nil
 	}
-	sp := &Span{tracer: t, Name: name, SpanID: newID(), start: time.Now()}
+	sp := &Span{tracer: t, Name: name, SpanID: newID(), start: time.Now(), wall: t.wallNow()}
 	if traceID != "" {
 		sp.TraceID = traceID
 		sp.ParentID = parentSpanID

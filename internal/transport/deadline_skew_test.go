@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"glare/internal/xmlutil"
+)
+
+// Property: the <Deadline budget_ms> wire format carries a pure duration,
+// so the deadline a receiver derives depends only on (budget, receiver
+// anchor) — never on the sender's idea of what time it is. With sites up
+// to ±10 minutes apart (the skew fault domain this repo injects), an
+// absolute-timestamp encoding would shift deadlines by the full skew;
+// the relative encoding must shift them by exactly zero.
+func TestDeadlineBudgetImmuneToSenderClockError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := time.Date(2006, 5, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 2000; i++ {
+		budget := time.Duration(1+rng.Int63n(int64(10*time.Minute))) * time.Nanosecond
+		senderSkew := time.Duration(rng.Int63n(int64(20*time.Minute))) - 10*time.Minute
+		receiverSkew := time.Duration(rng.Int63n(int64(20*time.Minute))) - 10*time.Minute
+
+		// The sender stamps while believing it is base+senderSkew; nothing
+		// about that belief may reach the wire.
+		env := xmlutil.NewNode("Envelope")
+		stampDeadline(env, budget)
+
+		receiverNow := base.Add(receiverSkew)
+		deadline, ok := parseDeadline(env, receiverNow)
+		if !ok {
+			t.Fatalf("stamped budget failed to parse (budget=%v)", budget)
+		}
+		got := deadline.Sub(receiverNow)
+		// budget_ms is fractional milliseconds with 3 decimals: microsecond
+		// resolution. Anything beyond that rounding is inherited clock error.
+		if diff := math.Abs(float64(got - budget)); diff > float64(time.Microsecond) {
+			t.Fatalf("budget %v arrived as %v (err %v) with senderSkew=%v receiverSkew=%v — wire inherited absolute time",
+				budget, got, time.Duration(diff), senderSkew, receiverSkew)
+		}
+	}
+}
+
+// Property: re-stamping along a forwarding chain only ever shrinks the
+// budget (each hop charges its local elapsed time), and a hop's clock
+// skew never re-inflates it: the remainder is computed against the hop's
+// own anchor, so absolute offsets cancel hop by hop.
+func TestDeadlineBudgetShrinksAcrossSkewedHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		budget := time.Duration(1+rng.Int63n(int64(time.Minute))) * time.Nanosecond
+		env := xmlutil.NewNode("Envelope")
+		stampDeadline(env, budget)
+
+		remaining := budget
+		for hop := 0; hop < 4; hop++ {
+			// Each hop lives at an arbitrarily skewed absolute time...
+			anchor := time.Date(2006, 5, 1, 12, 0, 0, 0, time.UTC).
+				Add(time.Duration(rng.Int63n(int64(20*time.Minute))) - 10*time.Minute)
+			deadline, ok := parseDeadline(env, anchor)
+			if !ok {
+				t.Fatal("budget failed to parse mid-chain")
+			}
+			// ...spends some of the budget doing work...
+			work := time.Duration(rng.Int63n(int64(remaining)/4 + 1))
+			left := deadline.Sub(anchor.Add(work))
+			if left > remaining {
+				t.Fatalf("hop %d inflated the budget: %v -> %v", hop, remaining, left)
+			}
+			// ...and forwards the shrunk remainder.
+			stampDeadline(env, left)
+			remaining = left
+		}
+		// Four hops of microsecond-rounding later the budget is within
+		// rounding of (budget - total work), and total work alone cannot
+		// explain more than the full budget: it never went negative-to-
+		// positive or picked up a skew term.
+		if remaining > budget {
+			t.Fatalf("chain ended with more budget (%v) than it started with (%v)", remaining, budget)
+		}
+	}
+}

@@ -21,7 +21,14 @@
 //
 // injected by Client.CallSpan and extracted by the server, which opens a
 // child span in the site's telemetry tracer so one correlation ID follows
-// a request across every site it touches. A server with telemetry
+// a request across every site it touches. Envelopes in both directions may
+// also carry a hybrid-logical-clock stamp,
+//
+//	<HLC t="<RFC3339Nano instant>" site="<sender site>"/>
+//
+// injected and merged when an hlc.Clock is attached (Client.SetHLC /
+// Server.SetHLC), so any message exchange bounds the two sites' ordering
+// divergence however skewed their wall clocks are. A server with telemetry
 // attached (SetTelemetry) also records per-service/operation request
 // counters and latency histograms, and serves the per-site admin
 // endpoints /metrics, /healthz and /tracez next to the service tree.
@@ -41,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"glare/internal/hlc"
 	"glare/internal/telemetry"
 	"glare/internal/xmlutil"
 )
@@ -98,6 +106,7 @@ type Server struct {
 	services  map[string]map[string]CtxHandler // service -> operation -> handler
 	tel       *telemetry.Telemetry
 	admission *Admission
+	hlc       *hlc.Clock
 	listener  net.Listener
 	http      *http.Server
 	secure    bool
@@ -127,6 +136,18 @@ func (s *Server) Telemetry() *telemetry.Telemetry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.tel
+}
+
+// SetHLC attaches the site's hybrid logical clock: every incoming
+// envelope's <HLC> stamp is merged into it (bounding this site's ordering
+// divergence from the sender), and every response envelope carries this
+// site's stamp back. Call before traffic arrives; nil disables the
+// exchange (requests from/to pre-HLC peers still work — the element is
+// simply absent).
+func (s *Server) SetHLC(h *hlc.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hlc = h
 }
 
 // SetAdmission installs the site's admission controller: every incoming
@@ -272,6 +293,7 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	ops := s.services[service]
 	tel := s.tel
 	adm := s.admission
+	hc := s.hlc
 	s.mu.RUnlock()
 	if ops == nil {
 		writeFault(w, http.StatusNotFound, fmt.Sprintf("no such service %q", service))
@@ -288,6 +310,11 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		writeFault(w, http.StatusNotFound, fmt.Sprintf("no such operation %q on %q", opName, service))
 		return
 	}
+	// Merge the caller's hybrid-logical-clock stamp before any work: every
+	// ordering stamp this request produces must order after everything the
+	// caller had seen when it sent the message, regardless of wall-clock
+	// skew between the two sites.
+	observeHLC(hc, env)
 	svcLabels := []telemetry.Label{telemetry.L("service", service), telemetry.L("op", opName)}
 	// Overload protection, stage 1: re-derive the caller's deadline from
 	// the propagated budget. A request that is already expired on arrival
@@ -375,12 +402,38 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := xmlutil.NewNode("Envelope")
+	stampHLC(hc, out)
 	b := out.Elem("Body")
 	if resp != nil {
 		b.Add(resp)
 	}
 	w.Header().Set("Content-Type", "application/xml")
 	_, _ = io.WriteString(w, out.String())
+}
+
+// stampHLC adds this site's hybrid-logical-clock stamp to an envelope;
+// observeHLC merges a received envelope's stamp. Both are no-ops without a
+// clock or element, so HLC exchange degrades cleanly across versions.
+func stampHLC(h *hlc.Clock, env *xmlutil.Node) {
+	if h == nil {
+		return
+	}
+	n := env.Elem("HLC")
+	n.SetAttr("t", h.Now().Format(time.RFC3339Nano))
+	n.SetAttr("site", h.Site())
+}
+
+func observeHLC(h *hlc.Clock, env *xmlutil.Node) {
+	if h == nil {
+		return
+	}
+	n := env.First("HLC")
+	if n == nil {
+		return
+	}
+	if t, err := time.Parse(time.RFC3339Nano, n.AttrOr("t", "")); err == nil {
+		h.Observe(n.AttrOr("site", ""), t)
+	}
 }
 
 // serveAdmin answers the per-site observability endpoints.
@@ -450,6 +503,7 @@ type Client struct {
 	http    *http.Client
 	timeout time.Duration
 	tel     *telemetry.Telemetry
+	hlc     *hlc.Clock
 
 	retry    RetryPolicy
 	budget   *RetryBudget
@@ -495,6 +549,12 @@ func (c *Client) Timeout() time.Duration { return c.timeout }
 // SetTelemetry attaches a telemetry bundle: outgoing calls are counted
 // and timed into its registry. Not safe to call concurrently with Call.
 func (c *Client) SetTelemetry(tel *telemetry.Telemetry) { c.tel = tel }
+
+// SetHLC attaches the site's hybrid logical clock: every outgoing
+// envelope carries its stamp, and every response's stamp is merged back —
+// so any message exchange, in either direction, bounds the two sites'
+// ordering divergence. Not safe to call concurrently with Call.
+func (c *Client) SetHLC(h *hlc.Clock) { c.hlc = h }
 
 // SetRetryPolicy enables transport-level retries. Only Unavailable errors
 // are ever retried; a Fault means the site answered and is final. Not
@@ -592,6 +652,7 @@ func (c *Client) call(ctx context.Context, sp *telemetry.Span, address, operatio
 		tn.SetAttr("trace", traceID)
 		tn.SetAttr("span", spanID)
 	}
+	stampHLC(c.hlc, env)
 	b := env.Elem("Body")
 	if body != nil {
 		b.Add(body)
@@ -612,6 +673,7 @@ func (c *Client) call(ctx context.Context, sp *telemetry.Span, address, operatio
 	if err != nil {
 		return nil, err
 	}
+	observeHLC(c.hlc, out)
 	if f := out.First("Fault"); f != nil {
 		// An overload refusal (code="unavailable") is the site protecting
 		// itself, not an application error: surface it as Unavailable so

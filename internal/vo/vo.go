@@ -155,6 +155,10 @@ type VO struct {
 	restarting map[int]bool
 	// deployChaos holds each site's step-fault injector across restarts.
 	deployChaos map[int]*faultinject.DeployChaos
+	// clockChaos owns each site's skewable clock view (keyed by site name,
+	// so an armed skew survives RestartSite/ReplaceSite like deploy chaos
+	// does). Always present: an unskewed view reads exactly like Clock.
+	clockChaos *faultinject.ClockChaos
 }
 
 // siteAttrs fabricates realistic, mutually distinct site attributes.
@@ -190,6 +194,7 @@ func Build(opts Options) (*VO, error) {
 		killed:      map[int]bool{},
 		restarting:  map[int]bool{},
 		deployChaos: map[int]*faultinject.DeployChaos{},
+		clockChaos:  faultinject.NewClockChaos(),
 	}
 	if opts.ChaosSeed != 0 {
 		v.Chaos = faultinject.New(opts.ChaosSeed)
@@ -219,7 +224,7 @@ func Build(opts Options) (*VO, error) {
 			n.Index.AddUpstream(v.Community)
 		}
 		siteEPR := epr.New(n.Info.ServiceURL(rdm.ServiceName), "SiteKey", n.Info.Name)
-		siteEPR.LastUpdateTime = v.Clock.Now()
+		siteEPR.LastUpdateTime = n.RDM.HLC().Now()
 		n.Index.Register(siteEPR, n.Info.ToXML())
 	}
 	return v, nil
@@ -271,7 +276,12 @@ func hostOf(baseURL string) string {
 // host:port so EPRs minted before a crash stay routable).
 func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 	attrs := siteAttrs(i)
-	st := site.New(attrs, v.Clock, v.Repo)
+	// Every site reads time through its own skewable view of the shared
+	// clock: autonomous sites do not share a wall clock, and the clock-chaos
+	// injector (SkewSite/DriftSite) displaces exactly this view. Undisplaced
+	// views read identically to v.Clock, so unskewed grids are unchanged.
+	siteClock := v.clockChaos.View(attrs.Name, v.Clock)
+	st := site.New(attrs, siteClock, v.Repo)
 	srv := transport.NewServer()
 	if opts.Secure {
 		conf, err := v.CA.ServerConfig("127.0.0.1")
@@ -302,7 +312,7 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 	if i == 0 {
 		kind = mds.CommunityIndex
 	}
-	index := mds.New(fmt.Sprintf("index-%s", attrs.Name), kind, v.Clock)
+	index := mds.New(fmt.Sprintf("index-%s", attrs.Name), kind, siteClock)
 	if i == 0 && opts.IndexCollapse != (mds.CollapseConfig{}) {
 		index.SetCollapse(opts.IndexCollapse)
 	}
@@ -315,7 +325,7 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 		durable, err = store.Open(store.Options{
 			Dir:   filepath.Join(opts.DataDir, fmt.Sprintf("site-%02d", i+1)),
 			Fsync: opts.StoreFsync,
-			Clock: v.Clock,
+			Clock: siteClock,
 		})
 		if err != nil {
 			srv.Close()
@@ -333,7 +343,7 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 
 	svc, err := rdm.New(rdm.Config{
 		Site:              st,
-		Clock:             v.Clock,
+		Clock:             siteClock,
 		Client:            cli,
 		Agent:             agent,
 		LocalIndex:        index,
@@ -360,6 +370,11 @@ func (v *VO) buildNode(i int, opts Options, addr string) (*Node, error) {
 		srv.Close()
 		return nil, err
 	}
+	// HLC exchange: the site's stamps ride every envelope it sends (client)
+	// and every response it serves (server), so any message exchange bounds
+	// its ordering divergence from the rest of the grid.
+	cli.SetHLC(svc.HLC())
+	srv.SetHLC(svc.HLC())
 	svc.Mount(srv)
 	svc.MountExtensions(srv)
 	return &Node{Site: st, Server: srv, RDM: svc, Agent: agent, Index: index, Info: info, Tel: tel, Client: cli, Deploy: chaos}, nil
@@ -514,9 +529,41 @@ func (v *VO) rebuildSite(i int) error {
 	v.Nodes[i] = node
 	node.Index.AddUpstream(v.Community)
 	siteEPR := epr.New(node.Info.ServiceURL(rdm.ServiceName), "SiteKey", node.Info.Name)
-	siteEPR.LastUpdateTime = v.Clock.Now()
+	siteEPR.LastUpdateTime = node.RDM.HLC().Now()
 	node.Index.Register(siteEPR, node.Info.ToXML())
 	return nil
+}
+
+// SkewSite displaces site i's wall clock by offset (negative runs slow).
+// Only what the site READS changes: timers and sleeps still follow the
+// shared base clock, so virtual-time tests keep advancing everyone.
+// The skew survives RestartSite and ReplaceSite (keyed by site name).
+func (v *VO) SkewSite(i int, offset time.Duration) {
+	v.clockChaos.SkewSite(v.Nodes[i].Info.Name, offset)
+}
+
+// DriftSite makes site i's clock wander at rate seconds gained per second
+// of base time (negative falls behind), on top of any fixed offset.
+func (v *VO) DriftSite(i int, rate float64) {
+	v.clockChaos.DriftSite(v.Nodes[i].Info.Name, rate)
+}
+
+// ClockOffset reports site i's current total displacement from the shared
+// base clock (offset plus accrued drift).
+func (v *VO) ClockOffset(i int) time.Duration {
+	return v.clockChaos.Offset(v.Nodes[i].Info.Name)
+}
+
+// RestoreClock zeroes site i's skew and drift.
+func (v *VO) RestoreClock(i int) {
+	v.clockChaos.Restore(v.Nodes[i].Info.Name)
+}
+
+// ScheduleSkew arms a deterministic seeded skew schedule VO-wide: every
+// site draws an offset uniformly from [-max, +max] plus a small drift in
+// the same direction. Returns the offsets applied, keyed by site name.
+func (v *VO) ScheduleSkew(seed int64, max time.Duration) map[string]time.Duration {
+	return v.clockChaos.ScheduleSkew(seed, max)
 }
 
 // RegisterImagingStack registers the Section-2 type hierarchy on one site.

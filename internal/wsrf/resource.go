@@ -114,6 +114,7 @@ type Home struct {
 	service   string // service address used when minting EPRs
 	keyName   string // reference property name, e.g. "ActivityTypeKey"
 	clock     simclock.Clock
+	stamp     func() time.Time // ordering-stamp source; nil = clock.Now
 	resources map[string]*Resource
 	destroyed []func(*Resource) // destruction listeners
 }
@@ -135,6 +136,26 @@ func NewHome(service, keyName string, clock simclock.Clock) *Home {
 // Service returns the home's service address.
 func (h *Home) Service() string { return h.service }
 
+// SetStamp overrides the source of LastUpdate stamps for new resources —
+// the site's hybrid logical clock, so cross-site newest-wins comparisons on
+// LastUpdate survive wall-clock skew. Expiry decisions (SweepExpired) stay
+// on the home's physical clock: HLC stamps may lead it by observed peer
+// skew and must never be compared against local time. Restore is also
+// unaffected: recovery replays journaled stamps verbatim.
+func (h *Home) SetStamp(fn func() time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stamp = fn
+}
+
+// now returns the next ordering stamp. Callers hold h.mu.
+func (h *Home) now() time.Time {
+	if h.stamp != nil {
+		return h.stamp()
+	}
+	return h.clock.Now()
+}
+
 // KeyName returns the reference-property name for resource keys.
 func (h *Home) KeyName() string { return h.keyName }
 
@@ -152,7 +173,7 @@ func (h *Home) Create(key string, doc *xmlutil.Node) (*Resource, error) {
 	if _, ok := h.resources[key]; ok {
 		return nil, fmt.Errorf("wsrf: resource %q already exists", key)
 	}
-	now := h.clock.Now()
+	now := h.now()
 	r := &Resource{key: key, doc: doc, created: now, lastUpdate: now}
 	h.resources[key] = r
 	return r, nil
@@ -162,7 +183,7 @@ func (h *Home) Create(key string, doc *xmlutil.Node) (*Resource, error) {
 func (h *Home) CreateOrReplace(key string, doc *xmlutil.Node) *Resource {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	now := h.clock.Now()
+	now := h.now()
 	r := &Resource{key: key, doc: doc, created: now, lastUpdate: now}
 	h.resources[key] = r
 	return r
